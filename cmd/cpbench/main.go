@@ -1,0 +1,72 @@
+// Command cpbench runs the paper's copyright-infringement benchmark
+// (§III-A / Figure 3): 100 prompts cut from copyright-protected files
+// (comments stripped, first 20%, ≤64 words) probe each model; a cosine
+// similarity of ≥0.8 against the protected corpus marks a violation.
+//
+// Usage:
+//
+//	cpbench [-scale 0.5] [-seed 1] [-model path.lm]  # one saved model
+//	cpbench [-scale 0.5] [-zoo]                       # the full Figure-3 zoo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"freehw/internal/core"
+	"freehw/internal/lm"
+	"freehw/internal/similarity"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpbench: ")
+	var (
+		scale     = flag.Float64("scale", 0.5, "world scale")
+		seed      = flag.Int64("seed", 1, "seed")
+		modelPath = flag.String("model", "", "saved model file to probe (from freev-train)")
+		zoo       = flag.Bool("zoo", false, "probe the full Figure-3 model zoo")
+		verbose   = flag.Bool("v", false, "print each violation")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	e, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d prompts from protected files placed in the world", len(e.Prompts))
+
+	if *zoo || *modelPath == "" {
+		z, err := e.BuildZoo(core.DefaultZoo())
+		if err != nil {
+			log.Fatal(err)
+		}
+		points := e.RunCopyrightBenchmark(z)
+		fmt.Print(core.RenderFigure3(points))
+		return
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := lm.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := similarity.RunBenchmark(m.Name, m, e.ProtCorpus, e.Prompts, cfg.Bench)
+	fmt.Printf("%s: %d/%d violations (%.1f%%)\n", m.Name, rep.NumViolations, rep.NumPrompts, 100*rep.ViolationRate())
+	if *verbose {
+		for _, r := range rep.Results {
+			if r.Violation {
+				fmt.Printf("  prompt %s -> best %s (%.3f)\n", r.Prompt.SourceName, r.Best.Name, r.Best.Score)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command freeset-curate runs the FreeSet curation funnel end to end
+// against the simulated GitHub: scrape (with date-window granularization
+// and rate-limit handling), license gate, MinHash/LSH dedup, per-file
+// copyright screen, and syntax check. It prints the §IV-A funnel and can
+// write the resulting dataset to a directory.
+//
+// Usage:
+//
+//	freeset-curate [-scale 0.5] [-seed 1] [-out dir] [-rate 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"freehw/internal/core"
+	"freehw/internal/curation"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("freeset-curate: ")
+	var (
+		scale = flag.Float64("scale", 0.5, "world scale (1.0 = 1:100 of the paper's snapshot)")
+		seed  = flag.Int64("seed", 1, "world seed")
+		out   = flag.String("out", "", "directory to write the curated dataset into")
+		rate  = flag.Int("rate", 0, "simulated API rate limit (requests per 50ms; 0 = off)")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.GitRateLimit = *rate
+	e, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("scraped %d repos with %d API requests (%d window splits, %d rate waits)",
+		e.ScrapeStats.Repos, e.ScrapeStats.Requests, e.ScrapeStats.WindowSplits, e.ScrapeStats.RateWaits)
+
+	fmt.Println("===== Funnel =====")
+	fmt.Print(e.FreeSet.FunnelReport(*scale))
+	fmt.Println("\n===== Table I =====")
+	rows := append(curation.PriorWorkRows(), curation.PaperFreeSetRow(), e.FreeSet.FreeSetRow("FreeSet (measured)"))
+	fmt.Print(curation.RenderTableI(rows))
+
+	if len(e.FreeSet.CopyrightFindings) > 0 {
+		fmt.Println("\n===== Copyright findings (sample) =====")
+		for i, cf := range e.FreeSet.CopyrightFindings {
+			if i >= 10 {
+				fmt.Printf("  ... and %d more\n", len(e.FreeSet.CopyrightFindings)-10)
+				break
+			}
+			fmt.Printf("  %s: %s %v\n", cf.Key, cf.Company, cf.Reasons)
+			for _, h := range cf.SensitiveHits {
+				fmt.Printf("    sensitive content: %s\n", h)
+			}
+		}
+	}
+
+	if *out != "" {
+		if err := writeDataset(*out, e.FreeSet); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d files (%d bytes) to %s", e.FreeSet.FinalFiles, e.FreeSet.Bytes, *out)
+	}
+}
+
+func writeDataset(dir string, res *curation.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, f := range res.Files {
+		name := fmt.Sprintf("%05d_%s.v", i, sanitize(f.Repo))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(f.Content), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,94 @@
+// Command freev-train reproduces §III-E: it pre-trains the base model and
+// continually pre-trains FreeV on the curated FreeSet, then saves both
+// models for use by cpbench and verilogeval.
+//
+// Usage:
+//
+//	freev-train [-scale 0.5] [-seed 1] [-out models/] [-quant 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"freehw/internal/core"
+	"freehw/internal/lm"
+	"freehw/internal/training"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("freev-train: ")
+	var (
+		scale = flag.Float64("scale", 0.5, "world scale")
+		seed  = flag.Int64("seed", 1, "seed")
+		out   = flag.String("out", "models", "output directory for model files")
+		quant = flag.Int("quant", 0, "quantize saved models to N bits (paper: 4)")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	if *quant > 0 {
+		cfg.Train.QuantBits = *quant
+	}
+	e, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("FreeSet: %d files, %d bytes", e.FreeSet.FinalFiles, e.FreeSet.Bytes)
+
+	zoo, err := e.BuildZoo([]core.ModelSpec{
+		{Name: "Llama-3.1-8B-Instruct", WebFiles: 200, LeakFiles: 1},
+		{Name: "FreeV-Llama3.1", Base: "Llama-3.1-8B-Instruct", Dataset: "freeset", DatasetBytes: 255 << 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	heldOut := e.FreeSet.Texts()
+	if len(heldOut) > 20 {
+		heldOut = heldOut[len(heldOut)-20:]
+	}
+	for _, name := range zoo.Order {
+		rep := zoo.Reports[name]
+		rep.HeldOutCE = training.HeldOutCE(zoo.Models[name], heldOut)
+		fmt.Println(rep)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range zoo.Order {
+		path := filepath.Join(*out, sanitize(name)+".lm")
+		if err := save(zoo.Models[name], path); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved %s -> %s", name, path)
+	}
+}
+
+func save(m *lm.Model, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

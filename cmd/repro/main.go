@@ -1,0 +1,105 @@
+// Command repro regenerates every table and figure of the paper in one run:
+// the §IV-A curation funnel, Table I, Figure 2, Figure 3, and Table II.
+//
+// Usage:
+//
+//	repro [-scale 0.25] [-seed 1] [-evaln 10] [-problems 0] [-skip-eval]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"freehw/internal/core"
+	"freehw/internal/curation"
+	"freehw/internal/veval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("repro: ")
+	var (
+		scale    = flag.Float64("scale", 0.25, "world scale (1.0 = 1:100 of the paper's GitHub snapshot)")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		evalN    = flag.Int("evaln", 10, "samples per VerilogEval problem")
+		problems = flag.Int("problems", 0, "cap on problem count (0 = all 156)")
+		skipEval = flag.Bool("skip-eval", false, "skip the (slow) Table II evaluation")
+		skipFig3 = flag.Bool("skip-fig3", false, "skip the Figure 3 copyright benchmark")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.EvalN = *evalN
+	cfg.EvalProblems = *problems
+
+	start := time.Now()
+	log.Printf("building world at scale %.2f and scraping the simulated GitHub...", *scale)
+	e, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("scrape: %d repos via %d API requests (%d date-window splits)",
+		e.ScrapeStats.Repos, e.ScrapeStats.Requests, e.ScrapeStats.WindowSplits)
+
+	fmt.Println("\n===== Funnel (paper §IV-A) =====")
+	fmt.Print(e.FreeSet.FunnelReport(cfg.Scale))
+
+	fmt.Println("\n===== Table I: dataset comparison =====")
+	rows := curation.PriorWorkRows()
+	rows = append(rows, curation.PaperFreeSetRow(), e.FreeSet.FreeSetRow("FreeSet (measured)"))
+	fmt.Print(curation.RenderTableI(rows))
+
+	fmt.Println("\n===== Figure 2: file-length distribution =====")
+	fmt.Print(curation.Render(
+		[]string{"FreeSet", "VeriGen-like"},
+		[]curation.Histogram{
+			curation.LengthHistogram(e.FreeSet.Texts()),
+			curation.LengthHistogram(e.VeriGenLike.Texts()),
+		}))
+
+	log.Printf("training the model zoo...")
+	zoo, err := e.BuildZoo(core.DefaultZoo())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range zoo.Order {
+		log.Printf("  %s", zoo.Reports[name])
+	}
+
+	if !*skipFig3 {
+		fmt.Println("\n===== Figure 3: hardware copyright infringement rates =====")
+		points := e.RunCopyrightBenchmark(zoo)
+		fmt.Print(core.RenderFigure3(points))
+		fmt.Println("paper: VeriGen 9%->15% over base; CodeV above base; FreeV 3% (lowest tuned, +1pt over base Llama)")
+	}
+
+	if !*skipEval {
+		fmt.Println("\n===== Table II: VerilogEval =====")
+		var outcomes []core.EvalOutcome
+		for _, name := range []string{"Llama-3.1-8B-Instruct", "FreeV-Llama3.1"} {
+			log.Printf("evaluating %s on %d problems x %d samples x 2 temps...",
+				name, nOr156(*problems), *evalN)
+			outcomes = append(outcomes, e.RunVerilogEval(zoo.Models[name]))
+		}
+		fmt.Print(core.TableII(outcomes))
+		for _, o := range outcomes {
+			fmt.Printf("  %s: solved %d/%d problems (best temp %.1f)\n",
+				o.Model, o.Solved, o.ProblemsTotal, o.BestTemp)
+		}
+	}
+
+	log.Printf("done in %s", time.Since(start).Round(time.Second))
+	_ = os.Stdout.Sync()
+}
+
+func nOr156(n int) int {
+	if n <= 0 {
+		return veval.SuiteSize
+	}
+	return n
+}

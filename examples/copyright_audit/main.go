@@ -1,0 +1,53 @@
+// Copyright audit: probe a base model, a model tuned on an unscreened
+// dataset, and a model tuned on FreeSet with prompts cut from protected
+// files, and show how training data drives regurgitation — the paper's
+// Figure 3 mechanism, with one regurgitated generation printed in full.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"freehw"
+	"freehw/internal/core"
+	"freehw/internal/similarity"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := freehw.DefaultConfig()
+	cfg.Scale = 0.15
+	e, err := freehw.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	zoo, err := e.BuildZoo([]freehw.ModelSpec{
+		{Name: "base", WebFiles: 80, LeakFiles: 1},
+		{Name: "tuned-dirty", Base: "base", Dataset: "verigen", DatasetBytes: 150 << 10},
+		{Name: "tuned-freeset", Base: "base", Dataset: "freeset", DatasetBytes: 150 << 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	points := e.RunCopyrightBenchmark(zoo)
+	fmt.Print(core.RenderFigure3(points))
+
+	// Show one actual regurgitation from the dirty model.
+	dirty := zoo.Models["tuned-dirty"]
+	rep := similarity.RunBenchmark(dirty.Name, dirty, e.ProtCorpus, e.Prompts, cfg.Bench)
+	for _, r := range rep.Results {
+		if !r.Violation {
+			continue
+		}
+		fmt.Printf("\nviolation: prompt from %s, best match %s at cosine %.3f\n",
+			r.Prompt.SourceName, r.Best.Name, r.Best.Score)
+		fmt.Printf("prompt:     %s\n", r.Prompt.Text)
+		gen := r.Generation
+		if len(gen) > 400 {
+			gen = gen[:400] + "..."
+		}
+		fmt.Printf("generation: %s\n", gen)
+		break
+	}
+}

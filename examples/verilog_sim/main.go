@@ -1,0 +1,80 @@
+// Verilog simulation: parse and simulate a counter with a self-checking
+// testbench using the library's event-driven 4-state simulator — the
+// substrate that grades every VerilogEval candidate in this reproduction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"freehw/internal/vlog"
+	"freehw/internal/vsim"
+)
+
+const design = `
+module counter (
+    input clk,
+    input rst,
+    output reg [7:0] q
+);
+  always @(posedge clk) begin
+    if (rst)
+      q <= 8'd0;
+    else
+      q <= q + 1;
+  end
+endmodule
+
+module tb;
+  reg clk = 0;
+  reg rst = 1;
+  wire [7:0] q;
+  integer errors = 0;
+
+  counter dut (.clk(clk), .rst(rst), .q(q));
+
+  always #5 clk = ~clk;
+
+  initial begin
+    $display("time  q");
+    $monitor("%0t    %0d", $time, q);
+    @(posedge clk);
+    #1 rst = 0;
+    repeat (10) @(posedge clk);
+    #1;
+    if (q !== 8'd10) begin
+      $display("FAIL: q = %0d, want 10", q);
+      errors = errors + 1;
+    end
+    rst = 1;
+    @(posedge clk);
+    #1;
+    if (q !== 8'd0) begin
+      $display("FAIL: reset did not clear q");
+      errors = errors + 1;
+    end
+    if (errors == 0)
+      $display("PASS: counter behaves");
+    $finish;
+  end
+endmodule
+`
+
+func main() {
+	log.SetFlags(0)
+	f, err := vlog.ParseFile(design)
+	if err != nil {
+		log.Fatalf("parse: %v", err)
+	}
+	d, err := vsim.Elaborate(f, "tb", nil)
+	if err != nil {
+		log.Fatalf("elaborate: %v", err)
+	}
+	sim := vsim.New(d, vsim.Options{Seed: 1, Output: os.Stdout})
+	defer sim.Close()
+	if err := sim.Run(10_000); err != nil {
+		log.Fatalf("simulate: %v", err)
+	}
+	fmt.Printf("simulation ended at t=%d\n", sim.Time())
+}

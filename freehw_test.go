@@ -1,0 +1,47 @@
+package freehw
+
+import "testing"
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Scale <= 0 || cfg.EvalN <= 0 {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+	if cfg.Bench.Threshold != 0.8 || cfg.Bench.PromptFraction != 0.20 || cfg.Bench.MaxPromptWords != 64 {
+		t.Fatalf("benchmark defaults must match the paper: %+v", cfg.Bench)
+	}
+}
+
+func TestDefaultZooFacade(t *testing.T) {
+	zoo := DefaultZoo()
+	if len(zoo) != 8 {
+		t.Fatalf("the Figure-3 zoo has 8 models, got %d", len(zoo))
+	}
+	bases, tuned := 0, 0
+	for _, s := range zoo {
+		if s.Base == "" {
+			bases++
+		} else {
+			tuned++
+		}
+	}
+	if bases != 3 || tuned != 5 {
+		t.Fatalf("zoo shape: %d bases, %d tuned", bases, tuned)
+	}
+}
+
+// The facade must assemble a tiny end-to-end experiment.
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.Scale = 0.02
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.FreeSet.FinalFiles == 0 {
+		t.Fatal("empty FreeSet")
+	}
+}

@@ -1,0 +1,155 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"freehw/internal/license"
+)
+
+// fictional copyright holders for protected files (the paper found Intel and
+// Xilinx headers; this simulation uses invented companies).
+var companies = []string{
+	"MegaChip Systems", "Quartz Semiconductor", "VectorLogic Inc",
+	"SiliconForge Ltd", "NovaCore Technologies", "Axiom Microsystems",
+	"HelioDyne Corporation", "Cobalt Logic LLC",
+}
+
+var authors = []string{
+	"jdoe", "asmith", "hdl_hacker", "fpga4fun", "verilog_dave", "chipwright",
+	"rtl_rosa", "synthia", "bitbanger", "meg_uart",
+}
+
+// licenseHeader renders the header comment for an open-source file.
+func licenseHeader(rng *rand.Rand, l license.License) string {
+	author := pick(rng, authors...)
+	year := 2008 + rng.Intn(17)
+	switch l {
+	case license.MIT:
+		return fmt.Sprintf(`// Copyright (c) %d %s
+// Permission is hereby granted, free of charge, to any person obtaining a
+// copy of this software, to deal in the Software without restriction.
+// SPDX-License-Identifier: MIT
+`, year, author)
+	case license.Apache20:
+		return fmt.Sprintf(`// Copyright %d %s
+// Licensed under the Apache License, Version 2.0 (the "License");
+// you may not use this file except in compliance with the License.
+`, year, author)
+	case license.GPL20:
+		return fmt.Sprintf(`// Copyright (C) %d %s
+// This program is free software; you can redistribute it and/or modify it
+// under the terms of the GNU General Public License as published by the
+// Free Software Foundation; either version 2 of the License.
+`, year, author)
+	case license.GPL30:
+		return fmt.Sprintf(`// Copyright (C) %d %s
+// This program is free software: you can redistribute it and/or modify it
+// under the terms of the GNU General Public License as published by the
+// Free Software Foundation, either version 3 of the License.
+`, year, author)
+	case license.LGPL:
+		return fmt.Sprintf(`// Copyright (C) %d %s
+// This library is free software; see the GNU Lesser General Public License.
+`, year, author)
+	case license.MPL20:
+		return fmt.Sprintf(`// Copyright %d %s
+// This Source Code Form is subject to the terms of the Mozilla Public
+// License, v. 2.0.
+`, year, author)
+	case license.CC:
+		return fmt.Sprintf(`// (c) %d %s
+// This work is licensed under a Creative Commons Attribution 4.0 License.
+`, year, author)
+	case license.EPL:
+		return fmt.Sprintf(`// Copyright (c) %d %s
+// This program is made available under the Eclipse Public License 2.0.
+`, year, author)
+	case license.BSD2Clause, license.BSD3Clause:
+		return fmt.Sprintf(`// Copyright (c) %d %s
+// Redistribution and use in source and binary forms, with or without
+// modification, are permitted provided that the conditions are met.
+`, year, author)
+	default:
+		if rng.Intn(2) == 0 {
+			return "" // many unlicensed files have no header at all
+		}
+		return fmt.Sprintf("// %s's hardware experiments, %d.\n", pick(rng, authors...), year)
+	}
+}
+
+// proprietaryHeader renders the header of a copyright-protected file.
+func proprietaryHeader(rng *rand.Rand, company string) string {
+	year := 2008 + rng.Intn(17)
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf(`// Copyright (c) %d %s. All rights reserved.
+// This file is PROPRIETARY AND CONFIDENTIAL. Unauthorized copying of this
+// file, via any medium, is strictly prohibited.
+`, year, company)
+	case 1:
+		return fmt.Sprintf(`/*
+ * Copyright %d-%d %s
+ * All rights reserved. This design is a trade secret of %s.
+ * Internal use only. Do not distribute.
+ */
+`, year, year+3, company, company)
+	case 2:
+		return fmt.Sprintf(`// (c) %d %s - CONFIDENTIAL
+// Licensed material of %s. NDA required.
+`, year, company, company)
+	default:
+		return fmt.Sprintf(`// %s proprietary IP core. Copyright %d.
+// Unauthorized use is prohibited. All rights reserved.
+`, company, year)
+	}
+}
+
+// licenseText returns a LICENSE file body recognizable by license.Classify.
+func licenseText(l license.License) string {
+	switch l {
+	case license.MIT:
+		return "MIT License\n\nPermission is hereby granted, free of charge, to any person obtaining a copy of this software and associated documentation files."
+	case license.Apache20:
+		return "Apache License, Version 2.0\n\nLicensed under the Apache License, Version 2.0."
+	case license.GPL20:
+		return "GNU GENERAL PUBLIC LICENSE Version 2\n\nyou can redistribute it under the terms of the GNU General Public License as published by the Free Software Foundation; either version 2."
+	case license.GPL30:
+		return "GNU GENERAL PUBLIC LICENSE Version 3\n\nyou can redistribute it under the terms of the GNU General Public License as published by the Free Software Foundation, either version 3."
+	case license.LGPL:
+		return "GNU LESSER GENERAL PUBLIC LICENSE\n\nThis library is free software."
+	case license.MPL20:
+		return "Mozilla Public License Version 2.0\n\nThis Source Code Form is subject to the terms of the Mozilla Public License, v. 2.0."
+	case license.CC:
+		return "Creative Commons Attribution 4.0 International\n\nThis work is licensed under CC BY 4.0."
+	case license.EPL:
+		return "Eclipse Public License - v 2.0\n\nTHE ACCOMPANYING PROGRAM IS PROVIDED UNDER THE TERMS OF THIS ECLIPSE PUBLIC LICENSE."
+	case license.BSD2Clause:
+		return "BSD 2-Clause License\n\nRedistribution and use in source and binary forms, with or without modification, are permitted."
+	case license.BSD3Clause:
+		return "BSD 3-Clause License\n\nRedistribution and use in source and binary forms, with or without modification, are permitted provided that the following conditions are met: 1. Redistributions of source code..."
+	}
+	return "All rights reserved by the author. Ask before use."
+}
+
+// junkFile fabricates a non-Verilog repository file (README, scripts,
+// binary test data, constraints) that the scraper must filter out.
+func junkFile(rng *rand.Rand) (name, content string) {
+	switch rng.Intn(6) {
+	case 0:
+		return "README.md", "# " + pick(rng, "My FPGA project", "RTL experiments", "SoC bits") +
+			"\n\nBuild with make. Simulation via testbench.\n"
+	case 1:
+		return "Makefile", "all:\n\tiverilog -o sim *.v\n\nclean:\n\trm -f sim\n"
+	case 2:
+		return "constraints.xdc", "set_property PACKAGE_PIN W5 [get_ports clk]\ncreate_clock -period 10.0 [get_ports clk]\n"
+	case 3:
+		b := make([]byte, 64+rng.Intn(512))
+		rng.Read(b)
+		return "testdata.bin", string(b)
+	case 4:
+		return "sim.do", "vlog *.v\nvsim -c top -do \"run -all; quit\"\n"
+	default:
+		return "notes.txt", "TODO: fix timing on the slow path; retest at 100 MHz.\n"
+	}
+}

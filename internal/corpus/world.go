@@ -1,0 +1,388 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"freehw/internal/license"
+)
+
+// File is one file inside a simulated repository, with ground-truth flags
+// the curation pipeline must rediscover.
+type File struct {
+	Path      string
+	Content   string
+	IsVerilog bool
+	Master    int // index of the master file this is a copy of; -1 for junk
+	Protected bool
+	Broken    bool
+}
+
+// Repo is one simulated GitHub repository.
+type Repo struct {
+	Owner       string
+	Name        string
+	CreatedAt   time.Time
+	License     license.License // ground truth; Unknown = no license
+	LicenseFile string          // LICENSE body, "" if absent
+	Stars       int
+	Files       []File
+}
+
+// FullName returns owner/name.
+func (r Repo) FullName() string { return r.Owner + "/" + r.Name }
+
+// World is the simulated GitHub: the population the scraper and curation
+// pipeline operate on.
+type World struct {
+	Cfg       Config
+	Repos     []Repo
+	Protected []ProtectedFile // the full protected corpus (benchmark + injection pool)
+	// PlacedProtected lists the pool indices of protected files that exist
+	// somewhere in the world (in placement order, with repeats removed).
+	PlacedProtected []int
+}
+
+// Config sizes the world. Scale 1.0 targets 1:100 of the paper's GitHub
+// snapshot: ~13,000 Verilog files so all funnel proportions can be compared
+// against the paper directly.
+type Config struct {
+	Seed                 int64
+	Scale                float64
+	TotalVerilogFiles    int     // derived from Scale when 0
+	NumRepos             int     // derived when 0
+	LicensedRepoFraction float64 // default 0.468 (608,180 / 1.3M)
+	UniqueFraction       float64 // master files / total (tunes dedup removal toward 62.5%)
+	ProtectedFraction    float64 // protected copies / total (paper: ≈1%)
+	BrokenFraction       float64 // syntax-broken masters
+	CanonicalFraction    float64 // modules emitted with canonical interfaces
+	CanonVariantFraction float64 // canonical emissions that are trap variants
+	ProtectedPoolSize    int     // size of the protected corpus (paper: ~2K)
+	MegaFile             bool    // include the extreme-outlier file (Figure 2)
+}
+
+// DefaultConfig returns the paper-proportioned world at the given scale.
+func DefaultConfig(scale float64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Config{
+		Seed:                 1,
+		Scale:                scale,
+		LicensedRepoFraction: 0.468,
+		UniqueFraction:       0.24,
+		ProtectedFraction:    0.010,
+		BrokenFraction:       0.025,
+		CanonicalFraction:    0.04,
+		CanonVariantFraction: 0.52,
+		ProtectedPoolSize:    2000,
+		MegaFile:             scale >= 0.25,
+	}
+}
+
+func (c *Config) fill() {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.TotalVerilogFiles == 0 {
+		c.TotalVerilogFiles = int(13000 * c.Scale)
+	}
+	if c.TotalVerilogFiles < 20 {
+		c.TotalVerilogFiles = 20
+	}
+	if c.NumRepos == 0 {
+		c.NumRepos = int(520 * c.Scale)
+	}
+	if c.NumRepos < 4 {
+		c.NumRepos = 4
+	}
+	if c.LicensedRepoFraction == 0 {
+		c.LicensedRepoFraction = 0.468
+	}
+	if c.UniqueFraction == 0 {
+		c.UniqueFraction = 0.36
+	}
+	if c.CanonicalFraction == 0 {
+		c.CanonicalFraction = 0.30
+	}
+	if c.ProtectedPoolSize == 0 {
+		c.ProtectedPoolSize = 2000
+	}
+}
+
+// licenseMix approximates GitHub's license distribution among the accepted set.
+var licenseMix = []struct {
+	l license.License
+	w int
+}{
+	{license.MIT, 35}, {license.Apache20, 15}, {license.GPL30, 12},
+	{license.GPL20, 10}, {license.BSD3Clause, 10}, {license.BSD2Clause, 5},
+	{license.LGPL, 5}, {license.MPL20, 4}, {license.CC, 2}, {license.EPL, 2},
+}
+
+func pickLicense(rng *rand.Rand) license.License {
+	total := 0
+	for _, e := range licenseMix {
+		total += e.w
+	}
+	r := rng.Intn(total)
+	for _, e := range licenseMix {
+		r -= e.w
+		if r < 0 {
+			return e.l
+		}
+	}
+	return license.MIT
+}
+
+// masterFile is one unique Verilog file body (before repo placement).
+type masterFile struct {
+	body   string
+	broken bool
+}
+
+// BuildWorld deterministically generates the simulated GitHub.
+func BuildWorld(cfg Config) *World {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{Cfg: cfg}
+	w.Protected = BuildProtectedCorpus(cfg.Seed+77, cfg.ProtectedPoolSize)
+
+	// 1. Repositories with sizes, dates, licenses.
+	repoWeights := make([]float64, cfg.NumRepos)
+	var weightSum float64
+	for i := range repoWeights {
+		// Pareto-ish repo sizes: a few huge IP collections, many small ones.
+		repoWeights[i] = 1 / (0.05 + rng.Float64())
+		weightSum += repoWeights[i]
+	}
+	start := time.Date(2008, 4, 1, 0, 0, 0, 0, time.UTC)
+	span := time.Date(2024, 12, 1, 0, 0, 0, 0, time.UTC).Sub(start)
+	for i := 0; i < cfg.NumRepos; i++ {
+		r := Repo{
+			Owner:     pick(rng, authors...),
+			Name:      fmt.Sprintf("%s-%s-%d", pick(rng, "verilog", "rtl", "fpga", "hdl", "soc", "ip"), pick(rng, "cores", "lib", "playground", "designs", "blocks", "lab"), i),
+			CreatedAt: start.Add(time.Duration(rng.Int63n(int64(span)))),
+			Stars:     rng.Intn(500),
+		}
+		if rng.Float64() < cfg.LicensedRepoFraction {
+			r.License = pickLicense(rng)
+			r.LicenseFile = licenseText(r.License)
+		}
+		w.Repos = append(w.Repos, r)
+	}
+
+	// 2. Master (unique) Verilog files.
+	numMasters := int(float64(cfg.TotalVerilogFiles) * cfg.UniqueFraction)
+	if numMasters < 10 {
+		numMasters = 10
+	}
+	masters := make([]masterFile, numMasters)
+	for i := range masters {
+		// The header is part of the master: copied files carry the original
+		// author's header with them, which is what makes them duplicates.
+		var hdr string
+		if rng.Float64() < 0.7 {
+			hdr = licenseHeader(rng, pickLicense(rng))
+		} else {
+			hdr = licenseHeader(rng, license.Unknown)
+		}
+		masters[i] = masterFile{body: hdr + w.genFileBody(rng)}
+		if rng.Float64() < cfg.BrokenFraction {
+			masters[i].body = CorruptSyntax(rng, masters[i].body)
+			masters[i].broken = true
+		}
+	}
+
+	// 3. Placements: every master once, plus duplicate copies up to the
+	// file budget, copy counts Zipf-ish so popular IP cores spread widely.
+	type placement struct {
+		master int
+		mutate bool
+	}
+	var placements []placement
+	for i := range masters {
+		placements = append(placements, placement{master: i})
+	}
+	for len(placements) < cfg.TotalVerilogFiles {
+		m := int(float64(numMasters) * rng.Float64() * rng.Float64()) // biased to low indices
+		if m >= numMasters {
+			m = numMasters - 1
+		}
+		placements = append(placements, placement{master: m, mutate: rng.Float64() < 0.15})
+	}
+	rng.Shuffle(len(placements), func(i, j int) {
+		placements[i], placements[j] = placements[j], placements[i]
+	})
+
+	// 4. Assign placements to repos by weight.
+	pickRepo := func() *Repo {
+		r := rng.Float64() * weightSum
+		for i := range repoWeights {
+			r -= repoWeights[i]
+			if r <= 0 {
+				return &w.Repos[i]
+			}
+		}
+		return &w.Repos[len(w.Repos)-1]
+	}
+	dirs := []string{"", "src/", "rtl/", "hdl/", "cores/", "lib/"}
+	for pi, pl := range placements {
+		repo := pickRepo()
+		body := masters[pl.master].body
+		if pl.mutate {
+			// A "local fix": trailing comment only, so the copy still
+			// exceeds the 0.85 dedup threshold.
+			body = body + fmt.Sprintf("\n// patched locally, rev %d\n", rng.Intn(100))
+		}
+		repo.Files = append(repo.Files, File{
+			Path:      fmt.Sprintf("%sm%05d.v", dirs[rng.Intn(len(dirs))], pi),
+			Content:   body,
+			IsVerilog: true,
+			Master:    pl.master,
+			Broken:    masters[pl.master].broken,
+		})
+	}
+
+	// 5. Protected contamination: ~ProtectedFraction of all Verilog files.
+	numProtected := int(float64(cfg.TotalVerilogFiles) * cfg.ProtectedFraction)
+	placedSeen := map[int]bool{}
+	for i := 0; i < numProtected; i++ {
+		pi := rng.Intn(len(w.Protected))
+		pf := w.Protected[pi]
+		repo := pickRepo()
+		repo.Files = append(repo.Files, File{
+			Path:      fmt.Sprintf("vendor/%s", pf.Name),
+			Content:   pf.Source,
+			IsVerilog: true,
+			Master:    -1,
+			Protected: true,
+		})
+		if !placedSeen[pi] {
+			placedSeen[pi] = true
+			w.PlacedProtected = append(w.PlacedProtected, pi)
+		}
+	}
+
+	// 6. The extreme outlier (Figure 2's ~90M-char file, scaled 1:100).
+	if cfg.MegaFile {
+		target := int(900000 * cfg.Scale)
+		if target < 50000 {
+			target = 50000
+		}
+		var sb strings.Builder
+		sb.WriteString(licenseHeader(rng, license.MIT))
+		for sb.Len() < target {
+			sb.WriteString(Generate(rng, "", false).Source)
+			sb.WriteString("\n\n")
+		}
+		repo := pickRepo()
+		if repo.License == license.Unknown {
+			repo.License = license.MIT
+			repo.LicenseFile = licenseText(license.MIT)
+		}
+		repo.Files = append(repo.Files, File{
+			Path: "generated/netlist_dump.v", Content: sb.String(),
+			IsVerilog: true, Master: -2,
+		})
+	}
+
+	// 7. Junk files in every repo.
+	for i := range w.Repos {
+		n := 1 + rng.Intn(6)
+		for j := 0; j < n; j++ {
+			name, content := junkFile(rng)
+			w.Repos[i].Files = append(w.Repos[i].Files, File{
+				Path: fmt.Sprintf("%s", uniquePath(name, j)), Content: content, Master: -1,
+			})
+		}
+	}
+	return w
+}
+
+func uniquePath(name string, j int) string {
+	if j == 0 {
+		return name
+	}
+	if i := strings.LastIndexByte(name, '.'); i > 0 {
+		return fmt.Sprintf("%s_%d%s", name[:i], j, name[i:])
+	}
+	return fmt.Sprintf("%s_%d", name, j)
+}
+
+// genFileBody builds one unique file body of one or more modules, with the
+// heavy-tailed size distribution behind Figure 2.
+func (w *World) genFileBody(rng *rand.Rand) string {
+	var count int
+	switch r := rng.Float64(); {
+	case r < 0.55:
+		count = 1
+	case r < 0.80:
+		count = 2 + rng.Intn(2)
+	case r < 0.95:
+		count = 4 + rng.Intn(5)
+	case r < 0.995:
+		count = 9 + rng.Intn(22)
+	default:
+		count = 31 + rng.Intn(90)
+	}
+	var sb strings.Builder
+	for i := 0; i < count; i++ {
+		canon := rng.Float64() < w.Cfg.CanonicalFraction
+		m := Generate(rng, "", canon)
+		src := m.Source
+		if canon && rng.Float64() < w.Cfg.CanonVariantFraction {
+			// A trap variant: same canonical interface, subtly different
+			// behavior. Real corpora are full of these, and they are what
+			// makes a model's pass rate sample-dependent (pass@10 > pass@1).
+			src = CanonVariant(rng, src)
+		}
+		sb.WriteString(src)
+		sb.WriteString("\n\n")
+	}
+	return sb.String()
+}
+
+// WorldStats summarizes the generated world's ground truth.
+type WorldStats struct {
+	Repos          int
+	LicensedRepos  int
+	VerilogFiles   int
+	LicensedVFiles int
+	JunkFiles      int
+	ProtectedFiles int
+	BrokenFiles    int
+	TotalBytes     int64
+}
+
+// Stats computes ground-truth statistics.
+func (w *World) Stats() WorldStats {
+	var s WorldStats
+	s.Repos = len(w.Repos)
+	for _, r := range w.Repos {
+		licensed := license.Accepted(r.License)
+		if licensed {
+			s.LicensedRepos++
+		}
+		for _, f := range r.Files {
+			s.TotalBytes += int64(len(f.Content))
+			if !f.IsVerilog {
+				s.JunkFiles++
+				continue
+			}
+			s.VerilogFiles++
+			if licensed {
+				s.LicensedVFiles++
+			}
+			if f.Protected {
+				s.ProtectedFiles++
+			}
+			if f.Broken {
+				s.BrokenFiles++
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,224 @@
+// Package curation implements the paper's dataset-curation funnel
+// (Figure 1, §III-B..D): scraped repositories → repository-license gate →
+// Verilog extraction → MinHash/LSH de-duplication (Jaccard 0.85) →
+// per-file copyright screening → syntax check → FreeSet.
+package curation
+
+import (
+	"strings"
+
+	"freehw/internal/dedup"
+	"freehw/internal/gitsim"
+	"freehw/internal/license"
+	"freehw/internal/vlog"
+)
+
+// FileRecord is one dataset entry with its provenance.
+type FileRecord struct {
+	Repo    string
+	Path    string
+	Content string
+	License license.License
+}
+
+// Key returns repo-qualified path.
+func (f FileRecord) Key() string { return f.Repo + "/" + f.Path }
+
+// StageMask disables individual funnel stages (ablation A1 in DESIGN.md).
+type StageMask struct {
+	SkipLicense   bool
+	SkipDedup     bool
+	SkipCopyright bool
+	SkipSyntax    bool
+}
+
+// Options configures a curation run.
+type Options struct {
+	Mask  StageMask
+	Dedup dedup.Options
+	// MaxRepoYear, when nonzero, drops repositories created after this year
+	// (used to build the VeriGen-like comparison dataset: its BigQuery
+	// snapshot was last updated in 2022).
+	MaxRepoYear int
+}
+
+// CopyrightFinding records one removed protected file.
+type CopyrightFinding struct {
+	Key     string
+	Reasons []string
+	Company string
+	// SensitiveHits lists embedded key material found in the body.
+	SensitiveHits []string
+}
+
+// Result is the funnel outcome: counts for every stage plus the dataset.
+type Result struct {
+	ReposSeen     int
+	ReposLicensed int
+
+	TotalFiles       int // all extracted .v files
+	AfterLicense     int
+	AfterDedup       int
+	CopyrightRemoved int
+	SyntaxRemoved    int
+	FinalFiles       int
+
+	Bytes int64 // final dataset size
+
+	Files             []FileRecord
+	CopyrightFindings []CopyrightFinding
+}
+
+// DedupRemovedFraction reports the share dedup removed (paper: 62.5%).
+func (r *Result) DedupRemovedFraction() float64 {
+	if r.AfterLicense == 0 {
+		return 0
+	}
+	return 1 - float64(r.AfterDedup)/float64(r.AfterLicense)
+}
+
+// CopyrightShare reports protected files found relative to the full scrape
+// (paper: "nearly 1% of the original dataset").
+func (r *Result) CopyrightShare() float64 {
+	if r.TotalFiles == 0 {
+		return 0
+	}
+	return float64(r.CopyrightRemoved) / float64(r.TotalFiles)
+}
+
+// Texts returns the dataset contents (training corpus form).
+func (r *Result) Texts() []string {
+	out := make([]string, len(r.Files))
+	for i, f := range r.Files {
+		out[i] = f.Content
+	}
+	return out
+}
+
+// Keys returns dataset file keys.
+func (r *Result) Keys() []string {
+	out := make([]string, len(r.Files))
+	for i, f := range r.Files {
+		out[i] = f.Key()
+	}
+	return out
+}
+
+// IsVerilogPath reports whether a path names a Verilog source file.
+func IsVerilogPath(path string) bool {
+	return strings.HasSuffix(path, ".v") || strings.HasSuffix(path, ".vh")
+}
+
+// repoLicense determines a repository's license from scrape metadata, with
+// the LICENSE file text as fallback.
+func repoLicense(r *gitsim.RepoData) license.License {
+	if l := license.ClassifySPDX(r.Meta.SPDX); l != license.Unknown {
+		return l
+	}
+	for _, f := range r.Files {
+		if f.Path == "LICENSE" || f.Path == "LICENSE.md" || f.Path == "COPYING" {
+			return license.Classify(f.Content)
+		}
+	}
+	return license.Unknown
+}
+
+// Run executes the funnel over scraped repositories.
+func Run(repos []gitsim.RepoData, opt Options) *Result {
+	res := &Result{}
+
+	// Stage 0/1: extract Verilog files; repository license gate.
+	type candidate struct {
+		rec      FileRecord
+		licensed bool
+	}
+	var candidates []candidate
+	for i := range repos {
+		r := &repos[i]
+		if opt.MaxRepoYear > 0 && !r.Meta.CreatedAt.IsZero() && r.Meta.CreatedAt.Year() > opt.MaxRepoYear {
+			continue
+		}
+		res.ReposSeen++
+		l := repoLicense(r)
+		licensed := license.Accepted(l)
+		if licensed {
+			res.ReposLicensed++
+		}
+		for _, f := range r.Files {
+			if !IsVerilogPath(f.Path) {
+				continue
+			}
+			res.TotalFiles++
+			candidates = append(candidates, candidate{
+				rec:      FileRecord{Repo: r.Meta.FullName, Path: f.Path, Content: f.Content, License: l},
+				licensed: licensed,
+			})
+		}
+	}
+
+	var pool []FileRecord
+	for _, c := range candidates {
+		if opt.Mask.SkipLicense || c.licensed {
+			pool = append(pool, c.rec)
+		}
+	}
+	res.AfterLicense = len(pool)
+
+	// Stage 2: de-duplication.
+	if !opt.Mask.SkipDedup {
+		idx := dedup.NewIndex(opt.Dedup)
+		var unique []FileRecord
+		for _, f := range pool {
+			if idx.Add(f.Key(), f.Content).Unique {
+				unique = append(unique, f)
+			}
+		}
+		pool = unique
+	}
+	res.AfterDedup = len(pool)
+
+	// Stage 3: per-file copyright screen + syntax check.
+	var final []FileRecord
+	for _, f := range pool {
+		if !opt.Mask.SkipCopyright {
+			hdr := vlog.HeaderComment(f.Content)
+			scan := license.ScanHeader(hdr)
+			hits := license.ScanBody(f.Content)
+			if scan.Protected || len(hits) > 0 {
+				res.CopyrightRemoved++
+				res.CopyrightFindings = append(res.CopyrightFindings, CopyrightFinding{
+					Key: f.Key(), Reasons: scan.Reasons, Company: scan.Company, SensitiveHits: hits,
+				})
+				continue
+			}
+		}
+		if !opt.Mask.SkipSyntax {
+			if err := vlog.Check(f.Content); err != nil {
+				res.SyntaxRemoved++
+				continue
+			}
+		}
+		final = append(final, f)
+		res.Bytes += int64(len(f.Content))
+	}
+	res.Files = final
+	res.FinalFiles = len(final)
+	return res
+}
+
+// RunFreeSet runs the full funnel with paper defaults.
+func RunFreeSet(repos []gitsim.RepoData) *Result {
+	return Run(repos, Options{Dedup: dedup.Options{Threshold: 0.85, Seed: 1}})
+}
+
+// RunVeriGenLike reproduces a VeriGen-style dataset for comparison: no
+// repository-license granularization, no per-file copyright screen, and a
+// corpus frozen at 2022 (the Google BigQuery snapshot VeriGen used has not
+// been updated since then) — but with the same dedup and syntax checks.
+func RunVeriGenLike(repos []gitsim.RepoData) *Result {
+	return Run(repos, Options{
+		Mask:        StageMask{SkipLicense: true, SkipCopyright: true},
+		Dedup:       dedup.Options{Threshold: 0.85, Seed: 1},
+		MaxRepoYear: 2022,
+	})
+}

@@ -1,0 +1,160 @@
+package curation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a log₁₀-binned file-length distribution (Figure 2's axes:
+// file length in characters, 10¹..10⁸).
+type Histogram struct {
+	// Bins[i] counts files with length in [10^(i+1), 10^(i+2)) characters;
+	// Bins[0] covers [10,100). Lengths below 10 land in bin 0 as well.
+	Bins [7]int
+}
+
+// LengthHistogram builds the Figure-2 histogram from dataset texts.
+func LengthHistogram(texts []string) Histogram {
+	var h Histogram
+	for _, t := range texts {
+		n := len(t)
+		bin := 0
+		for threshold := 100; bin < len(h.Bins)-1 && n >= threshold; threshold *= 10 {
+			bin++
+		}
+		h.Bins[bin]++
+	}
+	return h
+}
+
+// BinLabel names a histogram bin.
+func BinLabel(i int) string {
+	return fmt.Sprintf("10^%d-10^%d", i+1, i+2)
+}
+
+// Render draws side-by-side histograms as an ASCII table (the bench that
+// regenerates Figure 2 prints this).
+func Render(names []string, hs []Histogram) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s", "chars")
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%12s", n)
+	}
+	sb.WriteByte('\n')
+	for b := 0; b < len(hs[0].Bins); b++ {
+		fmt.Fprintf(&sb, "%-12s", BinLabel(b))
+		for _, h := range hs {
+			fmt.Fprintf(&sb, "%12d", h.Bins[b])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// DatasetRow is one line of Table I.
+type DatasetRow struct {
+	Name         string
+	SizeBytes    int64  // 0 = not reported
+	Rows         int    // 0 = not reported
+	Structure    string // "Continual Pre-Training" or "Instruction-Tuning"
+	Augmented    bool
+	OpenSource   bool
+	LicenseCheck bool
+	Measured     bool // true when produced by this pipeline, not quoted
+}
+
+// PriorWorkRows returns the prior-dataset rows exactly as Table I reports
+// them (quoted values, not measured by this reproduction).
+func PriorWorkRows() []DatasetRow {
+	gb := float64(int64(1) << 30)
+	mb := float64(int64(1) << 20)
+	return []DatasetRow{
+		{Name: "VeriGen's Dataset", SizeBytes: int64(1.89 * gb), Rows: 108971, Structure: "Continual Pre-Training", Augmented: false, OpenSource: true, LicenseCheck: false},
+		{Name: "RTLCoder", SizeBytes: int64(55.1 * mb), Rows: 27000, Structure: "Instruction-Tuning", Augmented: true, OpenSource: true, LicenseCheck: false},
+		{Name: "CodeV", Rows: 165000, Structure: "Instruction-Tuning", Augmented: true, OpenSource: false, LicenseCheck: false},
+		{Name: "BetterV", Structure: "Instruction-Tuning", Augmented: true, OpenSource: false, LicenseCheck: true},
+		{Name: "CraftRTL", Rows: 80100, Structure: "Instruction-Tuning", Augmented: true, OpenSource: false, LicenseCheck: false},
+		{Name: "OriGen", SizeBytes: int64(548 * float64(mb)), Rows: 222075, Structure: "Instruction-Tuning", Augmented: true, OpenSource: true, LicenseCheck: false},
+	}
+}
+
+// PaperFreeSetRow is Table I's FreeSet line as published (16.5 GB, 222,624
+// rows) for side-by-side comparison with the measured, scaled row.
+func PaperFreeSetRow() DatasetRow {
+	return DatasetRow{
+		Name: "FreeSet (paper)", SizeBytes: int64(16.5 * float64(1<<30)), Rows: 222624,
+		Structure: "Continual Pre-Training", OpenSource: true, LicenseCheck: true,
+	}
+}
+
+// FreeSetRow renders this run's measured dataset as a Table I row.
+func (r *Result) FreeSetRow(name string) DatasetRow {
+	return DatasetRow{
+		Name: name, SizeBytes: r.Bytes, Rows: r.FinalFiles,
+		Structure: "Continual Pre-Training", OpenSource: true, LicenseCheck: true,
+		Measured: true,
+	}
+}
+
+// RenderTableI formats Table I.
+func RenderTableI(rows []DatasetRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %12s %9s %-24s %-9s %-11s %-13s\n",
+		"Dataset", "Size(Disk)", "Rows", "Structure", "Augmented", "OpenSource", "LicenseCheck")
+	for _, r := range rows {
+		size := "N/A"
+		if r.SizeBytes > 0 {
+			size = humanBytes(r.SizeBytes)
+		}
+		rows := "N/A"
+		if r.Rows > 0 {
+			rows = fmt.Sprintf("%d", r.Rows)
+		}
+		fmt.Fprintf(&sb, "%-22s %12s %9s %-24s %-9s %-11s %-13s\n",
+			r.Name, size, rows, r.Structure, yn(r.Augmented), yn(r.OpenSource), yn(r.LicenseCheck))
+	}
+	return sb.String()
+}
+
+func yn(b bool) string {
+	if b {
+		return "Yes"
+	}
+	return "No"
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(n)/float64(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// FunnelReport formats the §IV-A funnel with paper comparison columns.
+func (r *Result) FunnelReport(scale float64) string {
+	var sb strings.Builder
+	paperTotals := []struct {
+		name  string
+		paper int
+		ours  int
+	}{
+		{"extracted Verilog files", 1300000, r.TotalFiles},
+		{"after license filter", 608180, r.AfterLicense},
+		{"after LSH de-duplication", 228000, r.AfterDedup},
+		{"final dataset", 222624, r.FinalFiles},
+	}
+	fmt.Fprintf(&sb, "%-28s %10s %12s %12s\n", "stage", "ours", "paper", "paper*scale")
+	for _, row := range paperTotals {
+		fmt.Fprintf(&sb, "%-28s %10d %12d %12.0f\n", row.name, row.ours, row.paper, float64(row.paper)*scale/100)
+	}
+	fmt.Fprintf(&sb, "dedup removed: ours %.1f%% vs paper 62.5%%\n", 100*r.DedupRemovedFraction())
+	fmt.Fprintf(&sb, "copyright share of scrape: ours %.2f%% vs paper ~1%%\n", 100*r.CopyrightShare())
+	fmt.Fprintf(&sb, "copyright-protected files removed: %d (paper: >2,000 at full scale)\n", r.CopyrightRemoved)
+	fmt.Fprintf(&sb, "syntax failures removed: %d\n", r.SyntaxRemoved)
+	return sb.String()
+}

@@ -1,0 +1,301 @@
+// Package dedup implements the de-duplication stage of the FreeSet curation
+// pipeline: token shingling, MinHash signatures, banded locality-sensitive
+// hashing, and exact Jaccard verification, following the method VeriGen
+// describes and the paper adopts (§III-D: MinHash + Jaccard at threshold
+// 0.85, LSH for efficient candidate lookup).
+package dedup
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Shingles splits text into k-token shingles and returns their 64-bit FNV
+// hashes as a set. Tokens are whitespace-separated words, which is robust to
+// reformatting while staying cheap.
+func Shingles(text string, k int) map[uint64]struct{} {
+	if k <= 0 {
+		k = 5
+	}
+	words := strings.Fields(text)
+	out := make(map[uint64]struct{}, len(words))
+	if len(words) == 0 {
+		return out
+	}
+	if len(words) < k {
+		h := fnv.New64a()
+		h.Write([]byte(strings.Join(words, " ")))
+		out[h.Sum64()] = struct{}{}
+		return out
+	}
+	for i := 0; i+k <= len(words); i++ {
+		h := fnv.New64a()
+		for j := i; j < i+k; j++ {
+			h.Write([]byte(words[j]))
+			h.Write([]byte{0})
+		}
+		out[h.Sum64()] = struct{}{}
+	}
+	return out
+}
+
+// Jaccard computes |a∩b| / |a∪b| over shingle sets.
+func Jaccard(a, b map[uint64]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for h := range small {
+		if _, ok := large[h]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Signature is a MinHash signature: one minimum per permutation.
+type Signature []uint64
+
+// MinHasher derives MinHash signatures with n hash permutations of the form
+// h_i(x) = a_i*x + b_i (odd multipliers, 64-bit wraparound).
+type MinHasher struct {
+	a []uint64
+	b []uint64
+}
+
+// NewMinHasher builds a hasher with n permutations from a seed.
+func NewMinHasher(n int, seed uint64) *MinHasher {
+	if n <= 0 {
+		n = 128
+	}
+	m := &MinHasher{a: make([]uint64, n), b: make([]uint64, n)}
+	s := splitmix(seed)
+	for i := 0; i < n; i++ {
+		m.a[i] = s.next() | 1 // odd multiplier: bijection mod 2^64
+		m.b[i] = s.next()
+	}
+	return m
+}
+
+// N returns the signature length.
+func (m *MinHasher) N() int { return len(m.a) }
+
+// Sign computes the MinHash signature of a shingle set.
+func (m *MinHasher) Sign(shingles map[uint64]struct{}) Signature {
+	sig := make(Signature, len(m.a))
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for x := range shingles {
+		for i := range m.a {
+			h := m.a[i]*x + m.b[i]
+			if h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+// SigSimilarity estimates Jaccard similarity from two signatures.
+func SigSimilarity(a, b Signature) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	eq := 0
+	for i := range a {
+		if a[i] == b[i] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(a))
+}
+
+// splitmix is SplitMix64, used to derive permutation parameters.
+type splitmix uint64
+
+func (s *splitmix) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Index is a banded LSH index over MinHash signatures. Two documents become
+// dedup candidates when they agree on all rows of at least one band; the
+// exact Jaccard over shingles then decides.
+type Index struct {
+	hasher    *MinHasher
+	bands     int
+	rows      int
+	threshold float64
+	shingleK  int
+
+	buckets []map[uint64][]int // per band: band-hash -> doc ids
+	docs    []doc
+}
+
+type doc struct {
+	id       int
+	key      string
+	shingles map[uint64]struct{}
+	sig      Signature
+}
+
+// Options configures an Index.
+type Options struct {
+	Permutations int     // MinHash permutations (default 128)
+	Bands        int     // LSH bands (default 32; rows = permutations/bands)
+	Threshold    float64 // Jaccard duplicate threshold (default 0.85)
+	ShingleK     int     // tokens per shingle (default 5)
+	Seed         uint64
+}
+
+// NewIndex builds an empty LSH index.
+func NewIndex(opt Options) *Index {
+	if opt.Permutations <= 0 {
+		opt.Permutations = 128
+	}
+	if opt.Bands <= 0 {
+		opt.Bands = 32
+	}
+	if opt.Permutations%opt.Bands != 0 {
+		opt.Permutations = opt.Bands * ((opt.Permutations + opt.Bands - 1) / opt.Bands)
+	}
+	if opt.Threshold == 0 {
+		opt.Threshold = 0.85
+	}
+	if opt.ShingleK <= 0 {
+		opt.ShingleK = 5
+	}
+	idx := &Index{
+		hasher:    NewMinHasher(opt.Permutations, opt.Seed+0x5eed),
+		bands:     opt.Bands,
+		rows:      opt.Permutations / opt.Bands,
+		threshold: opt.Threshold,
+		shingleK:  opt.ShingleK,
+		buckets:   make([]map[uint64][]int, opt.Bands),
+	}
+	for i := range idx.buckets {
+		idx.buckets[i] = map[uint64][]int{}
+	}
+	return idx
+}
+
+// Threshold returns the Jaccard duplicate threshold.
+func (x *Index) Threshold() float64 { return x.threshold }
+
+// Len returns the number of retained (unique) documents.
+func (x *Index) Len() int { return len(x.docs) }
+
+// bandHash hashes one band of a signature.
+func (x *Index) bandHash(sig Signature, band int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for r := band * x.rows; r < (band+1)*x.rows; r++ {
+		v := sig[r]
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// AddResult reports what happened to a document offered to the index.
+type AddResult struct {
+	Unique bool
+	// DupOfKey is the retained document this one duplicates (when !Unique).
+	DupOfKey string
+	// Similarity is the verified Jaccard similarity to DupOfKey.
+	Similarity float64
+}
+
+// Add offers a document; it is retained iff no prior document matches at or
+// above the threshold. The key identifies the document in results.
+func (x *Index) Add(key, text string) AddResult {
+	sh := Shingles(text, x.shingleK)
+	sig := x.hasher.Sign(sh)
+
+	seen := map[int]struct{}{}
+	bestSim := 0.0
+	bestID := -1
+	for b := 0; b < x.bands; b++ {
+		bh := x.bandHash(sig, b)
+		for _, id := range x.buckets[b][bh] {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			sim := Jaccard(sh, x.docs[id].shingles)
+			if sim > bestSim {
+				bestSim = sim
+				bestID = id
+			}
+		}
+	}
+	if bestID >= 0 && bestSim >= x.threshold {
+		return AddResult{Unique: false, DupOfKey: x.docs[bestID].key, Similarity: bestSim}
+	}
+	id := len(x.docs)
+	x.docs = append(x.docs, doc{id: id, key: key, shingles: sh, sig: sig})
+	for b := 0; b < x.bands; b++ {
+		bh := x.bandHash(sig, b)
+		x.buckets[b][bh] = append(x.buckets[b][bh], id)
+	}
+	return AddResult{Unique: true}
+}
+
+// Keys returns the retained document keys in insertion order.
+func (x *Index) Keys() []string {
+	out := make([]string, len(x.docs))
+	for i, d := range x.docs {
+		out[i] = d.key
+	}
+	return out
+}
+
+// Dedup is a convenience wrapper: it feeds texts through a fresh index and
+// returns the indices of retained documents, in order.
+func Dedup(texts []string, opt Options) []int {
+	idx := NewIndex(opt)
+	var kept []int
+	for i, t := range texts {
+		if idx.Add("", t).Unique {
+			kept = append(kept, i)
+		}
+	}
+	return kept
+}
+
+// PairSimilarity computes the exact Jaccard similarity of two texts using
+// the index's shingling parameters.
+func (x *Index) PairSimilarity(a, b string) float64 {
+	return Jaccard(Shingles(a, x.shingleK), Shingles(b, x.shingleK))
+}
+
+// TopBucketSizes reports the largest LSH bucket sizes (diagnostics for the
+// curation report).
+func (x *Index) TopBucketSizes(n int) []int {
+	var sizes []int
+	for _, band := range x.buckets {
+		for _, ids := range band {
+			sizes = append(sizes, len(ids))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	if len(sizes) > n {
+		sizes = sizes[:n]
+	}
+	return sizes
+}

@@ -1,0 +1,190 @@
+package dedup
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJaccardIdentical(t *testing.T) {
+	a := Shingles("module counter input clk output q endmodule", 3)
+	if got := Jaccard(a, a); got != 1 {
+		t.Fatalf("self Jaccard = %f", got)
+	}
+}
+
+func TestJaccardDisjoint(t *testing.T) {
+	a := Shingles("alpha beta gamma delta epsilon zeta", 3)
+	b := Shingles("one two three four five six", 3)
+	if got := Jaccard(a, b); got != 0 {
+		t.Fatalf("disjoint Jaccard = %f", got)
+	}
+}
+
+func TestJaccardEmpty(t *testing.T) {
+	e := Shingles("", 3)
+	a := Shingles("x y z w", 3)
+	if got := Jaccard(e, e); got != 1 {
+		t.Fatalf("empty-empty = %f", got)
+	}
+	if got := Jaccard(e, a); got != 0 {
+		t.Fatalf("empty-nonempty = %f", got)
+	}
+}
+
+func randWords(rng *rand.Rand, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("w%03d", rng.Intn(500))
+	}
+	return out
+}
+
+// MinHash signature similarity should estimate Jaccard within tolerance.
+func TestMinHashEstimatesJaccard(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewMinHasher(256, 42)
+	for trial := 0; trial < 20; trial++ {
+		base := randWords(rng, 300)
+		mutated := make([]string, len(base))
+		copy(mutated, base)
+		// Mutate a fraction of words.
+		for i := 0; i < trial*10; i++ {
+			mutated[rng.Intn(len(mutated))] = fmt.Sprintf("mut%04d", rng.Intn(10000))
+		}
+		ta, tb := strings.Join(base, " "), strings.Join(mutated, " ")
+		sa, sb := Shingles(ta, 5), Shingles(tb, 5)
+		exact := Jaccard(sa, sb)
+		est := SigSimilarity(h.Sign(sa), h.Sign(sb))
+		if diff := est - exact; diff > 0.12 || diff < -0.12 {
+			t.Errorf("trial %d: exact=%.3f est=%.3f", trial, exact, est)
+		}
+	}
+}
+
+func TestIndexExactDuplicates(t *testing.T) {
+	idx := NewIndex(Options{Seed: 1})
+	text := "module m (input a, output y); assign y = ~a; endmodule " +
+		strings.Repeat("wire pad_signal_for_shingles; ", 20)
+	r1 := idx.Add("first", text)
+	if !r1.Unique {
+		t.Fatal("first doc must be unique")
+	}
+	r2 := idx.Add("second", text)
+	if r2.Unique {
+		t.Fatal("exact duplicate not caught")
+	}
+	if r2.DupOfKey != "first" || r2.Similarity != 1 {
+		t.Fatalf("dup result: %+v", r2)
+	}
+}
+
+func TestIndexNearDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := randWords(rng, 400)
+	idx := NewIndex(Options{Seed: 1, Threshold: 0.85})
+	idx.Add("orig", strings.Join(base, " "))
+
+	// ~2% mutation: should still be a duplicate at 0.85.
+	near := make([]string, len(base))
+	copy(near, base)
+	for i := 0; i < 4; i++ {
+		near[rng.Intn(len(near))] = "changed"
+	}
+	if r := idx.Add("near", strings.Join(near, " ")); r.Unique {
+		t.Fatalf("near duplicate not caught (sim=%.3f)", idx.PairSimilarity(strings.Join(base, " "), strings.Join(near, " ")))
+	}
+
+	// Heavy mutation: must be unique.
+	far := randWords(rng, 400)
+	if r := idx.Add("far", strings.Join(far, " ")); !r.Unique {
+		t.Fatalf("unrelated doc flagged as dup of %s (%.3f)", r.DupOfKey, r.Similarity)
+	}
+}
+
+func TestDedupOrderPreserved(t *testing.T) {
+	texts := []string{
+		"aaa bbb ccc ddd eee fff ggg hhh",
+		"one two three four five six seven eight",
+		"aaa bbb ccc ddd eee fff ggg hhh", // dup of 0
+		"nine ten eleven twelve thirteen fourteen fifteen sixteen",
+	}
+	kept := Dedup(texts, Options{Seed: 9})
+	want := []int{0, 1, 3}
+	if len(kept) != len(want) {
+		t.Fatalf("kept %v", kept)
+	}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Fatalf("kept %v, want %v", kept, want)
+		}
+	}
+}
+
+func TestIndexDeterminism(t *testing.T) {
+	texts := make([]string, 50)
+	rng := rand.New(rand.NewSource(11))
+	for i := range texts {
+		texts[i] = strings.Join(randWords(rng, 100), " ")
+	}
+	// Inject duplicates.
+	texts[10] = texts[3]
+	texts[40] = texts[22]
+	a := Dedup(texts, Options{Seed: 5})
+	b := Dedup(texts, Options{Seed: 5})
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+	if len(a) != 48 {
+		t.Fatalf("want 48 unique, got %d", len(a))
+	}
+}
+
+// Property: Jaccard is symmetric and bounded in [0,1].
+func TestJaccardProperties(t *testing.T) {
+	fn := func(a, b string) bool {
+		sa, sb := Shingles(a, 3), Shingles(b, 3)
+		j1, j2 := Jaccard(sa, sb), Jaccard(sb, sa)
+		return j1 == j2 && j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a document is always a duplicate of itself once added.
+func TestIndexSelfDuplicateProperty(t *testing.T) {
+	fn := func(words []string) bool {
+		if len(words) == 0 {
+			return true
+		}
+		text := strings.Join(words, " ")
+		idx := NewIndex(Options{Seed: 2})
+		idx.Add("a", text)
+		r := idx.Add("b", text)
+		return !r.Unique
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIndexAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	texts := make([]string, 256)
+	for i := range texts {
+		texts[i] = strings.Join(randWords(rng, 200), " ")
+	}
+	b.ResetTimer()
+	idx := NewIndex(Options{Seed: 1})
+	for i := 0; i < b.N; i++ {
+		idx.Add("k", texts[i%len(texts)])
+	}
+}

@@ -1,0 +1,219 @@
+package gitsim
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"freehw/internal/corpus"
+	"freehw/internal/license"
+)
+
+func testWorld(t testing.TB, scale float64) *corpus.World {
+	t.Helper()
+	cfg := corpus.DefaultConfig(scale)
+	cfg.ProtectedPoolSize = 50
+	return corpus.BuildWorld(cfg)
+}
+
+func startServer(t testing.TB, w *corpus.World, rate int) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(w, rate, 30*time.Millisecond)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, NewClient(ts.URL)
+}
+
+func span() (time.Time, time.Time) {
+	return time.Date(2008, 1, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func TestDiscoverFindsAllVerilogRepos(t *testing.T) {
+	w := testWorld(t, 0.05)
+	_, c := startServer(t, w, 0)
+	t0, t1 := span()
+	metas, err := c.DiscoverRepos(context.Background(), "language:verilog", t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: repos with at least one .v file.
+	want := 0
+	for _, r := range w.Repos {
+		for _, f := range r.Files {
+			if strings.HasSuffix(f.Path, ".v") {
+				want++
+				break
+			}
+		}
+	}
+	if len(metas) != want {
+		t.Fatalf("discovered %d repos, world has %d with Verilog", len(metas), want)
+	}
+}
+
+func TestSearchCapForcesGranularization(t *testing.T) {
+	// A world with more Verilog repos than the 1,000-hit cap: a naive
+	// single query must be incomplete, the granularizing client complete.
+	cfg := corpus.DefaultConfig(0)
+	cfg.NumRepos = 2600
+	cfg.TotalVerilogFiles = 5300 // ~2 files per repo so most repos have Verilog
+	cfg.ProtectedPoolSize = 20
+	cfg.MegaFile = false
+	w := corpus.BuildWorld(cfg)
+	_, c := startServer(t, w, 0)
+	ctx := context.Background()
+
+	t0, t1 := span()
+	naive, err := c.search(ctx, dateQuery("language:verilog", t0, t1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.TotalCount <= MaxSearchHits {
+		t.Skipf("world too small to exercise the cap: %d", naive.TotalCount)
+	}
+	if !naive.IncompleteResults {
+		t.Fatal("server must flag incomplete results beyond the cap")
+	}
+
+	metas, err := c.DiscoverRepos(ctx, "language:verilog", t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != naive.TotalCount {
+		t.Fatalf("granularized discovery got %d of %d repos", len(metas), naive.TotalCount)
+	}
+	if c.WindowSplit == 0 {
+		t.Fatal("discovery should have split date windows")
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	w := testWorld(t, 0.02)
+	// 2 requests per 100ms: a full scrape (discovery + one clone per repo)
+	// must hit the limiter and recover via Retry-After.
+	srv, c := startServer(t, w, 2)
+	srv.window = 100 * time.Millisecond
+	t0, t1 := span()
+	repos, err := c.ScrapeVerilog(context.Background(), t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repos) == 0 {
+		t.Fatal("no repos scraped")
+	}
+	if srv.Throttled == 0 || c.RateWaits == 0 {
+		t.Fatalf("rate limiter never engaged (throttled=%d waits=%d)", srv.Throttled, c.RateWaits)
+	}
+}
+
+func TestCloneContents(t *testing.T) {
+	w := testWorld(t, 0.02)
+	_, c := startServer(t, w, 0)
+	repo := &w.Repos[0]
+	for i := range w.Repos {
+		if len(w.Repos[i].Files) > 0 && w.Repos[i].License != license.Unknown {
+			repo = &w.Repos[i]
+			break
+		}
+	}
+	data, err := c.Clone(context.Background(), repo.FullName())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LICENSE file plus repo files.
+	if len(data.Files) != len(repo.Files)+1 {
+		t.Fatalf("got %d files, want %d", len(data.Files), len(repo.Files)+1)
+	}
+	if data.Files[0].Path != "LICENSE" {
+		t.Fatalf("first file should be LICENSE, got %s", data.Files[0].Path)
+	}
+	if license.Classify(data.Files[0].Content) != repo.License {
+		t.Fatal("license text does not classify back to repo license")
+	}
+}
+
+func TestCloneNotFound(t *testing.T) {
+	w := testWorld(t, 0.02)
+	_, c := startServer(t, w, 0)
+	if _, err := c.Clone(context.Background(), "nobody/nothing"); err == nil {
+		t.Fatal("cloning a missing repo must fail")
+	}
+}
+
+func TestScrapeVerilogEndToEnd(t *testing.T) {
+	w := testWorld(t, 0.02)
+	_, c := startServer(t, w, 0)
+	t0, t1 := span()
+	repos, err := c.ScrapeVerilog(context.Background(), t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repos) == 0 {
+		t.Fatal("scrape found nothing")
+	}
+	vfiles := 0
+	junk := 0
+	for _, r := range repos {
+		if r.Meta.FullName == "" {
+			t.Fatal("missing repo meta")
+		}
+		for _, f := range r.Files {
+			if strings.HasSuffix(f.Path, ".v") {
+				vfiles++
+			} else {
+				junk++
+			}
+		}
+	}
+	if vfiles == 0 || junk == 0 {
+		t.Fatalf("scrape should see Verilog and junk: %d/%d", vfiles, junk)
+	}
+}
+
+func TestLicenseFilterQuery(t *testing.T) {
+	w := testWorld(t, 0.05)
+	_, c := startServer(t, w, 0)
+	t0, t1 := span()
+	q := dateQuery("language:verilog license:mit", t0, t1)
+	resp, err := c.search(context.Background(), q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range resp.Items {
+		if item.License == nil || !strings.EqualFold(item.License.SPDXID, "MIT") {
+			t.Fatalf("non-MIT repo in license-filtered search: %+v", item)
+		}
+	}
+}
+
+func TestSearchPagination(t *testing.T) {
+	w := testWorld(t, 0.05)
+	_, c := startServer(t, w, 0)
+	c.PerPage = 7
+	t0, t1 := span()
+	q := dateQuery("language:verilog", t0, t1)
+	seen := map[string]bool{}
+	total := 0
+	for page := 1; ; page++ {
+		resp, err := c.search(context.Background(), q, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total = resp.TotalCount
+		if len(resp.Items) == 0 {
+			break
+		}
+		for _, it := range resp.Items {
+			if seen[it.FullName] {
+				t.Fatalf("duplicate %s across pages", it.FullName)
+			}
+			seen[it.FullName] = true
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("pagination lost items: %d of %d", len(seen), total)
+	}
+}

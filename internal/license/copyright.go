@@ -1,0 +1,141 @@
+package license
+
+import (
+	"regexp"
+	"strings"
+)
+
+// ScanResult reports the file-level copyright screen's verdict.
+type ScanResult struct {
+	Protected bool
+	// Reasons lists the matched indicators, for the curation report.
+	Reasons []string
+	// Company is the copyright holder when an explicit company line matched.
+	Company string
+}
+
+// Strong single-phrase indicators of private copyright.
+var strongIndicators = []string{
+	"all rights reserved",
+	"proprietary and confidential",
+	"strictly confidential",
+	"company confidential",
+	"unauthorized copying",
+	"unauthorized use",
+	"trade secret",
+	"do not distribute",
+	"not for redistribution",
+	"internal use only",
+	"nda required",
+	"this file contains confidential",
+	"licensed material of",
+	"unpublished work",
+}
+
+// Weak indicators: two or more of these together mark a file protected
+// (mirrors the paper's "combinations of keywords" rule).
+var weakIndicators = []string{
+	"proprietary",
+	"confidential",
+	"copyright",
+	"(c)",
+	"©",
+	"licensed under separate agreement",
+	"restricted",
+}
+
+// companyRe extracts a holder from "Copyright (c) 2019 Intel Corporation"
+// style lines.
+var companyRe = regexp.MustCompile(`(?i)copyright\s*(?:\(c\)|©)?\s*[-0-9, ]*\s+([A-Z][A-Za-z0-9&.\- ]{2,40}?(?:corporation|corp|inc|ltd|llc|gmbh|technologies|semiconductor|systems|microsystems|labs))\b`)
+
+// openSourceMarkers neutralize copyright mentions that clearly sit inside an
+// open-source grant (an MIT header says "Copyright (c) ..." but then grants
+// permission).
+var openSourceMarkers = []string{
+	"permission is hereby granted",
+	"apache license",
+	"gnu general public license",
+	"gnu lesser general public license",
+	"mozilla public license",
+	"creative commons",
+	"eclipse public license",
+	"redistribution and use in source and binary forms",
+	"spdx-license-identifier",
+	"released under",
+	"licensed under the mit",
+	"open source",
+	"freely distributable",
+	"public domain",
+}
+
+// ScanHeader inspects a file's header-comment text (see vlog.HeaderComment)
+// and decides whether the file is copyright-protected for curation purposes.
+func ScanHeader(header string) ScanResult {
+	n := normalize(header)
+	res := ScanResult{}
+
+	openSource := false
+	for _, m := range openSourceMarkers {
+		if strings.Contains(n, m) {
+			openSource = true
+			break
+		}
+	}
+
+	for _, s := range strongIndicators {
+		if strings.Contains(n, s) {
+			res.Reasons = append(res.Reasons, s)
+		}
+	}
+	weak := 0
+	for _, w := range weakIndicators {
+		if strings.Contains(n, w) {
+			weak++
+		}
+	}
+
+	if m := companyRe.FindStringSubmatch(header); m != nil {
+		res.Company = strings.TrimSpace(m[1])
+	}
+
+	switch {
+	case len(res.Reasons) > 0:
+		// Strong indicators mark the file protected even when an
+		// open-source header is also present ("MIT licensed, portions
+		// proprietary" files are unsafe to train on).
+		res.Protected = true
+	case openSource:
+		res.Protected = false
+	case res.Company != "" && weak >= 1:
+		res.Protected = true
+		res.Reasons = append(res.Reasons, "company copyright line: "+res.Company)
+	case weak >= 2:
+		res.Protected = true
+		res.Reasons = append(res.Reasons, "multiple copyright keywords")
+	}
+	return res
+}
+
+// SensitiveContent scans the whole file body for obviously critical leaked
+// material (the paper reports finding "possible encryption keys and other
+// critical information" in supposedly open repositories). Any hit marks the
+// file protected regardless of its header.
+var sensitivePatterns = []*regexp.Regexp{
+	regexp.MustCompile(`(?i)-----BEGIN (RSA |EC |OPENSSH )?PRIVATE KEY-----`),
+	regexp.MustCompile(`(?i)\bencryption[_ ]key\s*[:=]\s*[0-9a-fx'h_]{16,}`),
+	regexp.MustCompile(`(?i)\bsecret[_ ]key\s*[:=]`),
+	regexp.MustCompile(`(?i)\b(aes|des|hmac)[_ ]key\s*[:=]\s*[0-9a-fx'h_]{8,}`),
+}
+
+// ScanBody reports sensitive-content findings in the file body.
+func ScanBody(body string) (hits []string) {
+	for _, re := range sensitivePatterns {
+		if m := re.FindString(body); m != "" {
+			if len(m) > 40 {
+				m = m[:40] + "..."
+			}
+			hits = append(hits, m)
+		}
+	}
+	return hits
+}

@@ -1,0 +1,367 @@
+// Package lm implements the language-model substrate of this reproduction:
+// a back-off n-gram model over BPE tokens with temperature sampling, a stop
+// sequence, continual pre-training (weighted count merging), and 4-bit
+// count quantization standing in for the paper's QLoRA setup.
+//
+// Why an n-gram model reproduces the paper's mechanism: the copyright
+// experiment (§III-A) works by prompting a model with the first 20% of a
+// protected file and checking whether the continuation reproduces the file.
+// That behavior is verbatim memorization of training text, which a
+// high-order n-gram model exhibits exactly — a model whose training data
+// contains the file will regurgitate it from a matching prefix; a model
+// trained on the cleaned FreeSet cannot. Functional gains work the same
+// way: more in-domain Verilog in training makes module-shaped continuations
+// more likely, raising VerilogEval-style pass rates.
+package lm
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"freehw/internal/tokenizer"
+)
+
+// Config parameterizes a model.
+type Config struct {
+	Order       int     // n-gram order (context length = Order-1); default 10
+	Temperature float64 // sampling temperature; default 0.2
+	TopK        int     // restrict sampling to the K most likely tokens; 0 = all
+	Stop        string  // stop sequence; default "endmodule"
+	Seed        int64   // base RNG seed
+	QuantBits   int     // count quantization (0 = full precision)
+	// MinBackoff stops generation when no context of at least this length
+	// is known. It models the prompt-anchoring of real LLMs: a model that
+	// has never seen anything like the prompt emits nothing rather than
+	// drifting into verbatim replay of unrelated training text.
+	MinBackoff int
+}
+
+// DefaultConfig mirrors the paper's inference settings (temperature 0.2,
+// stop at the first "endmodule").
+func DefaultConfig() Config {
+	return Config{Order: 16, Temperature: 0.2, Stop: "endmodule", Seed: 1, MinBackoff: 3}
+}
+
+// node holds the next-token counts for one context.
+type node struct {
+	total uint64
+	toks  []int32
+	cnts  []uint32
+}
+
+func (n *node) add(tok int32, delta uint32) {
+	i := sort.Search(len(n.toks), func(i int) bool { return n.toks[i] >= tok })
+	if i < len(n.toks) && n.toks[i] == tok {
+		n.cnts[i] += delta
+	} else {
+		n.toks = append(n.toks, 0)
+		copy(n.toks[i+1:], n.toks[i:])
+		n.toks[i] = tok
+		n.cnts = append(n.cnts, 0)
+		copy(n.cnts[i+1:], n.cnts[i:])
+		n.cnts[i] = delta
+	}
+	n.total += uint64(delta)
+}
+
+// Model is a trained n-gram LM.
+type Model struct {
+	Name string
+	cfg  Config
+	tok  *tokenizer.Tokenizer
+	// tables[L] maps a hash of an L-token context to its counts.
+	tables []map[uint64]*node
+	tokens uint64 // total training tokens observed
+}
+
+// NewModel creates an empty model over a tokenizer.
+func NewModel(name string, tok *tokenizer.Tokenizer, cfg Config) *Model {
+	if cfg.Order <= 1 {
+		cfg.Order = 10
+	}
+	if cfg.Temperature == 0 {
+		cfg.Temperature = 0.2
+	}
+	if cfg.Stop == "" {
+		cfg.Stop = "endmodule"
+	}
+	m := &Model{Name: name, cfg: cfg, tok: tok, tables: make([]map[uint64]*node, cfg.Order)}
+	for i := range m.tables {
+		m.tables[i] = map[uint64]*node{}
+	}
+	return m
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// SetTemperature adjusts the sampling temperature (the paper evaluates at
+// 0.2 and 0.8 and keeps the better result).
+func (m *Model) SetTemperature(t float64) { m.cfg.Temperature = t }
+
+// Tokenizer returns the model's tokenizer.
+func (m *Model) Tokenizer() *tokenizer.Tokenizer { return m.tok }
+
+// TrainTokens returns the number of tokens seen during training.
+func (m *Model) TrainTokens() uint64 { return m.tokens }
+
+// Contexts returns the number of stored contexts (model "size").
+func (m *Model) Contexts() int {
+	n := 0
+	for _, t := range m.tables {
+		n += len(t)
+	}
+	return n
+}
+
+func ctxHash(ids []int32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, id := range ids {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(id >> s))
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// Train adds documents with weight 1.
+func (m *Model) Train(corpus []string) {
+	m.TrainWeighted(corpus, 1)
+}
+
+// Normalize collapses all whitespace runs to single spaces. The model
+// normalizes both training text and prompts so that a prompt cut from a
+// training file tokenizes identically to the file itself — the alignment
+// verbatim memorization depends on.
+func Normalize(text string) string {
+	return strings.Join(strings.Fields(text), " ")
+}
+
+// TrainWeighted adds documents, multiplying every count by weight. Continual
+// pre-training is implemented as TrainWeighted on a clone of the base model:
+// base counts stay, domain counts are merged in (§III-E).
+func (m *Model) TrainWeighted(corpus []string, weight uint32) {
+	if weight == 0 {
+		weight = 1
+	}
+	for _, docText := range corpus {
+		ids := m.tok.Encode(Normalize(docText))
+		for i := 0; i < len(ids); i++ {
+			maxL := m.cfg.Order - 1
+			if i < maxL {
+				maxL = i
+			}
+			for L := 0; L <= maxL; L++ {
+				key := ctxHash(ids[i-L : i])
+				nd := m.tables[L][key]
+				if nd == nil {
+					nd = &node{}
+					m.tables[L][key] = nd
+				}
+				nd.add(ids[i], weight)
+			}
+		}
+		m.tokens += uint64(len(ids))
+	}
+}
+
+// Clone deep-copies the model (used before continual pre-training so the
+// base model survives for the paper's base-vs-tuned comparisons).
+func (m *Model) Clone(name string) *Model {
+	c := NewModel(name, m.tok, m.cfg)
+	c.tokens = m.tokens
+	for L, t := range m.tables {
+		for k, nd := range t {
+			cp := &node{
+				total: nd.total,
+				toks:  append([]int32(nil), nd.toks...),
+				cnts:  append([]uint32(nil), nd.cnts...),
+			}
+			c.tables[L][k] = cp
+		}
+	}
+	return c
+}
+
+// Quantize returns a copy whose counts are quantized to bits bits per entry
+// (scaled to the node maximum), the reproduction's stand-in for 4-bit QLoRA
+// weight quantization. bits must be in [2,8].
+func (m *Model) Quantize(name string, bits int) *Model {
+	if bits < 2 {
+		bits = 2
+	}
+	if bits > 8 {
+		bits = 8
+	}
+	levels := uint32(1<<bits) - 1
+	q := NewModel(name, m.tok, m.cfg)
+	q.cfg.QuantBits = bits
+	q.tokens = m.tokens
+	for L, t := range m.tables {
+		for k, nd := range t {
+			var maxC uint32
+			for _, c := range nd.cnts {
+				if c > maxC {
+					maxC = c
+				}
+			}
+			cp := &node{toks: append([]int32(nil), nd.toks...), cnts: make([]uint32, len(nd.cnts))}
+			for i, c := range nd.cnts {
+				scaled := uint32(math.Round(float64(c) / float64(maxC) * float64(levels)))
+				if scaled == 0 {
+					scaled = 1
+				}
+				cp.cnts[i] = scaled
+				cp.total += uint64(scaled)
+			}
+			q.tables[L][k] = cp
+		}
+	}
+	return q
+}
+
+// lookup finds the counts node for the longest available context suffix,
+// refusing to back off below MinBackoff (see Config).
+func (m *Model) lookup(ids []int32) *node {
+	maxL := m.cfg.Order - 1
+	if len(ids) < maxL {
+		maxL = len(ids)
+	}
+	minL := m.cfg.MinBackoff
+	if minL > maxL {
+		minL = maxL
+	}
+	for L := maxL; L >= minL; L-- {
+		key := ctxHash(ids[len(ids)-L:])
+		if nd, ok := m.tables[L][key]; ok && nd.total > 0 {
+			return nd
+		}
+	}
+	return nil
+}
+
+// sampleFrom draws a token from nd under the model temperature and TopK.
+func (m *Model) sampleFrom(nd *node, rng *rand.Rand) int32 {
+	if len(nd.toks) == 0 {
+		return -1
+	}
+	temp := m.cfg.Temperature
+	if temp <= 0.01 {
+		// Greedy: max count, lowest id tiebreak.
+		best := 0
+		for i := 1; i < len(nd.cnts); i++ {
+			if nd.cnts[i] > nd.cnts[best] {
+				best = i
+			}
+		}
+		return nd.toks[best]
+	}
+	type cand struct {
+		tok int32
+		w   float64
+	}
+	cands := make([]cand, len(nd.toks))
+	for i := range nd.toks {
+		cands[i] = cand{tok: nd.toks[i], w: float64(nd.cnts[i])}
+	}
+	if m.cfg.TopK > 0 && len(cands) > m.cfg.TopK {
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].w != cands[j].w {
+				return cands[i].w > cands[j].w
+			}
+			return cands[i].tok < cands[j].tok
+		})
+		cands = cands[:m.cfg.TopK]
+	}
+	// p_i ∝ count_i^(1/T)
+	inv := 1 / temp
+	var sum float64
+	for i := range cands {
+		cands[i].w = math.Pow(cands[i].w, inv)
+		sum += cands[i].w
+	}
+	r := rng.Float64() * sum
+	for i := range cands {
+		r -= cands[i].w
+		if r <= 0 {
+			return cands[i].tok
+		}
+	}
+	return cands[len(cands)-1].tok
+}
+
+// Sample generates a continuation of prompt with an explicit sample seed, so
+// pass@k evaluation can draw k distinct, reproducible samples.
+func (m *Model) Sample(prompt string, maxTokens int, seed int64) string {
+	if maxTokens <= 0 {
+		maxTokens = 512
+	}
+	ids := m.tok.Encode(Normalize(prompt))
+	rng := rand.New(rand.NewSource(m.cfg.Seed ^ int64(ctxHash(ids)) ^ (seed * 0x9E3779B9)))
+	var out strings.Builder
+	stop := m.cfg.Stop
+	generated := make([]int32, 0, maxTokens)
+	for len(generated) < maxTokens {
+		nd := m.lookup(append(ids, generated...))
+		if nd == nil {
+			break
+		}
+		tok := m.sampleFrom(nd, rng)
+		if tok < 0 {
+			break
+		}
+		generated = append(generated, tok)
+		out.WriteString(m.tok.Token(int(tok)))
+		if stop != "" {
+			if idx := strings.Index(out.String(), stop); idx >= 0 {
+				return out.String()[:idx+len(stop)]
+			}
+		}
+	}
+	return out.String()
+}
+
+// Generate implements similarity.Generator: a single deterministic-per-
+// prompt continuation at the model's configured temperature.
+func (m *Model) Generate(prompt string, maxTokens int) string {
+	return m.Sample(prompt, maxTokens, 0)
+}
+
+// CrossEntropy computes the per-token cross-entropy (bits) of text under
+// the model with stupid back-off (factor 0.4 per level), a standard cheap
+// LM quality metric used in training reports.
+func (m *Model) CrossEntropy(text string) float64 {
+	ids := m.tok.Encode(Normalize(text))
+	if len(ids) == 0 {
+		return 0
+	}
+	const backoff = 0.4
+	var bits float64
+	vocab := float64(m.tok.VocabSize())
+	for i := range ids {
+		p := 1.0 / vocab * 1e-3 // floor
+		maxL := m.cfg.Order - 1
+		if i < maxL {
+			maxL = i
+		}
+		penalty := 1.0
+		for L := maxL; L >= 0; L-- {
+			nd, ok := m.tables[L][ctxHash(ids[i-L:i])]
+			if !ok || nd.total == 0 {
+				penalty *= backoff
+				continue
+			}
+			j := sort.Search(len(nd.toks), func(j int) bool { return nd.toks[j] >= ids[i] })
+			if j < len(nd.toks) && nd.toks[j] == ids[i] {
+				p = penalty * float64(nd.cnts[j]) / float64(nd.total)
+				break
+			}
+			penalty *= backoff
+		}
+		bits += -math.Log2(p)
+	}
+	return bits / float64(len(ids))
+}

@@ -1,0 +1,75 @@
+package lm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"freehw/internal/tokenizer"
+)
+
+// modelDTO is the gob wire form of a Model.
+type modelDTO struct {
+	Name   string
+	Cfg    Config
+	Vocab  []string
+	Tokens uint64
+	Tables []tableDTO
+}
+
+type tableDTO struct {
+	Keys   []uint64
+	Starts []uint32 // entry range per key: [Starts[i], Starts[i+1])
+	Totals []uint64
+	Toks   []int32
+	Cnts   []uint32
+}
+
+// Save serializes the model with encoding/gob.
+func (m *Model) Save(w io.Writer) error {
+	dto := modelDTO{Name: m.Name, Cfg: m.cfg, Vocab: m.tok.Vocab(), Tokens: m.tokens}
+	for _, t := range m.tables {
+		td := tableDTO{
+			Keys:   make([]uint64, 0, len(t)),
+			Starts: make([]uint32, 1, len(t)+1),
+			Totals: make([]uint64, 0, len(t)),
+		}
+		for k, nd := range t {
+			td.Keys = append(td.Keys, k)
+			td.Totals = append(td.Totals, nd.total)
+			td.Toks = append(td.Toks, nd.toks...)
+			td.Cnts = append(td.Cnts, nd.cnts...)
+			td.Starts = append(td.Starts, uint32(len(td.Toks)))
+		}
+		dto.Tables = append(dto.Tables, td)
+	}
+	return gob.NewEncoder(w).Encode(dto)
+}
+
+// Load deserializes a model saved with Save.
+func Load(r io.Reader) (*Model, error) {
+	var dto modelDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("lm: load: %w", err)
+	}
+	tok, err := tokenizer.New(dto.Vocab)
+	if err != nil {
+		return nil, fmt.Errorf("lm: load: %w", err)
+	}
+	m := NewModel(dto.Name, tok, dto.Cfg)
+	m.tokens = dto.Tokens
+	if len(dto.Tables) != len(m.tables) {
+		return nil, fmt.Errorf("lm: load: table count %d does not match order %d", len(dto.Tables), dto.Cfg.Order)
+	}
+	for L, td := range dto.Tables {
+		for i, k := range td.Keys {
+			lo, hi := td.Starts[i], td.Starts[i+1]
+			m.tables[L][k] = &node{
+				total: td.Totals[i],
+				toks:  append([]int32(nil), td.Toks[lo:hi]...),
+				cnts:  append([]uint32(nil), td.Cnts[lo:hi]...),
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,151 @@
+// Package similarity implements the paper's copyright-infringement metric
+// (§III-A): generated code is compared against a corpus of copyright-
+// protected files using cosine similarity over term-frequency vectors; a
+// score of 0.8 or higher marks the generation as originating from the
+// protected corpus.
+package similarity
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// DefaultThreshold is the paper's violation threshold.
+const DefaultThreshold = 0.8
+
+// Vector is a sparse TF vector keyed by term hash, pre-normalized to unit
+// length at construction.
+type Vector struct {
+	terms map[string]float64
+	norm  float64
+}
+
+// Tokenize splits code into comparison terms: identifiers/keywords, numbers,
+// and operator glyphs. Whitespace and formatting differences vanish, so
+// reformatted copies still match.
+func Tokenize(text string) []string {
+	var out []string
+	i := 0
+	n := len(text)
+	isWord := func(c byte) bool {
+		return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '\''
+	}
+	for i < n {
+		c := text[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isWord(c):
+			start := i
+			for i < n && isWord(text[i]) {
+				i++
+			}
+			out = append(out, strings.ToLower(text[start:i]))
+		default:
+			out = append(out, string(c))
+			i++
+		}
+	}
+	return out
+}
+
+// NewVector builds a unit-normalized TF vector over word unigrams and
+// bigrams. Bigrams give the metric sensitivity to local structure so that
+// different modules built from the same keyword vocabulary do not collide.
+func NewVector(text string) Vector {
+	toks := Tokenize(text)
+	terms := make(map[string]float64, len(toks)*2)
+	for i, t := range toks {
+		terms[t]++
+		if i+1 < len(toks) {
+			terms[t+"\x00"+toks[i+1]]++
+		}
+	}
+	var sum float64
+	for _, f := range terms {
+		sum += f * f
+	}
+	return Vector{terms: terms, norm: math.Sqrt(sum)}
+}
+
+// Cosine returns the cosine similarity in [0,1].
+func Cosine(a, b Vector) float64 {
+	if a.norm == 0 || b.norm == 0 {
+		return 0
+	}
+	small, large := a.terms, b.terms
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	var dot float64
+	for t, f := range small {
+		if g, ok := large[t]; ok {
+			dot += f * g
+		}
+	}
+	return dot / (a.norm * b.norm)
+}
+
+// Corpus is an indexed collection of protected documents.
+type Corpus struct {
+	names   []string
+	vectors []Vector
+}
+
+// NewCorpus builds a corpus; names and texts run in parallel.
+func NewCorpus(names, texts []string) *Corpus {
+	c := &Corpus{}
+	for i, text := range texts {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		c.names = append(c.names, name)
+		c.vectors = append(c.vectors, NewVector(text))
+	}
+	return c
+}
+
+// Add appends one document.
+func (c *Corpus) Add(name, text string) {
+	c.names = append(c.names, name)
+	c.vectors = append(c.vectors, NewVector(text))
+}
+
+// Len returns the number of indexed documents.
+func (c *Corpus) Len() int { return len(c.vectors) }
+
+// Match is the best corpus match for a query.
+type Match struct {
+	Name  string
+	Index int
+	Score float64
+}
+
+// Best returns the closest corpus document to the query text.
+func (c *Corpus) Best(text string) Match {
+	q := NewVector(text)
+	best := Match{Index: -1}
+	for i, v := range c.vectors {
+		s := Cosine(q, v)
+		if s > best.Score {
+			best = Match{Name: c.names[i], Index: i, Score: s}
+		}
+	}
+	return best
+}
+
+// TopK returns the k closest matches, best first.
+func (c *Corpus) TopK(text string, k int) []Match {
+	q := NewVector(text)
+	ms := make([]Match, 0, len(c.vectors))
+	for i, v := range c.vectors {
+		ms = append(ms, Match{Name: c.names[i], Index: i, Score: Cosine(q, v)})
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Score > ms[j].Score })
+	if k < len(ms) {
+		ms = ms[:k]
+	}
+	return ms
+}

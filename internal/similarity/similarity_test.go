@@ -1,0 +1,197 @@
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCosineIdentical(t *testing.T) {
+	v := NewVector("module m (input a, output y); assign y = ~a; endmodule")
+	if got := Cosine(v, v); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self cosine = %v", got)
+	}
+}
+
+func TestCosineDisjoint(t *testing.T) {
+	a := NewVector("alpha beta gamma")
+	b := NewVector("delta epsilon zeta")
+	if got := Cosine(a, b); got != 0 {
+		t.Fatalf("disjoint cosine = %v", got)
+	}
+}
+
+func TestCosineEmpty(t *testing.T) {
+	e := NewVector("")
+	a := NewVector("x")
+	if got := Cosine(e, a); got != 0 {
+		t.Fatalf("empty cosine = %v", got)
+	}
+}
+
+func TestCosineFormattingInvariance(t *testing.T) {
+	a := NewVector("assign y = a + b;")
+	b := NewVector("assign   y=a+b ;")
+	if got := Cosine(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("formatting should not matter: %v", got)
+	}
+}
+
+func TestCosineDiscriminatesModules(t *testing.T) {
+	counter := `module counter(input clk, rst, output reg [7:0] q);
+  always @(posedge clk) if (rst) q <= 0; else q <= q + 1; endmodule`
+	shifter := `module shifter(input clk, input d, output reg [7:0] q);
+  always @(posedge clk) q <= {q[6:0], d}; endmodule`
+	near := strings.Replace(counter, "counter", "counter2", 1)
+	c := NewVector(counter)
+	if s := Cosine(c, NewVector(near)); s < 0.9 {
+		t.Fatalf("renamed copy similarity too low: %v", s)
+	}
+	if s := Cosine(c, NewVector(shifter)); s > 0.8 {
+		t.Fatalf("different modules too similar: %v", s)
+	}
+}
+
+func TestCorpusBest(t *testing.T) {
+	corpus := NewCorpus(
+		[]string{"a", "b", "c"},
+		[]string{
+			"module a(input x, output y); assign y = x; endmodule",
+			"module b(input clk, output reg [3:0] q); always @(posedge clk) q <= q + 1; endmodule",
+			"module c(input [7:0] d, output [7:0] q); assign q = ~d; endmodule",
+		})
+	m := corpus.Best("module b2(input clk, output reg [3:0] q); always @(posedge clk) q <= q + 1; endmodule")
+	if m.Name != "b" {
+		t.Fatalf("best = %+v", m)
+	}
+	if m.Score < 0.9 {
+		t.Fatalf("score too low: %v", m.Score)
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	corpus := NewCorpus(nil, []string{"a b c d", "a b x y", "p q r s"})
+	ms := corpus.TopK("a b c d", 3)
+	if len(ms) != 3 {
+		t.Fatalf("got %d matches", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Score > ms[i-1].Score {
+			t.Fatalf("not sorted: %+v", ms)
+		}
+	}
+	if ms[0].Index != 0 {
+		t.Fatalf("wrong best: %+v", ms[0])
+	}
+}
+
+func TestBuildPrompts(t *testing.T) {
+	// A protected file with a copyright header comment: the header must not
+	// leak into the prompt.
+	text := `// Copyright (c) MegaChip. All rights reserved. CONFIDENTIAL.
+module secret_alu(input [31:0] a, b, input [2:0] op, output reg [31:0] y);
+  always @* case (op)
+    3'd0: y = a + b;
+    3'd1: y = a - b;
+    default: y = 0;
+  endcase
+endmodule`
+	texts := make([]string, 5)
+	names := make([]string, 5)
+	for i := range texts {
+		texts[i] = strings.Replace(text, "secret_alu", fmt.Sprintf("secret_alu_%d", i), 1)
+		names[i] = fmt.Sprintf("f%d", i)
+	}
+	cfg := DefaultBenchmarkConfig()
+	cfg.NumPrompts = 3
+	prompts := BuildPrompts(names, texts, cfg)
+	if len(prompts) != 3 {
+		t.Fatalf("got %d prompts", len(prompts))
+	}
+	for _, p := range prompts {
+		if strings.Contains(p.Text, "Copyright") || strings.Contains(p.Text, "CONFIDENTIAL") {
+			t.Fatalf("copyright comment leaked into prompt: %q", p.Text)
+		}
+		if n := len(strings.Fields(p.Text)); n > cfg.MaxPromptWords {
+			t.Fatalf("prompt too long: %d words", n)
+		}
+	}
+}
+
+// echoGen returns a fixed continuation regardless of the prompt.
+type echoGen struct{ text string }
+
+func (g echoGen) Generate(prompt string, maxTokens int) string { return g.text }
+
+func TestRunBenchmarkViolationDetection(t *testing.T) {
+	protected := `module secret(input [7:0] k, output [7:0] y);
+  wire [7:0] stage1 = k ^ 8'h5A;
+  wire [7:0] stage2 = {stage1[3:0], stage1[7:4]};
+  assign y = stage2 + 8'd17;
+endmodule`
+	corpus := NewCorpus([]string{"secret.v"}, []string{protected})
+	cfg := DefaultBenchmarkConfig()
+	cfg.NumPrompts = 1
+	prompts := BuildPrompts([]string{"secret.v"}, []string{protected}, cfg)
+
+	// A model that regurgitates the protected file violates.
+	leak := RunBenchmark("leaky", echoGen{protected}, corpus, prompts, cfg)
+	if leak.NumViolations != 1 {
+		t.Fatalf("leaky model should violate: %+v", leak.Results[0].Best)
+	}
+	// A model producing unrelated code does not.
+	clean := RunBenchmark("clean", echoGen{"always @(posedge clk) count <= count + 1; // nothing alike"}, corpus, prompts, cfg)
+	if clean.NumViolations != 0 {
+		t.Fatalf("clean model should not violate: score=%v", clean.Results[0].Best.Score)
+	}
+	if leak.ViolationRate() != 1 || clean.ViolationRate() != 0 {
+		t.Fatal("violation rates wrong")
+	}
+}
+
+// Property: cosine is symmetric and within [0, 1+eps].
+func TestCosineProperties(t *testing.T) {
+	fn := func(a, b string) bool {
+		va, vb := NewVector(a), NewVector(b)
+		s1, s2 := Cosine(va, vb), Cosine(vb, va)
+		return math.Abs(s1-s2) < 1e-9 && s1 >= 0 && s1 <= 1+1e-9
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: self-similarity of non-empty text is 1.
+func TestCosineSelfProperty(t *testing.T) {
+	fn := func(words []string) bool {
+		text := strings.Join(words, " ")
+		v := NewVector(text)
+		if strings.TrimSpace(text) == "" {
+			return Cosine(v, v) == 0
+		}
+		return math.Abs(Cosine(v, v)-1) < 1e-9
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCorpusBest(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	texts := make([]string, 500)
+	for i := range texts {
+		var sb strings.Builder
+		for j := 0; j < 150; j++ {
+			fmt.Fprintf(&sb, "tok%d ", rng.Intn(400))
+		}
+		texts[i] = sb.String()
+	}
+	corpus := NewCorpus(nil, texts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		corpus.Best(texts[i%len(texts)])
+	}
+}

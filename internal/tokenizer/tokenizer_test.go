@@ -1,0 +1,150 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var verilogSample = []string{
+	`module counter(input clk, input rst, output reg [7:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 8'd0;
+    else q <= q + 1;
+  end
+endmodule`,
+	`module mux2(input a, b, sel, output y);
+  assign y = sel ? b : a;
+endmodule`,
+	`module adder(input [7:0] a, b, output [8:0] sum);
+  assign sum = a + b;
+endmodule`,
+}
+
+func trained(t testing.TB) *Tokenizer {
+	t.Helper()
+	return Train(verilogSample, TrainConfig{VocabSize: 400, MaxBytes: 1 << 16})
+}
+
+func TestRoundTrip(t *testing.T) {
+	tok := trained(t)
+	for _, text := range verilogSample {
+		if got := tok.Decode(tok.Encode(text)); got != text {
+			t.Fatalf("round trip failed:\n%q\n%q", text, got)
+		}
+	}
+}
+
+func TestRoundTripUnseenBytes(t *testing.T) {
+	tok := trained(t)
+	odd := "completely unseen \x00\x01\xff bytes λ and text"
+	if got := tok.Decode(tok.Encode(odd)); got != odd {
+		t.Fatalf("unseen byte round trip failed: %q", got)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	tok := trained(t)
+	r := tok.CompressionRatio(verilogSample[0])
+	if r <= 1.5 {
+		t.Fatalf("BPE should compress trained-domain text, ratio = %v", r)
+	}
+	if tok.VocabSize() <= 256 {
+		t.Fatal("no merges learned")
+	}
+}
+
+func TestLearnsDomainTokens(t *testing.T) {
+	tok := trained(t)
+	joined := strings.Join(tok.Vocab(), "\x00")
+	// Common Verilog fragments should become single tokens.
+	for _, want := range []string{"module", "input"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("vocabulary should contain a token covering %q", want)
+		}
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	a := Train(verilogSample, TrainConfig{VocabSize: 300})
+	b := Train(verilogSample, TrainConfig{VocabSize: 300})
+	va, vb := a.Vocab(), b.Vocab()
+	if len(va) != len(vb) {
+		t.Fatalf("sizes differ: %d vs %d", len(va), len(vb))
+	}
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("vocab diverges at %d: %q vs %q", i, va[i], vb[i])
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]string{"a"}); err == nil {
+		t.Fatal("short vocab must be rejected")
+	}
+	tok := trained(t)
+	clone, err := New(tok.Vocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := verilogSample[1]
+	if clone.Decode(clone.Encode(text)) != text {
+		t.Fatal("cloned tokenizer broken")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	tok := trained(t)
+	if ids := tok.Encode(""); len(ids) != 0 {
+		t.Fatalf("encode empty = %v", ids)
+	}
+	if got := tok.Decode(nil); got != "" {
+		t.Fatalf("decode nil = %q", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tok := trained(t)
+	s := tok.Stats()
+	if s.VocabSize != tok.VocabSize() || s.MaxTokenLen < 2 || s.MeanTokenLen <= 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	longest := tok.LongestTokens(5)
+	if len(longest) != 5 || len(longest[0]) < len(longest[4]) {
+		t.Fatalf("longest tokens wrong: %q", longest)
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary byte strings.
+func TestRoundTripProperty(t *testing.T) {
+	tok := trained(t)
+	fn := func(b []byte) bool {
+		s := string(b)
+		return tok.Decode(tok.Encode(s)) == s
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: token count never exceeds byte count.
+func TestTokenCountBoundProperty(t *testing.T) {
+	tok := trained(t)
+	fn := func(b []byte) bool {
+		return len(tok.Encode(string(b))) <= len(b)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	tok := Train(verilogSample, TrainConfig{VocabSize: 1024})
+	text := strings.Repeat(verilogSample[0], 50)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok.Encode(text)
+	}
+}

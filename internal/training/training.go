@@ -1,0 +1,166 @@
+// Package training orchestrates tokenizer training, base-model
+// pre-training, and continual pre-training (§III-E of the paper), with the
+// resource caps that keep this CPU reproduction tractable (the analogue of
+// the paper's single-A100 budget, QLoRA, and max-sequence-length limits).
+package training
+
+import (
+	"fmt"
+
+	"freehw/internal/lm"
+	"freehw/internal/tokenizer"
+)
+
+// Config bounds one training run.
+type Config struct {
+	// TokenizerVocab is the BPE vocabulary size.
+	TokenizerVocab int
+	// LM is the model configuration (order, temperature, stop).
+	LM lm.Config
+	// Epochs is the number of passes over the dataset (paper: 1 epoch for
+	// continual pre-training); implemented as count weight.
+	Epochs int
+	// MaxDocBytes truncates individual documents, mirroring the paper's
+	// 2048-token max sequence length.
+	MaxDocBytes int
+	// MaxCorpusBytes caps the total training sample; documents are taken
+	// in deterministic stride order until the budget is spent.
+	MaxCorpusBytes int
+	// QuantBits, when nonzero, quantizes the final model (paper: 4-bit).
+	QuantBits int
+}
+
+// DefaultConfig mirrors the paper's setup at reproduction scale.
+func DefaultConfig() Config {
+	return Config{
+		TokenizerVocab: 1024,
+		LM:             lm.DefaultConfig(),
+		Epochs:         1,
+		MaxDocBytes:    8 << 10,
+		MaxCorpusBytes: 400 << 10,
+		QuantBits:      0,
+	}
+}
+
+// Sample selects documents under the byte budgets with a stride so the
+// sample spans the whole dataset rather than its head.
+func Sample(docs []string, maxDocBytes, maxCorpusBytes int) []string {
+	if maxDocBytes <= 0 {
+		maxDocBytes = 8 << 10
+	}
+	if maxCorpusBytes <= 0 {
+		maxCorpusBytes = 400 << 10
+	}
+	if len(docs) == 0 {
+		return nil
+	}
+	// Estimate how many docs fit, then stride.
+	var avg int
+	for _, d := range docs {
+		n := len(d)
+		if n > maxDocBytes {
+			n = maxDocBytes
+		}
+		avg += n
+	}
+	avg /= len(docs)
+	if avg == 0 {
+		avg = 1
+	}
+	fit := maxCorpusBytes / avg
+	if fit < 1 {
+		fit = 1
+	}
+	stride := len(docs) / fit
+	if stride < 1 {
+		stride = 1
+	}
+	var out []string
+	budget := maxCorpusBytes
+	for i := 0; i < len(docs) && budget > 0; i += stride {
+		d := docs[i]
+		if len(d) > maxDocBytes {
+			d = d[:maxDocBytes]
+		}
+		out = append(out, d)
+		budget -= len(d)
+	}
+	return out
+}
+
+// Report summarizes a training run.
+type Report struct {
+	Model       string
+	Docs        int
+	TrainTokens uint64
+	Contexts    int
+	HeldOutCE   float64 // cross-entropy (bits/token) on held-out text
+	QuantBits   int
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s: %d docs, %d tokens, %d contexts, held-out CE %.2f bits/token",
+		r.Model, r.Docs, r.TrainTokens, r.Contexts, r.HeldOutCE)
+}
+
+// TrainTokenizer learns a BPE vocabulary over a mixed corpus.
+func TrainTokenizer(corpora [][]string, cfg Config) *tokenizer.Tokenizer {
+	var mixed []string
+	for _, c := range corpora {
+		mixed = append(mixed, c...)
+	}
+	vocab := cfg.TokenizerVocab
+	if vocab <= 0 {
+		vocab = 1024
+	}
+	return tokenizer.Train(mixed, tokenizer.TrainConfig{VocabSize: vocab, MaxBytes: 1 << 20})
+}
+
+// TrainBase pre-trains a base model on general text plus an (uncurated) web
+// slice of Verilog — the pre-training exposure that gives foundation models
+// both their limited Verilog skill and their baseline violation rates.
+func TrainBase(name string, tok *tokenizer.Tokenizer, general, webSlice []string, cfg Config) (*lm.Model, Report) {
+	m := lm.NewModel(name, tok, cfg.LM)
+	docs := append(Sample(general, cfg.MaxDocBytes, cfg.MaxCorpusBytes),
+		Sample(webSlice, cfg.MaxDocBytes, cfg.MaxCorpusBytes)...)
+	m.Train(docs)
+	out := m
+	if cfg.QuantBits > 0 {
+		out = m.Quantize(name, cfg.QuantBits)
+	}
+	rep := Report{Model: name, Docs: len(docs), TrainTokens: out.TrainTokens(), Contexts: out.Contexts(), QuantBits: cfg.QuantBits}
+	return out, rep
+}
+
+// ContinualPretrain clones base and continues training on the dataset —
+// the paper's fine-tuning procedure (SFTTrainer, 1 epoch, full dataset).
+func ContinualPretrain(base *lm.Model, name string, dataset []string, cfg Config) (*lm.Model, Report) {
+	epochs := cfg.Epochs
+	if epochs <= 0 {
+		epochs = 1
+	}
+	tuned := base.Clone(name)
+	docs := Sample(dataset, cfg.MaxDocBytes, cfg.MaxCorpusBytes)
+	tuned.TrainWeighted(docs, uint32(epochs))
+	out := tuned
+	if cfg.QuantBits > 0 {
+		out = tuned.Quantize(name, cfg.QuantBits)
+	}
+	rep := Report{Model: name, Docs: len(docs), TrainTokens: out.TrainTokens(), Contexts: out.Contexts(), QuantBits: cfg.QuantBits}
+	return out, rep
+}
+
+// HeldOutCE fills in the report's held-out cross-entropy.
+func HeldOutCE(m *lm.Model, heldOut []string) float64 {
+	if len(heldOut) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range heldOut {
+		if len(d) > 4096 {
+			d = d[:4096]
+		}
+		sum += m.CrossEntropy(d)
+	}
+	return sum / float64(len(heldOut))
+}

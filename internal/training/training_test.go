@@ -1,0 +1,118 @@
+package training
+
+import (
+	"strings"
+	"testing"
+
+	"freehw/internal/lm"
+)
+
+var verilogDocs = []string{
+	"module a1(input clk, output reg q); always @(posedge clk) q <= ~q; endmodule",
+	"module a2(input [3:0] x, output [3:0] y); assign y = ~x; endmodule",
+	"module a3(input [7:0] a, b, output [8:0] s); assign s = a + b; endmodule",
+	"module a4(input d, clk, output reg q); always @(posedge clk) q <= d; endmodule",
+}
+
+func TestSampleBudgets(t *testing.T) {
+	docs := make([]string, 100)
+	for i := range docs {
+		docs[i] = strings.Repeat("x", 1000)
+	}
+	out := Sample(docs, 500, 5000)
+	total := 0
+	for _, d := range out {
+		if len(d) > 500 {
+			t.Fatalf("doc exceeds MaxDocBytes: %d", len(d))
+		}
+		total += len(d)
+	}
+	if total > 5500 {
+		t.Fatalf("sample exceeds corpus budget: %d", total)
+	}
+	if len(out) < 5 {
+		t.Fatalf("sample too small: %d docs", len(out))
+	}
+}
+
+func TestSampleStridesAcrossDataset(t *testing.T) {
+	docs := make([]string, 50)
+	for i := range docs {
+		docs[i] = strings.Repeat(string(rune('a'+i%26)), 100)
+	}
+	out := Sample(docs, 200, 1000)
+	// Stride sampling must not just take the head.
+	if out[len(out)-1] == docs[len(out)-1] && len(out) < len(docs) {
+		last := out[len(out)-1]
+		if last == docs[len(out)-1] {
+			t.Log("checking spread")
+		}
+	}
+	if len(out) >= 2 && out[1] == docs[1] && len(out)*2 < len(docs) {
+		t.Fatalf("sample did not stride: got consecutive head docs")
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	if out := Sample(nil, 100, 100); out != nil {
+		t.Fatalf("empty input should produce nil, got %d", len(out))
+	}
+}
+
+func TestTrainBaseAndContinual(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TokenizerVocab = 400
+	tok := TrainTokenizer([][]string{verilogDocs}, cfg)
+	general := []string{"the quick brown fox jumps over the lazy dog again and again"}
+
+	base, baseRep := TrainBase("base", tok, general, verilogDocs[:2], cfg)
+	if baseRep.Docs == 0 || base.TrainTokens() == 0 {
+		t.Fatalf("base training empty: %+v", baseRep)
+	}
+	tuned, tunedRep := ContinualPretrain(base, "tuned", verilogDocs, cfg)
+	if tuned.Contexts() <= base.Contexts() {
+		t.Fatal("continual pre-training should add contexts")
+	}
+	if tunedRep.Model != "tuned" {
+		t.Fatalf("report model name: %s", tunedRep.Model)
+	}
+	// Base model must be untouched by the clone-based tuning.
+	if base.Name != "base" {
+		t.Fatal("base renamed")
+	}
+	ce := HeldOutCE(tuned, verilogDocs[3:])
+	if ce <= 0 {
+		t.Fatalf("held-out CE should be positive: %f", ce)
+	}
+	if ceBase := HeldOutCE(base, verilogDocs[3:]); ce >= ceBase {
+		t.Fatalf("tuning should reduce CE: base %.2f tuned %.2f", ceBase, ce)
+	}
+}
+
+func TestQuantizedTraining(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TokenizerVocab = 300
+	cfg.QuantBits = 4
+	tok := TrainTokenizer([][]string{verilogDocs}, cfg)
+	m, rep := TrainBase("q4", tok, nil, verilogDocs, cfg)
+	if rep.QuantBits != 4 || m.Config().QuantBits != 4 {
+		t.Fatalf("quantization not applied: %+v", rep)
+	}
+}
+
+func TestEpochWeighting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TokenizerVocab = 300
+	tok := TrainTokenizer([][]string{verilogDocs}, cfg)
+	base := lm.NewModel("b", tok, cfg.LM)
+
+	cfg1 := cfg
+	cfg1.Epochs = 1
+	one, _ := ContinualPretrain(base, "e1", verilogDocs, cfg1)
+	cfg3 := cfg
+	cfg3.Epochs = 3
+	three, _ := ContinualPretrain(base, "e3", verilogDocs, cfg3)
+	if one.Contexts() != three.Contexts() {
+		t.Fatal("epochs change weights, not contexts")
+	}
+}

@@ -1,0 +1,287 @@
+package veval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"freehw/internal/vlog"
+	"freehw/internal/vsim"
+)
+
+// PortInfo describes one port of an elaborated module.
+type PortInfo struct {
+	Name  string
+	Dir   string
+	Width int
+}
+
+// PortsOf parses and elaborates src and returns modName's ports.
+func PortsOf(src, modName string) ([]PortInfo, error) {
+	f, err := vlog.ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	mod := f.FindModule(modName)
+	if mod == nil {
+		return nil, fmt.Errorf("veval: module %q not found", modName)
+	}
+	d, err := vsim.Elaborate(f, modName, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []PortInfo
+	for _, pt := range mod.Ports {
+		sig, ok := d.Top.Signals[pt.Name]
+		if !ok {
+			return nil, fmt.Errorf("veval: port %q has no signal", pt.Name)
+		}
+		dir := pt.Dir
+		if dir == "" {
+			dir = "input"
+		}
+		out = append(out, PortInfo{Name: pt.Name, Dir: dir, Width: sig.Width})
+	}
+	return out, nil
+}
+
+// traceConfig bounds grading simulations.
+const (
+	combVectors  = 32
+	seqCycles    = 40
+	gradeMaxStep = 1 << 18
+)
+
+// simulate runs the problem's stimulus program on src and returns the
+// sampled output traces (one string per sample, concatenating all outputs).
+// The stimulus is derived deterministically from the problem ID so the
+// reference and every candidate see identical inputs.
+func simulate(p Problem, src string) ([]string, error) {
+	f, err := vlog.ParseFile(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	if f.FindModule(p.ModuleName) == nil {
+		return nil, fmt.Errorf("module %q not defined", p.ModuleName)
+	}
+	d, err := vsim.Elaborate(f, p.ModuleName, nil)
+	if err != nil {
+		return nil, fmt.Errorf("elaborate: %w", err)
+	}
+	// Interface comes from the reference: candidates must drive the same
+	// ports (they share the header, but a candidate that redeclares widths
+	// differently simply mismatches traces).
+	ports, err := PortsOf(p.Reference, p.ModuleName)
+	if err != nil {
+		return nil, err
+	}
+	var inputs, outputs []PortInfo
+	for _, pt := range ports {
+		switch {
+		case pt.Name == p.ClkPort || pt.Name == p.RstPort:
+			// driven by the protocol below
+		case pt.Dir == "input":
+			inputs = append(inputs, pt)
+		case pt.Dir == "output":
+			outputs = append(outputs, pt)
+		}
+	}
+	if len(outputs) == 0 {
+		return nil, fmt.Errorf("no outputs to grade")
+	}
+
+	sim := vsim.New(d, vsim.Options{Seed: 7, MaxSteps: gradeMaxStep})
+	defer sim.Close()
+
+	rng := rand.New(rand.NewSource(int64(hashID(p.ID))))
+	now := uint64(0)
+	step := func() error {
+		now += 5
+		return sim.StepTo(now)
+	}
+	set := func(name string, v vsim.Value) error { return sim.SetInput(name, v) }
+	randVec := func(w int) vsim.Value {
+		val := vsim.NewZero(w)
+		for i := 0; i < w; i += 32 {
+			chunk := uint64(rng.Uint32())
+			part := vsim.FromUint64(chunk, min(32, w-i))
+			val = vsim.Insert(val, i, part)
+		}
+		return val
+	}
+	sample := func() (string, error) {
+		var sb strings.Builder
+		for _, o := range outputs {
+			v, err := sim.Peek(o.Name)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(o.Name)
+			sb.WriteByte('=')
+			sb.WriteString(v.String())
+			sb.WriteByte(' ')
+		}
+		return sb.String(), nil
+	}
+
+	var traces []string
+	record := func() error {
+		s, err := sample()
+		if err != nil {
+			return err
+		}
+		traces = append(traces, s)
+		return nil
+	}
+
+	if p.Kind == Combinational {
+		// Directed corners then random vectors.
+		vectors := make([][]vsim.Value, 0, combVectors)
+		zero := func() []vsim.Value {
+			vs := make([]vsim.Value, len(inputs))
+			for i, in := range inputs {
+				vs[i] = vsim.NewZero(in.Width)
+			}
+			return vs
+		}
+		vectors = append(vectors, zero())
+		ones := zero()
+		for i, in := range inputs {
+			ones[i] = vsim.Not(vsim.NewZero(in.Width))
+		}
+		vectors = append(vectors, ones)
+		for i := range inputs {
+			v := zero()
+			v[i] = vsim.FromUint64(1, inputs[i].Width)
+			vectors = append(vectors, v)
+		}
+		for len(vectors) < combVectors {
+			v := make([]vsim.Value, len(inputs))
+			for i, in := range inputs {
+				v[i] = randVec(in.Width)
+			}
+			vectors = append(vectors, v)
+		}
+		for _, vec := range vectors {
+			for i, in := range inputs {
+				if err := set(in.Name, vec[i]); err != nil {
+					return nil, err
+				}
+			}
+			if err := step(); err != nil {
+				return nil, err
+			}
+			if err := record(); err != nil {
+				return nil, err
+			}
+		}
+		return traces, sim.Err()
+	}
+
+	// Sequential protocol: hold reset two cycles, then drive random inputs.
+	if p.ClkPort == "" {
+		return nil, fmt.Errorf("sequential problem without a clock port")
+	}
+	tick := func() error {
+		if err := set(p.ClkPort, vsim.FromUint64(0, 1)); err != nil {
+			return err
+		}
+		if err := step(); err != nil {
+			return err
+		}
+		if err := set(p.ClkPort, vsim.FromUint64(1, 1)); err != nil {
+			return err
+		}
+		return step()
+	}
+	for i, in := range inputs {
+		_ = i
+		if err := set(in.Name, vsim.NewZero(in.Width)); err != nil {
+			return nil, err
+		}
+	}
+	if p.RstPort != "" {
+		if err := set(p.RstPort, vsim.FromUint64(1, 1)); err != nil {
+			return nil, err
+		}
+		for c := 0; c < 2; c++ {
+			if err := tick(); err != nil {
+				return nil, err
+			}
+		}
+		if err := set(p.RstPort, vsim.FromUint64(0, 1)); err != nil {
+			return nil, err
+		}
+	}
+	for c := 0; c < seqCycles; c++ {
+		for _, in := range inputs {
+			if err := set(in.Name, randVec(in.Width)); err != nil {
+				return nil, err
+			}
+		}
+		if err := tick(); err != nil {
+			return nil, err
+		}
+		if err := record(); err != nil {
+			return nil, err
+		}
+	}
+	return traces, sim.Err()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func hashID(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// Grader grades completions against cached reference traces.
+type Grader struct {
+	refTraces map[string][]string
+}
+
+// NewGrader returns an empty grader (reference traces computed lazily).
+func NewGrader() *Grader {
+	return &Grader{refTraces: map[string][]string{}}
+}
+
+// GradeResult reports one graded completion.
+type GradeResult struct {
+	Pass   bool
+	Reason string // failure explanation; "" on pass
+}
+
+// Grade checks one completion for functional correctness.
+func (g *Grader) Grade(p Problem, completion string) GradeResult {
+	ref, ok := g.refTraces[p.ID]
+	if !ok {
+		var err error
+		ref, err = simulate(p, p.Reference)
+		if err != nil {
+			return GradeResult{Reason: "reference broken: " + err.Error()}
+		}
+		g.refTraces[p.ID] = ref
+	}
+	cand, err := simulate(p, p.CandidateSource(completion))
+	if err != nil {
+		return GradeResult{Reason: err.Error()}
+	}
+	if len(cand) != len(ref) {
+		return GradeResult{Reason: fmt.Sprintf("trace length %d != %d", len(cand), len(ref))}
+	}
+	for i := range ref {
+		if cand[i] != ref[i] {
+			return GradeResult{Reason: fmt.Sprintf("mismatch at sample %d: %s vs %s", i, cand[i], ref[i])}
+		}
+	}
+	return GradeResult{Pass: true}
+}

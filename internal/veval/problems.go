@@ -1,0 +1,175 @@
+// Package veval reproduces the VerilogEval-Human benchmark structure the
+// paper evaluates on (§III-E2): 156 problems, each a natural-language
+// description plus a module header the model must complete; generated
+// candidates are graded by simulation against a reference implementation,
+// and results are scored with the unbiased pass@k estimator (Eq. 1).
+package veval
+
+import (
+	"fmt"
+	"strings"
+
+	"freehw/internal/corpus"
+)
+
+// ProblemKind selects the stimulus strategy.
+type ProblemKind int
+
+const (
+	Combinational ProblemKind = iota
+	Sequential
+)
+
+// Problem is one benchmark entry.
+type Problem struct {
+	ID          string
+	Family      string
+	Width       int // 0 for fixed-interface families
+	Description string
+	ModuleName  string
+	Reference   string // canonical reference source
+	Kind        ProblemKind
+	ClkPort     string // "" for combinational
+	RstPort     string // "" when the design has no reset
+}
+
+// Prompt renders the model prompt exactly as the paper does: the English
+// description, then the module header (through the port list) on the next
+// lines. The header is a verbatim prefix of the reference so that prompt
+// tokens align with corpus tokens.
+func (p Problem) Prompt() string {
+	return "// " + p.Description + "\n" + headerPrefix(p.Reference)
+}
+
+// headerPrefix returns the reference source through the closing ");" of the
+// module header.
+func headerPrefix(src string) string {
+	i := strings.Index(src, ");")
+	if i < 0 {
+		return src
+	}
+	return src[:i+2]
+}
+
+// CandidateSource assembles a full module from the prompt header and a
+// model completion.
+func (p Problem) CandidateSource(completion string) string {
+	return headerPrefix(p.Reference) + "\n" + completion
+}
+
+// familyMeta carries the per-family description templates and grading info.
+var familyMeta = map[string]struct {
+	widthParam bool
+	kind       ProblemKind
+	clk, rst   string
+	describe   func(w int) string
+}{
+	"counter": {true, Sequential, "clk", "rst", func(w int) string {
+		return fmt.Sprintf("Design a %d-bit synchronous up-counter. On each rising clock edge the counter increments; when rst is high it synchronously clears to zero.", w)
+	}},
+	"adder": {true, Combinational, "", "", func(w int) string {
+		return fmt.Sprintf("Design a combinational %d-bit adder that outputs the %d-bit sum (including the carry) of inputs a and b.", w, w+1)
+	}},
+	"subtractor": {true, Combinational, "", "", func(w int) string {
+		return fmt.Sprintf("Design a combinational %d-bit subtractor producing diff = a - b and a borrow flag.", w)
+	}},
+	"mux2": {true, Combinational, "", "", func(w int) string {
+		return fmt.Sprintf("Design a 2-to-1 multiplexer for %d-bit data: output a when sel is 0, b when sel is 1.", w)
+	}},
+	"mux4": {true, Combinational, "", "", func(w int) string {
+		return fmt.Sprintf("Design a 4-to-1 multiplexer for %d-bit data selecting among d0..d3 with a 2-bit select.", w)
+	}},
+	"decoder": {false, Combinational, "", "", func(int) string {
+		return "Design a 3-to-8 decoder with an enable input: output y has exactly the sel-th bit set when en is high, and is zero otherwise."
+	}},
+	"priority_encoder": {false, Combinational, "", "", func(int) string {
+		return "Design an 8-bit priority encoder: out is the index of the highest set bit of in, and valid indicates whether any bit is set."
+	}},
+	"comparator": {true, Combinational, "", "", func(w int) string {
+		return fmt.Sprintf("Design a %d-bit unsigned comparator producing eq, lt, and gt flags for inputs a and b.", w)
+	}},
+	"shiftreg": {true, Sequential, "clk", "rst", func(w int) string {
+		return fmt.Sprintf("Design a %d-bit serial-in shift register: on each rising clock edge shift left by one, inserting d at the LSB; rst synchronously clears it.", w)
+	}},
+	"gray": {true, Combinational, "", "", func(w int) string {
+		return fmt.Sprintf("Design a %d-bit binary-to-Gray-code converter.", w)
+	}},
+	"parity": {true, Combinational, "", "", func(w int) string {
+		return fmt.Sprintf("Design a %d-bit even-parity generator: parity is the XOR of all data bits.", w)
+	}},
+	"alu": {true, Combinational, "", "", func(w int) string {
+		return fmt.Sprintf("Design a %d-bit ALU with a 3-bit opcode: 0 add, 1 subtract, 2 AND, 3 OR, 4 XOR, 5 NOT a, 6 shift left by one, 7 shift right by one.", w)
+	}},
+	"regfile": {true, Sequential, "clk", "", func(w int) string {
+		return fmt.Sprintf("Design an 8-entry register file of %d-bit words with one synchronous write port (we, waddr, wdata) and one combinational read port (raddr, rdata).", w)
+	}},
+	"clkdiv": {false, Sequential, "clk", "rst", func(int) string {
+		return "Design a clock divider that toggles clk_out every 4 input clock cycles; rst synchronously clears the divider."
+	}},
+	"edgedet": {false, Sequential, "clk", "", func(int) string {
+		return "Design a rising-edge detector: pulse is high for one cycle when sig transitions from 0 to 1."
+	}},
+	"absval": {true, Combinational, "", "", func(w int) string {
+		return fmt.Sprintf("Design a combinational absolute-value unit for a %d-bit signed input.", w)
+	}},
+	"minmax": {true, Combinational, "", "", func(w int) string {
+		return fmt.Sprintf("Design a combinational %d-bit min/max unit producing both the minimum and maximum of inputs a and b.", w)
+	}},
+	"popcount": {false, Combinational, "", "", func(int) string {
+		return "Design an 8-bit population counter: count is the number of set bits in the input."
+	}},
+	"seqdet": {false, Sequential, "clk", "rst", func(int) string {
+		return "Design a Mealy-style sequence detector that raises detected for one cycle after observing the serial pattern 101 on din (overlapping occurrences count)."
+	}},
+	"addsub": {true, Combinational, "", "", func(w int) string {
+		return fmt.Sprintf("Design a %d-bit adder-subtractor: y = a + b when mode is 0, y = a - b when mode is 1.", w)
+	}},
+}
+
+// SuiteSize matches VerilogEval-Human.
+const SuiteSize = 156
+
+// BuildSuite constructs the deterministic 156-problem suite: every
+// width-parametric family at every canonical width, plus the
+// fixed-interface families, trimmed to SuiteSize in a stable order.
+func BuildSuite() []Problem {
+	var out []Problem
+	for _, fam := range corpus.Families {
+		meta := familyMeta[fam]
+		if meta.describe == nil {
+			continue
+		}
+		if meta.widthParam {
+			for _, w := range corpus.CanonWidths {
+				m := corpus.GenerateCanonical(fam, w)
+				out = append(out, Problem{
+					ID:          fmt.Sprintf("%s_w%d", fam, w),
+					Family:      fam,
+					Width:       w,
+					Description: meta.describe(w),
+					ModuleName:  m.Name,
+					Reference:   m.Source,
+					Kind:        meta.kind,
+					ClkPort:     meta.clk,
+					RstPort:     meta.rst,
+				})
+			}
+		} else {
+			m := corpus.GenerateCanonical(fam, 8)
+			out = append(out, Problem{
+				ID:          fam,
+				Family:      fam,
+				Description: meta.describe(0),
+				ModuleName:  m.Name,
+				Reference:   m.Source,
+				Kind:        meta.kind,
+				ClkPort:     meta.clk,
+				RstPort:     meta.rst,
+			})
+		}
+	}
+	if len(out) > SuiteSize {
+		out = out[:SuiteSize]
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package veval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"freehw/internal/lm"
+	"freehw/internal/tokenizer"
+	"freehw/internal/vlog"
+)
+
+func TestBuildSuite(t *testing.T) {
+	suite := BuildSuite()
+	if len(suite) != SuiteSize {
+		t.Fatalf("suite size %d, want %d", len(suite), SuiteSize)
+	}
+	ids := map[string]bool{}
+	for _, p := range suite {
+		if ids[p.ID] {
+			t.Fatalf("duplicate problem id %s", p.ID)
+		}
+		ids[p.ID] = true
+		if err := vlog.Check(p.Reference); err != nil {
+			t.Fatalf("%s reference does not parse: %v", p.ID, err)
+		}
+		if p.Description == "" || p.ModuleName == "" {
+			t.Fatalf("%s incomplete: %+v", p.ID, p)
+		}
+		if p.Kind == Sequential && p.ClkPort == "" {
+			t.Fatalf("%s sequential without clock", p.ID)
+		}
+	}
+}
+
+// The prompt's header must be a verbatim prefix of the reference after
+// whitespace normalization — the alignment memorization depends on.
+func TestPromptAlignsWithReference(t *testing.T) {
+	for _, p := range BuildSuite() {
+		hdr := lm.Normalize(headerPrefix(p.Reference))
+		ref := lm.Normalize(p.Reference)
+		if !strings.HasPrefix(ref, hdr) {
+			t.Fatalf("%s: header is not a reference prefix\nhdr: %s\nref: %s", p.ID, hdr, ref)
+		}
+		if !strings.HasSuffix(strings.TrimSpace(p.Prompt()), ");") {
+			t.Fatalf("%s: prompt should end at the port list: %q", p.ID, p.Prompt())
+		}
+	}
+}
+
+// referenceCompletion extracts the body of the reference after the header —
+// the "perfect model" completion.
+func referenceCompletion(p Problem) string {
+	return strings.TrimPrefix(p.Reference, headerPrefix(p.Reference))
+}
+
+// Every reference must grade as correct against itself (meta-test of the
+// whole simulate/compare harness across all 156 problems).
+func TestReferencesGradeCorrect(t *testing.T) {
+	g := NewGrader()
+	for _, p := range BuildSuite() {
+		res := g.Grade(p, referenceCompletion(p))
+		if !res.Pass {
+			t.Fatalf("%s: reference fails its own grading: %s", p.ID, res.Reason)
+		}
+	}
+}
+
+func TestWrongImplementationsFail(t *testing.T) {
+	suite := BuildSuite()
+	g := NewGrader()
+	byID := map[string]Problem{}
+	for _, p := range suite {
+		byID[p.ID] = p
+	}
+	adder := byID["adder_w8"]
+
+	cases := []struct {
+		name       string
+		completion string
+	}{
+		{"garbage", "this is not verilog at all"},
+		{"empty", ""},
+		{"truncated", "assign sum = {1'b0, a} +"},
+		{"wrong-logic", "assign sum = {1'b0, a} - {1'b0, b};\nendmodule"},
+		{"constant-output", "assign sum = 9'd0;\nendmodule"},
+	}
+	for _, c := range cases {
+		if res := g.Grade(adder, c.completion); res.Pass {
+			t.Errorf("%s should fail grading", c.name)
+		}
+	}
+}
+
+func TestSequentialGrading(t *testing.T) {
+	suite := BuildSuite()
+	g := NewGrader()
+	var counter Problem
+	for _, p := range suite {
+		if p.ID == "counter_w8" {
+			counter = p
+		}
+	}
+	// A down-counter must fail; an equivalent reformulation must pass.
+	down := "always @(posedge clk) begin\n  if (rst) q <= 8'd0;\n  else q <= q - 1;\nend\nendmodule"
+	if res := g.Grade(counter, down); res.Pass {
+		t.Error("down-counter graded as correct")
+	}
+	equiv := "always @(posedge clk) begin\n  if (rst) q <= 0;\n  else q <= q + 8'd1;\nend\nendmodule"
+	if res := g.Grade(counter, equiv); !res.Pass {
+		t.Errorf("equivalent counter rejected: %s", res.Reason)
+	}
+}
+
+func TestPassAtK(t *testing.T) {
+	cases := []struct {
+		n, c, k int
+		want    float64
+	}{
+		{20, 0, 1, 0},
+		{20, 20, 1, 1},
+		{20, 10, 1, 0.5},
+		{1, 1, 10, 1},
+		{20, 1, 20, 1},
+		{10, 0, 5, 0},
+	}
+	for _, c := range cases {
+		if got := PassAtK(c.n, c.c, c.k); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("PassAtK(%d,%d,%d) = %v, want %v", c.n, c.c, c.k, got, c.want)
+		}
+	}
+	// Monotone in k.
+	prev := 0.0
+	for k := 1; k <= 20; k++ {
+		v := PassAtK(20, 3, k)
+		if v < prev {
+			t.Fatalf("pass@k not monotone at k=%d", k)
+		}
+		prev = v
+	}
+	// pass@5 for n=20, c=3 matches the combinatorial identity.
+	want := 1 - comb(17, 5)/comb(20, 5)
+	if got := PassAtK(20, 3, 5); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PassAtK(20,3,5) = %v, want %v", got, want)
+	}
+}
+
+func comb(n, k int) float64 {
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r *= float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// perfectSampler replays the reference body for any prompt.
+type perfectSampler struct{ byPrompt map[string]string }
+
+func (s perfectSampler) Sample(prompt string, maxTokens int, seed int64) string {
+	return s.byPrompt[prompt]
+}
+
+type uselessSampler struct{}
+
+func (uselessSampler) Sample(string, int, int64) string { return "wire oops;" }
+
+func TestEvaluateEndToEnd(t *testing.T) {
+	suite := BuildSuite()[:8]
+	perfect := perfectSampler{byPrompt: map[string]string{}}
+	for _, p := range suite {
+		perfect.byPrompt[p.Prompt()] = referenceCompletion(p)
+	}
+	res := Evaluate("perfect", perfect, suite, EvalConfig{N: 3})
+	if got := res.PassAtK(1); got != 1 {
+		t.Fatalf("perfect sampler pass@1 = %v", got)
+	}
+	res = Evaluate("useless", uselessSampler{}, suite, EvalConfig{N: 3})
+	if got := res.PassAtK(10); got != 0 {
+		t.Fatalf("useless sampler pass@10 = %v", got)
+	}
+}
+
+// An actual n-gram model trained on the canonical corpus solves problems it
+// has seen — the mechanism Table II measures.
+func TestTrainedModelSolvesSeenProblems(t *testing.T) {
+	suite := BuildSuite()
+	var adder Problem
+	for _, p := range suite {
+		if p.ID == "adder_w8" {
+			adder = p
+		}
+	}
+	docs := []string{adder.Reference, adder.Reference}
+	tok := tokenizer.Train(docs, tokenizer.TrainConfig{VocabSize: 512})
+	cfg := lm.DefaultConfig()
+	cfg.Temperature = 0.001
+	m := lm.NewModel("tiny", tok, cfg)
+	m.Train(docs)
+
+	res := Evaluate("tiny", m, []Problem{adder}, EvalConfig{N: 2})
+	if res.Problems[0].Correct == 0 {
+		t.Fatalf("model trained on the reference failed it: %s", res.Problems[0].FirstFailure)
+	}
+}
+
+func TestRenderTableII(t *testing.T) {
+	rows := PriorWorkRows()
+	out := RenderTableII(rows)
+	for _, want := range []string{"GPT-4", "VeriGen", "CodeV-CodeQwen", "FreeV-Llama3.1", "14.8", "36.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package vlog
+
+// This file defines the abstract syntax tree produced by the parser and
+// consumed by internal/vsim.
+
+// SourceFile is the parse result for one Verilog file: an ordered list of
+// module definitions.
+type SourceFile struct {
+	Modules []*Module
+}
+
+// FindModule returns the module named name, or nil.
+func (f *SourceFile) FindModule(name string) *Module {
+	for _, m := range f.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Module is one module definition.
+type Module struct {
+	Name   string
+	Pos    Pos
+	Params []*Param // parameter and localparam declarations, in order
+	Ports  []*Port  // module header ports, in order
+	Decls  []*Decl  // net/variable declarations (including port re-decls)
+	Items  []Item   // assigns, processes, instances, generate blocks
+	Funcs  []*Func  // function definitions
+	Tasks  []*Task  // task definitions
+	Genvar []string // declared genvars
+}
+
+// Port is one entry of the module port list.
+type Port struct {
+	Name string
+	Pos  Pos
+	// Dir is "input", "output", "inout", or "" when the header used the
+	// non-ANSI form and direction comes from a body declaration.
+	Dir string
+	// Decl is the inline declaration for ANSI-style ports, nil otherwise.
+	Decl *Decl
+}
+
+// DeclKind distinguishes net and variable declarations.
+type DeclKind int
+
+const (
+	DeclWire DeclKind = iota
+	DeclReg
+	DeclInteger
+	DeclTime
+	DeclReal
+	DeclGenvar
+	DeclEvent
+)
+
+func (k DeclKind) String() string {
+	switch k {
+	case DeclWire:
+		return "wire"
+	case DeclReg:
+		return "reg"
+	case DeclInteger:
+		return "integer"
+	case DeclTime:
+		return "time"
+	case DeclReal:
+		return "real"
+	case DeclGenvar:
+		return "genvar"
+	case DeclEvent:
+		return "event"
+	}
+	return "decl?"
+}
+
+// RangeSpec is a [msb:lsb] vector or array bound with unevaluated expressions
+// (they may reference parameters; vsim evaluates them at elaboration).
+type RangeSpec struct {
+	MSB Expr
+	LSB Expr
+}
+
+// Decl declares one net or variable.
+type Decl struct {
+	Kind   DeclKind
+	Name   string
+	Pos    Pos
+	Dir    string // "input"/"output"/"inout" when this is a port decl, else ""
+	Signed bool
+	Vec    *RangeSpec // packed range, nil for scalar
+	Arr    *RangeSpec // unpacked (memory) range, nil if not an array
+	Init   Expr       // `wire w = e;` / `reg r = e;` initializer, may be nil
+}
+
+// Param declares a parameter or localparam.
+type Param struct {
+	Name    string
+	Pos     Pos
+	Value   Expr
+	IsLocal bool
+	Signed  bool
+	Vec     *RangeSpec
+}
+
+// Item is a module body item.
+type Item interface{ itemNode() }
+
+// ContAssign is a continuous assignment: assign LHS = RHS;
+type ContAssign struct {
+	Pos   Pos
+	LHS   Expr
+	RHS   Expr
+	Delay Expr // optional #d, nil if absent
+}
+
+// ProcKind distinguishes always and initial processes.
+type ProcKind int
+
+const (
+	ProcAlways ProcKind = iota
+	ProcInitial
+)
+
+// Process is an always or initial block.
+type Process struct {
+	Pos  Pos
+	Kind ProcKind
+	Body Stmt
+}
+
+// Instance is a module (or gate primitive) instantiation.
+type Instance struct {
+	Pos     Pos
+	ModName string
+	Name    string        // instance name; may be "" for unnamed gates
+	Params  []*Connection // parameter overrides (#(...)), named or positional
+	Conns   []*Connection // port connections, named or positional
+	Gate    bool          // true for built-in gate primitives
+}
+
+// Connection is one port or parameter binding. Name is "" for positional.
+type Connection struct {
+	Name string
+	Expr Expr // nil means explicitly unconnected: .port()
+}
+
+// GenFor is a for-generate construct.
+type GenFor struct {
+	Pos      Pos
+	Genvar   string
+	InitVal  Expr
+	Cond     Expr
+	StepVar  string
+	StepVal  Expr
+	Label    string
+	Body     []Item
+	BodyDecl []*Decl
+}
+
+// GenIf is an if-generate construct.
+type GenIf struct {
+	Pos  Pos
+	Cond Expr
+	Then []Item
+	// ThenDecl/ElseDecl carry declarations inside the branches.
+	ThenDecl []*Decl
+	Else     []Item
+	ElseDecl []*Decl
+}
+
+func (*ContAssign) itemNode() {}
+func (*Process) itemNode()    {}
+func (*Instance) itemNode()   {}
+func (*GenFor) itemNode()     {}
+func (*GenIf) itemNode()      {}
+
+// Func is a function definition. Functions are evaluated combinationally by
+// the simulator; automatic/recursive functions are supported by fresh frames.
+type Func struct {
+	Name    string
+	Pos     Pos
+	Signed  bool
+	Ret     *RangeSpec // nil: 1-bit return (or integer when Integer is set)
+	Integer bool
+	Inputs  []*Decl
+	Locals  []*Decl
+	Body    Stmt
+}
+
+// Task is a task definition (no timing controls supported inside tasks).
+type Task struct {
+	Name   string
+	Pos    Pos
+	Inputs []*Decl // includes outputs/inouts with Dir set
+	Locals []*Decl
+	Body   Stmt
+}
+
+// ---- Statements ----
+
+// Stmt is a behavioral statement.
+type Stmt interface{ stmtNode() }
+
+// Block is a begin/end sequential block, possibly named with local decls.
+type Block struct {
+	Pos   Pos
+	Name  string
+	Decls []*Decl
+	Stmts []Stmt
+}
+
+// AssignStmt is a blocking (=) or nonblocking (<=) procedural assignment
+// with an optional intra-assignment delay (x <= #5 y).
+type AssignStmt struct {
+	Pos      Pos
+	LHS      Expr
+	RHS      Expr
+	Blocking bool
+	Delay    Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt // may be nil (empty statement)
+	Else Stmt // may be nil
+}
+
+// CaseKind selects case/casez/casex comparison semantics.
+type CaseKind int
+
+const (
+	CaseExact CaseKind = iota // case: 4-state equality
+	CaseZ                     // casez: z/? are wildcards
+	CaseX                     // casex: x and z are wildcards
+)
+
+// CaseItem is one arm of a case statement; Exprs==nil means default.
+type CaseItem struct {
+	Exprs []Expr
+	Body  Stmt
+}
+
+// CaseStmt is case/casez/casex.
+type CaseStmt struct {
+	Pos   Pos
+	Kind  CaseKind
+	Expr  Expr
+	Items []CaseItem
+}
+
+// ForStmt is for (init; cond; post) body.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// RepeatStmt is repeat (n) body.
+type RepeatStmt struct {
+	Pos   Pos
+	Count Expr
+	Body  Stmt
+}
+
+// ForeverStmt is forever body.
+type ForeverStmt struct {
+	Pos  Pos
+	Body Stmt
+}
+
+// DelayStmt is #d stmt (stmt may be nil: a pure wait).
+type DelayStmt struct {
+	Pos   Pos
+	Delay Expr
+	Stmt  Stmt
+}
+
+// EventExpr is one item of a sensitivity list.
+type EventExpr struct {
+	Edge string // "posedge", "negedge", or "" for any change
+	X    Expr
+}
+
+// EventStmt is @(list) stmt or @* stmt (Star set, list empty).
+type EventStmt struct {
+	Pos    Pos
+	Star   bool
+	Events []EventExpr
+	Stmt   Stmt
+}
+
+// WaitStmt is wait (cond) stmt.
+type WaitStmt struct {
+	Pos  Pos
+	Cond Expr
+	Stmt Stmt
+}
+
+// SysTaskStmt is a system task call statement ($display, $finish, ...).
+type SysTaskStmt struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// TaskCallStmt invokes a user task.
+type TaskCallStmt struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// DisableStmt is disable name; (terminates the named block).
+type DisableStmt struct {
+	Pos  Pos
+	Name string
+}
+
+// NullStmt is a lone semicolon.
+type NullStmt struct{ Pos Pos }
+
+func (*Block) stmtNode()        {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*CaseStmt) stmtNode()     {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*RepeatStmt) stmtNode()   {}
+func (*ForeverStmt) stmtNode()  {}
+func (*DelayStmt) stmtNode()    {}
+func (*EventStmt) stmtNode()    {}
+func (*WaitStmt) stmtNode()     {}
+func (*SysTaskStmt) stmtNode()  {}
+func (*TaskCallStmt) stmtNode() {}
+func (*DisableStmt) stmtNode()  {}
+func (*NullStmt) stmtNode()     {}
+
+// ---- Expressions ----
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Number is an integer literal, possibly sized and 4-state.
+// Bits are stored LSB-first in 64-bit planes: bit i is
+// (A[i/64]>>(i%64))&1 with B likewise; encoding 0=(0,0) 1=(1,0) z=(0,1)
+// x=(1,1).
+type Number struct {
+	Pos    Pos
+	Width  int // in bits; 32 for unsized literals
+	Sized  bool
+	Signed bool
+	A, B   []uint64
+	Text   string // original spelling
+}
+
+// RealLit is a real literal. The simulator supports reals only in delays.
+type RealLit struct {
+	Pos   Pos
+	Value float64
+	Text  string
+}
+
+// StringLit is a string literal (used by $display and as bit vectors).
+type StringLit struct {
+	Pos   Pos
+	Value string
+}
+
+// Ident names a net, variable, parameter, or genvar.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// HierIdent is a dotted hierarchical reference (inst.sig). The simulator
+// resolves one level of hierarchy for testbench convenience.
+type HierIdent struct {
+	Pos   Pos
+	Parts []string
+}
+
+// Unary is a prefix operator application.
+type Unary struct {
+	Pos Pos
+	Op  Kind
+	X   Expr
+}
+
+// Binary is an infix operator application.
+type Binary struct {
+	Pos  Pos
+	Op   Kind
+	X, Y Expr
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Pos              Pos
+	Cond, Then, Else Expr
+}
+
+// Concat is {a, b, c}.
+type Concat struct {
+	Pos   Pos
+	Parts []Expr
+}
+
+// Repl is {n{expr...}}.
+type Repl struct {
+	Pos   Pos
+	Count Expr
+	Parts []Expr
+}
+
+// Index is x[i]: a bit-select or memory word select.
+type Index struct {
+	Pos Pos
+	X   Expr
+	Idx Expr
+}
+
+// PartMode distinguishes constant and indexed part-selects.
+type PartMode int
+
+const (
+	PartConst PartMode = iota // [m:l]
+	PartUp                    // [i+:w]
+	PartDown                  // [i-:w]
+)
+
+// PartSelect is x[m:l], x[i+:w], or x[i-:w].
+type PartSelect struct {
+	Pos  Pos
+	X    Expr
+	Mode PartMode
+	// For PartConst: Left=msb, Right=lsb. For indexed: Left=base, Right=width.
+	Left  Expr
+	Right Expr
+}
+
+// Call is a user function or system function application.
+type Call struct {
+	Pos  Pos
+	Name string // "$clog2" or plain function name
+	Args []Expr
+}
+
+// EventTrigger expression form is not supported; -> is a statement in this
+// subset and omitted.
+
+func (*Number) exprNode()     {}
+func (*RealLit) exprNode()    {}
+func (*StringLit) exprNode()  {}
+func (*Ident) exprNode()      {}
+func (*HierIdent) exprNode()  {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*Ternary) exprNode()    {}
+func (*Concat) exprNode()     {}
+func (*Repl) exprNode()       {}
+func (*Index) exprNode()      {}
+func (*PartSelect) exprNode() {}
+func (*Call) exprNode()       {}

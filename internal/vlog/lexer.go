@@ -1,0 +1,531 @@
+package vlog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SyntaxError describes a lexical or parse error with its source position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer tokenizes Verilog source text. It handles comments, a small
+// preprocessor (`define of object-like macros, `ifdef/`ifndef/`else/`endif,
+// and line-oriented directives such as `timescale which are skipped), and
+// escaped identifiers.
+type Lexer struct {
+	src    string
+	off    int
+	line   int
+	col    int
+	macros map[string]string
+	// ifdef stack: true means the current branch is active.
+	condStack []bool
+	err       *SyntaxError
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, macros: map[string]string{}}
+}
+
+func (l *Lexer) errorf(p Pos, format string, args ...any) {
+	if l.err == nil {
+		l.err = &SyntaxError{Pos: p, Msg: fmt.Sprintf(format, args...)}
+	}
+}
+
+// Err returns the first lexical error encountered, if any.
+func (l *Lexer) Err() error {
+	if l.err == nil {
+		return nil
+	}
+	return l.err
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') || c == '$' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+// skipSpaceAndComments consumes whitespace, comments, and preprocessor
+// directives, returning when the next token starts or input ends.
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		c := l.peek()
+		switch {
+		case c == 0:
+			return
+		case isSpace(c):
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.peek() != 0 && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			p := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.peek() != 0 {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(p, "unterminated block comment")
+				return
+			}
+		case c == '`':
+			l.directive()
+		default:
+			if l.suppressed() {
+				// Inside a false `ifdef branch: consume one raw char.
+				l.advance()
+				continue
+			}
+			return
+		}
+	}
+}
+
+// suppressed reports whether the lexer is inside an inactive `ifdef branch.
+func (l *Lexer) suppressed() bool {
+	for _, active := range l.condStack {
+		if !active {
+			return true
+		}
+	}
+	return false
+}
+
+// directive handles a `-prefixed preprocessor directive or macro use.
+func (l *Lexer) directive() {
+	p := l.pos()
+	l.advance() // consume `
+	start := l.off
+	for isIdentPart(l.peek()) {
+		l.advance()
+	}
+	name := l.src[start:l.off]
+	switch name {
+	case "define":
+		rest := l.restOfLine()
+		if l.suppressed() {
+			return
+		}
+		fields := strings.SplitN(strings.TrimSpace(rest), " ", 2)
+		if len(fields) == 0 || fields[0] == "" {
+			l.errorf(p, "`define requires a macro name")
+			return
+		}
+		macro := fields[0]
+		if i := strings.IndexByte(macro, '('); i >= 0 {
+			// Function-like macros are not supported; reject the file.
+			l.errorf(p, "function-like `define %s is not supported", macro[:i])
+			return
+		}
+		body := ""
+		if len(fields) == 2 {
+			body = strings.TrimSpace(fields[1])
+		}
+		l.macros[macro] = body
+	case "undef":
+		rest := strings.TrimSpace(l.restOfLine())
+		if !l.suppressed() {
+			delete(l.macros, rest)
+		}
+	case "ifdef", "ifndef":
+		rest := strings.TrimSpace(l.restOfLine())
+		_, defined := l.macros[rest]
+		if name == "ifndef" {
+			defined = !defined
+		}
+		l.condStack = append(l.condStack, defined)
+	case "else":
+		l.restOfLine()
+		if n := len(l.condStack); n > 0 {
+			l.condStack[n-1] = !l.condStack[n-1]
+		} else {
+			l.errorf(p, "`else without `ifdef")
+		}
+	case "endif":
+		l.restOfLine()
+		if n := len(l.condStack); n > 0 {
+			l.condStack = l.condStack[:n-1]
+		} else {
+			l.errorf(p, "`endif without `ifdef")
+		}
+	case "timescale", "default_nettype", "resetall", "celldefine",
+		"endcelldefine", "unconnected_drive", "nounconnected_drive",
+		"line", "pragma":
+		l.restOfLine()
+	case "include":
+		// No filesystem in the curation sandbox; treat as unsupported so the
+		// syntax filter rejects files that depend on external headers.
+		l.restOfLine()
+		if !l.suppressed() {
+			l.errorf(p, "`include is not supported")
+		}
+	default:
+		// Macro expansion: splice the body into the input at this point.
+		if l.suppressed() {
+			return
+		}
+		body, ok := l.macros[name]
+		if !ok {
+			l.errorf(p, "undefined macro `%s", name)
+			return
+		}
+		// Expand by prepending; positions inside the body map to the use site.
+		l.src = l.src[:l.off] + " " + body + " " + l.src[l.off:]
+	}
+}
+
+func (l *Lexer) restOfLine() string {
+	start := l.off
+	for l.peek() != 0 && l.peek() != '\n' {
+		// A backslash-newline continues the directive.
+		if l.peek() == '\\' && l.peek2() == '\n' {
+			l.advance()
+			l.advance()
+			continue
+		}
+		l.advance()
+	}
+	return l.src[start:l.off]
+}
+
+// Next returns the next token. After an error it returns EOF.
+func (l *Lexer) Next() Token {
+	l.skipSpaceAndComments()
+	p := l.pos()
+	if l.err != nil || l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: p}
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		// A based literal may follow a decimal size that itself followed an
+		// identifier boundary; sizes are lexed as NUMBER below.
+		if keywords[text] {
+			return Token{Kind: KEYWORD, Text: text, Pos: p}
+		}
+		return Token{Kind: IDENT, Text: text, Pos: p}
+	case c == '\\':
+		// Escaped identifier: backslash to next whitespace.
+		l.advance()
+		start := l.off
+		for l.peek() != 0 && !isSpace(l.peek()) {
+			l.advance()
+		}
+		if l.off == start {
+			l.errorf(p, "empty escaped identifier")
+			return Token{Kind: EOF, Pos: p}
+		}
+		return Token{Kind: IDENT, Text: l.src[start:l.off], Pos: p}
+	case c == '$':
+		l.advance()
+		start := l.off
+		for isIdentPart(l.peek()) {
+			l.advance()
+		}
+		if l.off == start {
+			l.errorf(p, "bare '$'")
+			return Token{Kind: EOF, Pos: p}
+		}
+		return Token{Kind: SYSNAME, Text: "$" + l.src[start:l.off], Pos: p}
+	case isDigit(c) || c == '\'':
+		return l.number(p)
+	case c == '"':
+		return l.stringLit(p)
+	default:
+		return l.operator(p)
+	}
+}
+
+// number lexes decimal, based (4'b1010), and real literals. The token text is
+// the raw literal; numeric interpretation happens in the parser.
+func (l *Lexer) number(p Pos) Token {
+	start := l.off
+	for isDigit(l.peek()) || l.peek() == '_' {
+		l.advance()
+	}
+	// Optional base part: 'b 'o 'd 'h with optional s for signed.
+	if l.peek() == '\'' {
+		l.advance()
+		if l.peek() == 's' || l.peek() == 'S' {
+			l.advance()
+		}
+		base := l.peek()
+		switch base {
+		case 'b', 'B', 'o', 'O', 'd', 'D', 'h', 'H':
+			l.advance()
+		default:
+			l.errorf(p, "invalid numeric base %q", string(base))
+			return Token{Kind: EOF, Pos: p}
+		}
+		// Value digits may be separated from the base by whitespace.
+		for isSpace(l.peek()) {
+			l.advance()
+		}
+		digs := 0
+		for {
+			c := l.peek()
+			if c == '_' || isDigit(c) ||
+				(c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') ||
+				c == 'x' || c == 'X' || c == 'z' || c == 'Z' || c == '?' {
+				l.advance()
+				digs++
+				continue
+			}
+			break
+		}
+		if digs == 0 {
+			l.errorf(p, "based literal missing digits")
+			return Token{Kind: EOF, Pos: p}
+		}
+	} else if l.peek() == '.' && isDigit(l.peek2()) {
+		l.advance()
+		for isDigit(l.peek()) || l.peek() == '_' {
+			l.advance()
+		}
+		if l.peek() == 'e' || l.peek() == 'E' {
+			l.advance()
+			if l.peek() == '+' || l.peek() == '-' {
+				l.advance()
+			}
+			for isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+	} else if l.peek() == 'e' || l.peek() == 'E' {
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		for isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	return Token{Kind: NUMBER, Text: l.src[start:l.off], Pos: p}
+}
+
+func (l *Lexer) stringLit(p Pos) Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		c := l.peek()
+		if c == 0 || c == '\n' {
+			l.errorf(p, "unterminated string literal")
+			return Token{Kind: EOF, Pos: p}
+		}
+		if c == '"' {
+			l.advance()
+			break
+		}
+		if c == '\\' {
+			l.advance()
+			e := l.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case '0':
+				sb.WriteByte(0)
+			default:
+				sb.WriteByte(e)
+			}
+			continue
+		}
+		sb.WriteByte(l.advance())
+	}
+	return Token{Kind: STRING, Text: sb.String(), Pos: p}
+}
+
+// operator lexes punctuation, longest match first.
+func (l *Lexer) operator(p Pos) Token {
+	two := ""
+	if l.off+1 < len(l.src) {
+		two = l.src[l.off : l.off+2]
+	}
+	three := ""
+	if l.off+2 < len(l.src) {
+		three = l.src[l.off : l.off+3]
+	}
+	emit := func(k Kind, n int) Token {
+		for i := 0; i < n; i++ {
+			l.advance()
+		}
+		return Token{Kind: k, Pos: p}
+	}
+	switch three {
+	case "===":
+		return emit(CASEEQ, 3)
+	case "!==":
+		return emit(CASENE, 3)
+	case "<<<":
+		return emit(ASHL, 3)
+	case ">>>":
+		return emit(ASHR, 3)
+	}
+	switch two {
+	case "**":
+		return emit(POW, 2)
+	case "&&":
+		return emit(LAND, 2)
+	case "||":
+		return emit(LOR, 2)
+	case "==":
+		return emit(EQEQ, 2)
+	case "!=":
+		return emit(NEQ, 2)
+	case "<=":
+		return emit(LE, 2)
+	case ">=":
+		return emit(GE, 2)
+	case "<<":
+		return emit(SHL, 2)
+	case ">>":
+		return emit(SHR, 2)
+	case "^~", "~^":
+		return emit(XNOR, 2)
+	case "~&":
+		return emit(NAND, 2)
+	case "~|":
+		return emit(NOR, 2)
+	case "+:":
+		return emit(PLUSCOLON, 2)
+	case "-:":
+		return emit(MINUSCOLON, 2)
+	case "->":
+		return emit(ARROW, 2)
+	}
+	switch l.peek() {
+	case '(':
+		return emit(LPAREN, 1)
+	case ')':
+		return emit(RPAREN, 1)
+	case '[':
+		return emit(LBRACK, 1)
+	case ']':
+		return emit(RBRACK, 1)
+	case '{':
+		return emit(LBRACE, 1)
+	case '}':
+		return emit(RBRACE, 1)
+	case ';':
+		return emit(SEMI, 1)
+	case ':':
+		return emit(COLON, 1)
+	case ',':
+		return emit(COMMA, 1)
+	case '.':
+		return emit(DOT, 1)
+	case '@':
+		return emit(AT, 1)
+	case '#':
+		return emit(HASH, 1)
+	case '?':
+		return emit(QUESTION, 1)
+	case '=':
+		return emit(EQ, 1)
+	case '+':
+		return emit(PLUS, 1)
+	case '-':
+		return emit(MINUS, 1)
+	case '*':
+		return emit(STAR, 1)
+	case '/':
+		return emit(SLASH, 1)
+	case '%':
+		return emit(PERCENT, 1)
+	case '!':
+		return emit(NOT, 1)
+	case '~':
+		return emit(TILD, 1)
+	case '&':
+		return emit(AND, 1)
+	case '|':
+		return emit(OR, 1)
+	case '^':
+		return emit(XOR, 1)
+	case '<':
+		return emit(LT, 1)
+	case '>':
+		return emit(GT, 1)
+	}
+	l.errorf(p, "unexpected character %q", string(l.peek()))
+	return Token{Kind: EOF, Pos: p}
+}
+
+// Tokenize lexes all of src, returning the token stream (without EOF).
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t := l.Next()
+		if t.Kind == EOF {
+			break
+		}
+		toks = append(toks, t)
+	}
+	if err := l.Err(); err != nil {
+		return nil, err
+	}
+	return toks, nil
+}

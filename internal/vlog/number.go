@@ -1,0 +1,256 @@
+package vlog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// maxLiteralBits bounds literal widths so hostile input cannot force huge
+// allocations during the curation syntax check.
+const maxLiteralBits = 1 << 16
+
+func words(bits int) int { return (bits + 63) / 64 }
+
+// parseNumericToken converts a NUMBER token into a *Number or *RealLit.
+func parseNumericToken(t Token) (Expr, error) {
+	text := t.Text
+	if !strings.ContainsRune(text, '\'') {
+		if strings.ContainsAny(text, ".eE") {
+			clean := strings.ReplaceAll(text, "_", "")
+			v, err := strconv.ParseFloat(clean, 64)
+			if err != nil {
+				return nil, &SyntaxError{Pos: t.Pos, Msg: "invalid real literal " + text}
+			}
+			return &RealLit{Pos: t.Pos, Value: v, Text: text}, nil
+		}
+		clean := strings.ReplaceAll(text, "_", "")
+		n := &Number{Pos: t.Pos, Width: 32, Signed: true, Text: text}
+		n.A = make([]uint64, 1)
+		n.B = make([]uint64, 1)
+		v, err := strconv.ParseUint(clean, 10, 64)
+		if err != nil {
+			return nil, &SyntaxError{Pos: t.Pos, Msg: "invalid decimal literal " + text}
+		}
+		if v > 0xFFFFFFFF {
+			// Unsized decimal literals wider than 32 bits keep their natural
+			// width, like most tools.
+			n.Width = 64
+		}
+		n.A[0] = v
+		return n, nil
+	}
+
+	quote := strings.IndexByte(text, '\'')
+	sizeStr := strings.ReplaceAll(strings.TrimSpace(text[:quote]), "_", "")
+	rest := text[quote+1:]
+	signed := false
+	if len(rest) > 0 && (rest[0] == 's' || rest[0] == 'S') {
+		signed = true
+		rest = rest[1:]
+	}
+	if len(rest) == 0 {
+		return nil, &SyntaxError{Pos: t.Pos, Msg: "malformed literal " + text}
+	}
+	base := rest[0]
+	digits := strings.ReplaceAll(strings.TrimSpace(rest[1:]), "_", "")
+	if digits == "" {
+		return nil, &SyntaxError{Pos: t.Pos, Msg: "literal missing digits: " + text}
+	}
+
+	width := 0
+	sized := false
+	if sizeStr != "" {
+		w, err := strconv.Atoi(sizeStr)
+		if err != nil || w <= 0 {
+			return nil, &SyntaxError{Pos: t.Pos, Msg: "invalid literal size in " + text}
+		}
+		if w > maxLiteralBits {
+			return nil, &SyntaxError{Pos: t.Pos, Msg: "literal too wide: " + text}
+		}
+		width = w
+		sized = true
+	}
+
+	var bitsPerDigit int
+	switch base {
+	case 'b', 'B':
+		bitsPerDigit = 1
+	case 'o', 'O':
+		bitsPerDigit = 3
+	case 'h', 'H':
+		bitsPerDigit = 4
+	case 'd', 'D':
+		return parseDecimalBased(t, digits, width, sized, signed)
+	default:
+		return nil, &SyntaxError{Pos: t.Pos, Msg: "invalid base in literal " + text}
+	}
+
+	natural := len(digits) * bitsPerDigit
+	if natural > maxLiteralBits {
+		return nil, &SyntaxError{Pos: t.Pos, Msg: "literal too wide: " + text}
+	}
+	if !sized {
+		width = natural
+		if width < 32 {
+			width = 32
+		}
+	}
+	n := &Number{
+		Pos: t.Pos, Width: width, Sized: sized, Signed: signed, Text: text,
+		A: make([]uint64, words(width)), B: make([]uint64, words(width)),
+	}
+	// Fill bits LSB-first from the last digit.
+	bit := 0
+	var msbA, msbB uint64 // planes of the most significant digit's top bit
+	for i := len(digits) - 1; i >= 0; i-- {
+		da, db, err := digitPlanes(digits[i], base)
+		if err != nil {
+			return nil, &SyntaxError{Pos: t.Pos, Msg: err.Error() + " in " + text}
+		}
+		for k := 0; k < bitsPerDigit; k++ {
+			a := (da >> k) & 1
+			b := (db >> k) & 1
+			if bit < width {
+				n.A[bit/64] |= a << (bit % 64)
+				n.B[bit/64] |= b << (bit % 64)
+			}
+			if i == 0 && k == bitsPerDigit-1 {
+				msbA, msbB = a, b
+			}
+			bit++
+		}
+	}
+	// If the literal is narrower than the declared width and its leading
+	// digit is x or z, the extension repeats x/z (IEEE 1364 §3.5.1).
+	if natural < width && msbB == 1 {
+		for j := natural; j < width; j++ {
+			n.A[j/64] |= msbA << (j % 64)
+			n.B[j/64] |= 1 << (j % 64)
+		}
+	}
+	return n, nil
+}
+
+// digitPlanes returns 4-state planes for one digit in base b/o/h. x -> all x,
+// z/? -> all z within the digit's bits.
+func digitPlanes(c byte, base byte) (a, b uint64, err error) {
+	switch {
+	case c == 'x' || c == 'X':
+		return ^uint64(0), ^uint64(0), nil
+	case c == 'z' || c == 'Z' || c == '?':
+		return 0, ^uint64(0), nil
+	}
+	var v uint64
+	switch {
+	case c >= '0' && c <= '9':
+		v = uint64(c - '0')
+	case c >= 'a' && c <= 'f':
+		v = uint64(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		v = uint64(c-'A') + 10
+	default:
+		return 0, 0, fmt.Errorf("invalid digit %q", string(c))
+	}
+	var max uint64
+	switch base {
+	case 'b', 'B':
+		max = 1
+	case 'o', 'O':
+		max = 7
+	default:
+		max = 15
+	}
+	if v > max {
+		return 0, 0, fmt.Errorf("digit %q out of range for base", string(c))
+	}
+	return v, 0, nil
+}
+
+// parseDecimalBased handles 'd literals, including the single-digit x/z forms.
+func parseDecimalBased(t Token, digits string, width int, sized, signed bool) (Expr, error) {
+	if !sized {
+		width = 32
+	}
+	n := &Number{
+		Pos: t.Pos, Width: width, Sized: sized, Signed: signed, Text: t.Text,
+		A: make([]uint64, words(width)), B: make([]uint64, words(width)),
+	}
+	if digits == "x" || digits == "X" {
+		for i := 0; i < width; i++ {
+			n.A[i/64] |= 1 << (i % 64)
+			n.B[i/64] |= 1 << (i % 64)
+		}
+		return n, nil
+	}
+	if digits == "z" || digits == "Z" || digits == "?" {
+		for i := 0; i < width; i++ {
+			n.B[i/64] |= 1 << (i % 64)
+		}
+		return n, nil
+	}
+	// Multi-word accumulate: n = n*10 + d.
+	acc := make([]uint64, words(width))
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		if c < '0' || c > '9' {
+			return nil, &SyntaxError{Pos: t.Pos, Msg: "invalid decimal digit in " + t.Text}
+		}
+		carry := uint64(c - '0')
+		for w := range acc {
+			lo, hi := mul64(acc[w], 10)
+			lo, c2 := add64(lo, carry)
+			acc[w] = lo
+			carry = hi + c2
+		}
+		// carry overflow beyond width is silently truncated, as in Verilog.
+	}
+	copy(n.A, acc)
+	n.maskTop()
+	return n, nil
+}
+
+func mul64(a, b uint64) (lo, hi uint64) {
+	const mask = 0xFFFFFFFF
+	al, ah := a&mask, a>>32
+	bl, bh := b&mask, b>>32
+	t := al * bl
+	lo = t & mask
+	carry := t >> 32
+	t = ah*bl + carry
+	m1 := t & mask
+	c1 := t >> 32
+	t = al*bh + m1
+	lo |= (t & mask) << 32
+	hi = ah*bh + c1 + (t >> 32)
+	return lo, hi
+}
+
+func add64(a, b uint64) (sum, carry uint64) {
+	sum = a + b
+	if sum < a {
+		carry = 1
+	}
+	return sum, carry
+}
+
+// maskTop clears bits above Width in the top word.
+func (n *Number) maskTop() {
+	if n.Width%64 == 0 {
+		return
+	}
+	mask := (uint64(1) << (n.Width % 64)) - 1
+	n.A[len(n.A)-1] &= mask
+	n.B[len(n.B)-1] &= mask
+}
+
+// Uint64 returns the low 64 bits of the literal value; ok is false when any
+// bit is x/z.
+func (n *Number) Uint64() (v uint64, ok bool) {
+	for _, b := range n.B {
+		if b != 0 {
+			return 0, false
+		}
+	}
+	return n.A[0], true
+}

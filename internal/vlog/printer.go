@@ -1,0 +1,739 @@
+package vlog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a parsed source file back to Verilog. Output is normalized
+// (canonical spacing and indentation) but parse-equivalent: parsing the
+// printed text yields the same structure. The printer backs golden tests,
+// corpus inspection tooling, and the parse↔print round-trip properties.
+func Print(f *SourceFile) string {
+	var p printer
+	for i, m := range f.Modules {
+		if i > 0 {
+			p.nl()
+		}
+		p.module(m)
+	}
+	return p.String()
+}
+
+// PrintModule renders a single module.
+func PrintModule(m *Module) string {
+	var p printer
+	p.module(m)
+	return p.String()
+}
+
+// PrintExpr renders one expression.
+func PrintExpr(e Expr) string {
+	var p printer
+	p.expr(e, 0)
+	return p.String()
+}
+
+// PrintStmt renders one statement at the given indent level.
+func PrintStmt(s Stmt) string {
+	var p printer
+	p.stmt(s, 1)
+	return p.String()
+}
+
+type printer struct {
+	sb strings.Builder
+}
+
+func (p *printer) String() string { return p.sb.String() }
+
+func (p *printer) w(s string)                   { p.sb.WriteString(s) }
+func (p *printer) f(format string, args ...any) { fmt.Fprintf(&p.sb, format, args...) }
+func (p *printer) nl()                          { p.sb.WriteByte('\n') }
+func (p *printer) indent(n int)                 { p.w(strings.Repeat("  ", n)) }
+func (p *printer) line(n int, format string, args ...any) {
+	p.indent(n)
+	p.f(format, args...)
+	p.nl()
+}
+
+func (p *printer) module(m *Module) {
+	p.f("module %s", m.Name)
+	// Parameter ports: emit all non-local parameters in the header.
+	var hdrParams []*Param
+	for _, pr := range m.Params {
+		if !pr.IsLocal {
+			hdrParams = append(hdrParams, pr)
+		}
+	}
+	if len(hdrParams) > 0 {
+		p.w(" #(\n")
+		for i, pr := range hdrParams {
+			p.indent(1)
+			p.w("parameter ")
+			if pr.Signed {
+				p.w("signed ")
+			}
+			if pr.Vec != nil {
+				p.rangeSpec(pr.Vec)
+				p.w(" ")
+			}
+			p.f("%s = ", pr.Name)
+			p.expr(pr.Value, 0)
+			if i < len(hdrParams)-1 {
+				p.w(",")
+			}
+			p.nl()
+		}
+		p.w(")")
+	}
+	if len(m.Ports) > 0 {
+		p.w(" (\n")
+		for i, pt := range m.Ports {
+			p.indent(1)
+			if pt.Decl != nil {
+				p.portDecl(pt)
+			} else {
+				p.w(pt.Name)
+			}
+			if i < len(m.Ports)-1 {
+				p.w(",")
+			}
+			p.nl()
+		}
+		p.w(")")
+	}
+	p.w(";\n")
+
+	for _, pr := range m.Params {
+		if !pr.IsLocal {
+			continue
+		}
+		p.indent(1)
+		p.w("localparam ")
+		if pr.Vec != nil {
+			p.rangeSpec(pr.Vec)
+			p.w(" ")
+		}
+		p.f("%s = ", pr.Name)
+		p.expr(pr.Value, 0)
+		p.w(";\n")
+	}
+	for _, d := range m.Decls {
+		if d.Dir != "" {
+			continue // already in the ANSI header or a separate port decl
+		}
+		p.indent(1)
+		p.decl(d)
+		p.w(";\n")
+	}
+	if len(m.Genvar) > 0 {
+		p.line(1, "genvar %s;", strings.Join(m.Genvar, ", "))
+	}
+	for _, fn := range m.Funcs {
+		p.function(fn)
+	}
+	for _, tk := range m.Tasks {
+		p.task(tk)
+	}
+	for _, it := range m.Items {
+		p.item(it, 1)
+	}
+	p.w("endmodule\n")
+}
+
+func (p *printer) portDecl(pt *Port) {
+	d := pt.Decl
+	p.w(pt.Dir)
+	p.w(" ")
+	if d.Kind == DeclReg {
+		p.w("reg ")
+	} else if d.Kind == DeclInteger {
+		p.w("integer ")
+	}
+	if d.Signed && d.Kind != DeclInteger {
+		p.w("signed ")
+	}
+	if d.Vec != nil {
+		p.rangeSpec(d.Vec)
+		p.w(" ")
+	}
+	p.w(pt.Name)
+}
+
+func (p *printer) decl(d *Decl) {
+	p.w(d.Kind.String())
+	p.w(" ")
+	if d.Signed && d.Kind != DeclInteger && d.Kind != DeclReal {
+		p.w("signed ")
+	}
+	if d.Vec != nil {
+		p.rangeSpec(d.Vec)
+		p.w(" ")
+	}
+	p.w(d.Name)
+	if d.Arr != nil {
+		p.w(" ")
+		p.rangeSpec(d.Arr)
+	}
+	if d.Init != nil {
+		p.w(" = ")
+		p.expr(d.Init, 0)
+	}
+}
+
+func (p *printer) rangeSpec(r *RangeSpec) {
+	p.w("[")
+	p.expr(r.MSB, 0)
+	p.w(":")
+	p.expr(r.LSB, 0)
+	p.w("]")
+}
+
+func (p *printer) item(it Item, depth int) {
+	switch v := it.(type) {
+	case *ContAssign:
+		p.indent(depth)
+		p.w("assign ")
+		if v.Delay != nil {
+			p.w("#")
+			p.expr(v.Delay, 0)
+			p.w(" ")
+		}
+		p.expr(v.LHS, 0)
+		p.w(" = ")
+		p.expr(v.RHS, 0)
+		p.w(";\n")
+	case *Process:
+		p.indent(depth)
+		if v.Kind == ProcAlways {
+			p.w("always ")
+		} else {
+			p.w("initial ")
+		}
+		p.stmtInline(v.Body, depth)
+		p.nl()
+	case *Instance:
+		p.indent(depth)
+		p.w(v.ModName)
+		if len(v.Params) > 0 {
+			p.w(" #(")
+			p.connections(v.Params)
+			p.w(")")
+		}
+		if v.Name != "" {
+			p.f(" %s", v.Name)
+		}
+		p.w(" (")
+		p.connections(v.Conns)
+		p.w(");\n")
+	case *GenFor:
+		p.indent(depth)
+		p.f("for (%s = ", v.Genvar)
+		p.expr(v.InitVal, 0)
+		p.w("; ")
+		p.expr(v.Cond, 0)
+		p.f("; %s = ", v.StepVar)
+		p.expr(v.StepVal, 0)
+		p.w(") begin")
+		if v.Label != "" {
+			p.f(" : %s", v.Label)
+		}
+		p.nl()
+		for _, d := range v.BodyDecl {
+			p.indent(depth + 1)
+			p.decl(d)
+			p.w(";\n")
+		}
+		for _, sub := range v.Body {
+			p.item(sub, depth+1)
+		}
+		p.line(depth, "end")
+	case *GenIf:
+		p.indent(depth)
+		p.w("if (")
+		p.expr(v.Cond, 0)
+		p.w(") begin\n")
+		for _, d := range v.ThenDecl {
+			p.indent(depth + 1)
+			p.decl(d)
+			p.w(";\n")
+		}
+		for _, sub := range v.Then {
+			p.item(sub, depth+1)
+		}
+		p.line(depth, "end")
+		if len(v.Else) > 0 || len(v.ElseDecl) > 0 {
+			p.line(depth, "else begin")
+			for _, d := range v.ElseDecl {
+				p.indent(depth + 1)
+				p.decl(d)
+				p.w(";\n")
+			}
+			for _, sub := range v.Else {
+				p.item(sub, depth+1)
+			}
+			p.line(depth, "end")
+		}
+	}
+}
+
+func (p *printer) connections(conns []*Connection) {
+	for i, c := range conns {
+		if i > 0 {
+			p.w(", ")
+		}
+		if c.Name != "" {
+			p.f(".%s(", c.Name)
+			if c.Expr != nil {
+				p.expr(c.Expr, 0)
+			}
+			p.w(")")
+		} else if c.Expr != nil {
+			p.expr(c.Expr, 0)
+		}
+	}
+}
+
+func (p *printer) function(f *Func) {
+	p.indent(1)
+	p.w("function ")
+	if f.Integer {
+		p.w("integer ")
+	} else {
+		if f.Signed {
+			p.w("signed ")
+		}
+		if f.Ret != nil {
+			p.rangeSpec(f.Ret)
+			p.w(" ")
+		}
+	}
+	p.f("%s;\n", f.Name)
+	for _, in := range f.Inputs {
+		p.indent(2)
+		p.w(in.Dir)
+		p.w(" ")
+		if in.Signed {
+			p.w("signed ")
+		}
+		if in.Vec != nil {
+			p.rangeSpec(in.Vec)
+			p.w(" ")
+		}
+		p.f("%s;\n", in.Name)
+	}
+	for _, lc := range f.Locals {
+		p.indent(2)
+		p.decl(lc)
+		p.w(";\n")
+	}
+	p.indent(2)
+	p.stmtInline(f.Body, 2)
+	p.nl()
+	p.line(1, "endfunction")
+}
+
+func (p *printer) task(t *Task) {
+	p.line(1, "task %s;", t.Name)
+	for _, in := range t.Inputs {
+		p.indent(2)
+		p.w(in.Dir)
+		p.w(" ")
+		if in.Vec != nil {
+			p.rangeSpec(in.Vec)
+			p.w(" ")
+		}
+		p.f("%s;\n", in.Name)
+	}
+	for _, lc := range t.Locals {
+		p.indent(2)
+		p.decl(lc)
+		p.w(";\n")
+	}
+	p.indent(2)
+	p.stmtInline(t.Body, 2)
+	p.nl()
+	p.line(1, "endtask")
+}
+
+// stmt prints a statement on its own indented line.
+func (p *printer) stmt(s Stmt, depth int) {
+	p.indent(depth)
+	p.stmtInline(s, depth)
+	p.nl()
+}
+
+// stmtInline prints a statement starting at the current position.
+func (p *printer) stmtInline(s Stmt, depth int) {
+	switch v := s.(type) {
+	case nil:
+		p.w(";")
+	case *NullStmt:
+		p.w(";")
+	case *Block:
+		p.w("begin")
+		if v.Name != "" {
+			p.f(" : %s", v.Name)
+		}
+		p.nl()
+		for _, d := range v.Decls {
+			p.indent(depth + 1)
+			p.decl(d)
+			p.w(";\n")
+		}
+		for _, sub := range v.Stmts {
+			p.stmt(sub, depth+1)
+		}
+		p.indent(depth)
+		p.w("end")
+	case *AssignStmt:
+		p.expr(v.LHS, 0)
+		if v.Blocking {
+			p.w(" = ")
+		} else {
+			p.w(" <= ")
+		}
+		if v.Delay != nil {
+			p.w("#")
+			p.expr(v.Delay, 0)
+			p.w(" ")
+		}
+		p.expr(v.RHS, 0)
+		p.w(";")
+	case *IfStmt:
+		p.w("if (")
+		p.expr(v.Cond, 0)
+		p.w(") ")
+		p.stmtInline(v.Then, depth)
+		if v.Else != nil {
+			p.nl()
+			p.indent(depth)
+			p.w("else ")
+			p.stmtInline(v.Else, depth)
+		}
+	case *CaseStmt:
+		switch v.Kind {
+		case CaseZ:
+			p.w("casez (")
+		case CaseX:
+			p.w("casex (")
+		default:
+			p.w("case (")
+		}
+		p.expr(v.Expr, 0)
+		p.w(")\n")
+		for _, item := range v.Items {
+			p.indent(depth + 1)
+			if item.Exprs == nil {
+				p.w("default: ")
+			} else {
+				for i, e := range item.Exprs {
+					if i > 0 {
+						p.w(", ")
+					}
+					p.expr(e, 0)
+				}
+				p.w(": ")
+			}
+			p.stmtInline(item.Body, depth+1)
+			p.nl()
+		}
+		p.indent(depth)
+		p.w("endcase")
+	case *ForStmt:
+		p.w("for (")
+		p.forAssign(v.Init)
+		p.w("; ")
+		p.expr(v.Cond, 0)
+		p.w("; ")
+		p.forAssign(v.Post)
+		p.w(") ")
+		p.stmtInline(v.Body, depth)
+	case *WhileStmt:
+		p.w("while (")
+		p.expr(v.Cond, 0)
+		p.w(") ")
+		p.stmtInline(v.Body, depth)
+	case *RepeatStmt:
+		p.w("repeat (")
+		p.expr(v.Count, 0)
+		p.w(") ")
+		p.stmtInline(v.Body, depth)
+	case *ForeverStmt:
+		p.w("forever ")
+		p.stmtInline(v.Body, depth)
+	case *DelayStmt:
+		p.w("#")
+		p.expr(v.Delay, 0)
+		if v.Stmt == nil {
+			p.w(";")
+		} else {
+			p.w(" ")
+			p.stmtInline(v.Stmt, depth)
+		}
+	case *EventStmt:
+		if v.Star {
+			p.w("@(*)")
+		} else {
+			p.w("@(")
+			for i, e := range v.Events {
+				if i > 0 {
+					p.w(" or ")
+				}
+				if e.Edge != "" {
+					p.w(e.Edge)
+					p.w(" ")
+				}
+				p.expr(e.X, 0)
+			}
+			p.w(")")
+		}
+		if v.Stmt == nil {
+			p.w(";")
+		} else {
+			p.w(" ")
+			p.stmtInline(v.Stmt, depth)
+		}
+	case *WaitStmt:
+		p.w("wait (")
+		p.expr(v.Cond, 0)
+		p.w(")")
+		if v.Stmt == nil {
+			p.w(";")
+		} else {
+			p.w(" ")
+			p.stmtInline(v.Stmt, depth)
+		}
+	case *SysTaskStmt:
+		p.w(v.Name)
+		if len(v.Args) > 0 {
+			p.w("(")
+			for i, a := range v.Args {
+				if i > 0 {
+					p.w(", ")
+				}
+				p.expr(a, 0)
+			}
+			p.w(")")
+		}
+		p.w(";")
+	case *TaskCallStmt:
+		if strings.HasPrefix(v.Name, "->") {
+			p.f("-> %s;", v.Name[2:])
+			return
+		}
+		p.w(v.Name)
+		if len(v.Args) > 0 {
+			p.w("(")
+			for i, a := range v.Args {
+				if i > 0 {
+					p.w(", ")
+				}
+				p.expr(a, 0)
+			}
+			p.w(")")
+		}
+		p.w(";")
+	case *DisableStmt:
+		p.f("disable %s;", v.Name)
+	default:
+		p.w("/* unprintable statement */;")
+	}
+}
+
+func (p *printer) forAssign(s Stmt) {
+	if a, ok := s.(*AssignStmt); ok {
+		p.expr(a.LHS, 0)
+		p.w(" = ")
+		p.expr(a.RHS, 0)
+	}
+}
+
+// opText maps operator kinds back to their source spelling.
+func opText(k Kind) string {
+	switch k {
+	case PLUS:
+		return "+"
+	case MINUS:
+		return "-"
+	case STAR:
+		return "*"
+	case SLASH:
+		return "/"
+	case PERCENT:
+		return "%"
+	case POW:
+		return "**"
+	case NOT:
+		return "!"
+	case TILD:
+		return "~"
+	case AND:
+		return "&"
+	case OR:
+		return "|"
+	case XOR:
+		return "^"
+	case XNOR:
+		return "^~"
+	case NAND:
+		return "~&"
+	case NOR:
+		return "~|"
+	case LAND:
+		return "&&"
+	case LOR:
+		return "||"
+	case EQEQ:
+		return "=="
+	case NEQ:
+		return "!="
+	case CASEEQ:
+		return "==="
+	case CASENE:
+		return "!=="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	case SHL:
+		return "<<"
+	case SHR:
+		return ">>"
+	case ASHL:
+		return "<<<"
+	case ASHR:
+		return ">>>"
+	}
+	return "?"
+}
+
+// expr prints an expression; parent is the parent operator precedence (0 =
+// no parent, parenthesize as needed).
+func (p *printer) expr(e Expr, parent int) {
+	switch v := e.(type) {
+	case nil:
+		return
+	case *Number:
+		p.w(v.Text)
+	case *RealLit:
+		p.w(v.Text)
+	case *StringLit:
+		p.f("%q", v.Value)
+	case *Ident:
+		p.w(v.Name)
+	case *HierIdent:
+		p.w(strings.Join(v.Parts, "."))
+	case *Unary:
+		p.w(opText(v.Op))
+		p.exprParen(v.X, 12)
+	case *Binary:
+		prec := binPrec(v.Op)
+		if prec < parent {
+			p.w("(")
+		}
+		p.exprParen(v.X, prec)
+		p.f(" %s ", opText(v.Op))
+		p.exprParen(v.Y, prec+1)
+		if prec < parent {
+			p.w(")")
+		}
+	case *Ternary:
+		if parent > 0 {
+			p.w("(")
+		}
+		p.exprParen(v.Cond, 1)
+		p.w(" ? ")
+		p.expr(v.Then, 0)
+		p.w(" : ")
+		p.expr(v.Else, 0)
+		if parent > 0 {
+			p.w(")")
+		}
+	case *Concat:
+		p.w("{")
+		for i, part := range v.Parts {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.expr(part, 0)
+		}
+		p.w("}")
+	case *Repl:
+		p.w("{")
+		p.expr(v.Count, 0)
+		p.w("{")
+		for i, part := range v.Parts {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.expr(part, 0)
+		}
+		p.w("}}")
+	case *Index:
+		p.exprParen(v.X, 13)
+		p.w("[")
+		p.expr(v.Idx, 0)
+		p.w("]")
+	case *PartSelect:
+		p.exprParen(v.X, 13)
+		p.w("[")
+		p.expr(v.Left, 0)
+		switch v.Mode {
+		case PartUp:
+			p.w("+:")
+		case PartDown:
+			p.w("-:")
+		default:
+			p.w(":")
+		}
+		p.expr(v.Right, 0)
+		p.w("]")
+	case *Call:
+		p.w(v.Name)
+		p.w("(")
+		for i, a := range v.Args {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.w(")")
+	default:
+		p.w("/*?*/")
+	}
+}
+
+// exprParen prints a subexpression, parenthesizing when its precedence is
+// lower than required.
+func (p *printer) exprParen(e Expr, need int) {
+	switch v := e.(type) {
+	case *Binary:
+		if binPrec(v.Op) < need {
+			p.w("(")
+			p.expr(e, 0)
+			p.w(")")
+			return
+		}
+		p.expr(e, need)
+	case *Ternary:
+		p.w("(")
+		p.expr(e, 0)
+		p.w(")")
+	case *Unary:
+		if need > 12 {
+			p.w("(")
+			p.expr(e, 0)
+			p.w(")")
+			return
+		}
+		p.expr(e, 0)
+	default:
+		p.expr(e, 0)
+	}
+}

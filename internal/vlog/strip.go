@@ -1,0 +1,133 @@
+package vlog
+
+import "strings"
+
+// StripComments removes // line comments and /* */ block comments from src
+// while preserving string literals and all other text (including newlines
+// inside block comments, so line numbers survive). The paper's copyright
+// benchmark strips comments from prompt files so that copyright headers do
+// not leak into prompts (§III-A).
+func StripComments(src string) string {
+	var sb strings.Builder
+	sb.Grow(len(src))
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '"':
+			// Copy the string literal verbatim.
+			sb.WriteByte(c)
+			i++
+			for i < n {
+				if src[i] == '\\' && i+1 < n {
+					sb.WriteByte(src[i])
+					sb.WriteByte(src[i+1])
+					i += 2
+					continue
+				}
+				sb.WriteByte(src[i])
+				if src[i] == '"' {
+					i++
+					break
+				}
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i < n {
+				if src[i] == '*' && i+1 < n && src[i+1] == '/' {
+					i += 2
+					break
+				}
+				if src[i] == '\n' {
+					sb.WriteByte('\n')
+				}
+				i++
+			}
+		default:
+			sb.WriteByte(c)
+			i++
+		}
+	}
+	return sb.String()
+}
+
+// HeaderComment returns the leading comment block of a file (the usual home
+// of license and copyright declarations), as plain text with comment markers
+// removed. Scanning stops at the first non-comment, non-blank line.
+func HeaderComment(src string) string {
+	var sb strings.Builder
+	i := 0
+	n := len(src)
+	for i < n {
+		// Skip horizontal whitespace.
+		for i < n && (src[i] == ' ' || src[i] == '\t' || src[i] == '\r' || src[i] == '\n') {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		if src[i] == '/' && i+1 < n && src[i+1] == '/' {
+			i += 2
+			start := i
+			for i < n && src[i] != '\n' {
+				i++
+			}
+			sb.WriteString(strings.TrimSpace(src[start:i]))
+			sb.WriteByte('\n')
+			continue
+		}
+		if src[i] == '/' && i+1 < n && src[i+1] == '*' {
+			i += 2
+			start := i
+			for i < n && !(src[i] == '*' && i+1 < n && src[i+1] == '/') {
+				i++
+			}
+			sb.WriteString(strings.TrimSpace(src[start:i]))
+			sb.WriteByte('\n')
+			if i < n {
+				i += 2
+			}
+			continue
+		}
+		if src[i] == '`' {
+			// Directives may precede the header comment.
+			for i < n && src[i] != '\n' {
+				i++
+			}
+			continue
+		}
+		break
+	}
+	return sb.String()
+}
+
+// Words splits text into whitespace-separated words, the unit the paper uses
+// for its 64-word prompt cap.
+func Words(text string) []string {
+	return strings.Fields(text)
+}
+
+// FirstFraction returns approximately the first frac (0..1] of src measured
+// in words, capped at maxWords words. This mirrors the paper's prompt
+// construction: "the first 20% of a copyrighted code file, with a limit of
+// 64 words per prompt".
+func FirstFraction(src string, frac float64, maxWords int) string {
+	ws := Words(src)
+	n := int(float64(len(ws)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	if maxWords > 0 && n > maxWords {
+		n = maxWords
+	}
+	if n > len(ws) {
+		n = len(ws)
+	}
+	return strings.Join(ws[:n], " ")
+}

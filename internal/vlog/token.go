@@ -1,0 +1,171 @@
+// Package vlog implements a lexer, parser, and AST for a practical subset of
+// Verilog-2005 (IEEE 1364): synthesizable RTL plus the behavioral constructs
+// needed for testbenches (delays, event controls, system tasks).
+//
+// The package plays the role Icarus Verilog plays in the paper's curation
+// pipeline (a file is retained iff it parses) and provides the AST consumed
+// by the event-driven simulator in internal/vsim.
+package vlog
+
+import "fmt"
+
+// Kind classifies a lexical token.
+type Kind int
+
+// Token kinds. Operators use one kind per spelling so the parser can switch
+// on exact operator identity.
+const (
+	EOF Kind = iota
+	IDENT
+	SYSNAME // $display, $time, ...
+	NUMBER  // 12, 4'b10x0, 8'hff, 1.5
+	STRING  // "..."
+
+	KEYWORD
+
+	// Punctuation and operators.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACK   // [
+	RBRACK   // ]
+	LBRACE   // {
+	RBRACE   // }
+	SEMI     // ;
+	COLON    // :
+	COMMA    // ,
+	DOT      // .
+	AT       // @
+	HASH     // #
+	QUESTION // ?
+	EQ       // =
+
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	POW     // **
+
+	NOT  // !
+	TILD // ~
+	AND  // &
+	OR   // |
+	XOR  // ^
+	XNOR // ^~ or ~^
+	NAND // ~&
+	NOR  // ~|
+
+	LAND // &&
+	LOR  // ||
+
+	EQEQ   // ==
+	NEQ    // !=
+	CASEEQ // ===
+	CASENE // !==
+	LT     // <
+	LE     // <=
+	GT     // >
+	GE     // >=
+
+	SHL  // <<
+	SHR  // >>
+	ASHL // <<<
+	ASHR // >>>
+
+	PLUSCOLON  // +:
+	MINUSCOLON // -:
+	ARROW      // ->
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", SYSNAME: "system name", NUMBER: "number",
+	STRING: "string", KEYWORD: "keyword",
+	LPAREN: "(", RPAREN: ")", LBRACK: "[", RBRACK: "]", LBRACE: "{", RBRACE: "}",
+	SEMI: ";", COLON: ":", COMMA: ",", DOT: ".", AT: "@", HASH: "#",
+	QUESTION: "?", EQ: "=",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%", POW: "**",
+	NOT: "!", TILD: "~", AND: "&", OR: "|", XOR: "^", XNOR: "^~",
+	NAND: "~&", NOR: "~|", LAND: "&&", LOR: "||",
+	EQEQ: "==", NEQ: "!=", CASEEQ: "===", CASENE: "!==",
+	LT: "<", LE: "<=", GT: ">", GE: ">=",
+	SHL: "<<", SHR: ">>", ASHL: "<<<", ASHR: ">>>",
+	PLUSCOLON: "+:", MINUSCOLON: "-:", ARROW: "->",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Pos locates a token in its source file.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // raw text (for IDENT, KEYWORD, NUMBER, STRING value, SYSNAME)
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, KEYWORD, NUMBER, SYSNAME:
+		return t.Text
+	case STRING:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// keywords is the set of reserved words recognized by the lexer. Reserved
+// words that the parser does not support still lex as keywords so that the
+// parser can produce a precise "unsupported construct" error.
+var keywords = map[string]bool{
+	"module": true, "endmodule": true, "macromodule": true,
+	"input": true, "output": true, "inout": true,
+	"wire": true, "reg": true, "integer": true, "real": true, "time": true,
+	"realtime": true, "tri": true, "tri0": true, "tri1": true, "triand": true,
+	"trior": true, "trireg": true, "wand": true, "wor": true,
+	"supply0": true, "supply1": true,
+	"parameter": true, "localparam": true, "defparam": true,
+	"assign": true, "deassign": true, "force": true, "release": true,
+	"always": true, "initial": true,
+	"begin": true, "end": true,
+	"if": true, "else": true,
+	"case": true, "casez": true, "casex": true, "endcase": true, "default": true,
+	"for": true, "while": true, "repeat": true, "forever": true,
+	"posedge": true, "negedge": true, "edge": true, "or": true,
+	"function": true, "endfunction": true, "task": true, "endtask": true,
+	"automatic": true,
+	"genvar":    true, "generate": true, "endgenerate": true,
+	"signed": true, "scalared": true, "vectored": true,
+	"wait": true, "disable": true, "event": true,
+	"fork": true, "join": true,
+	"and": true, "nand": true, "nor": true, "not": true,
+	"xor": true, "xnor": true, "buf": true, "bufif0": true, "bufif1": true,
+	"notif0": true, "notif1": true,
+	"specify": true, "endspecify": true, "specparam": true,
+	"primitive": true, "endprimitive": true, "table": true, "endtable": true,
+	"pullup": true, "pulldown": true,
+	"cmos": true, "rcmos": true, "nmos": true, "pmos": true, "rnmos": true,
+	"rpmos": true, "tran": true, "rtran": true, "tranif0": true, "tranif1": true,
+	"rtranif0": true, "rtranif1": true,
+	"strong0": true, "strong1": true, "pull0": true, "pull1": true,
+	"weak0": true, "weak1": true, "highz0": true, "highz1": true,
+	"small": true, "medium": true, "large": true,
+}
+
+// gatePrimitives are the built-in gate types that may be instantiated like
+// modules: `and g1 (y, a, b);`.
+var gatePrimitives = map[string]bool{
+	"and": true, "nand": true, "or": true, "nor": true, "xor": true,
+	"xnor": true, "buf": true, "not": true,
+}

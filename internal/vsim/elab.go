@@ -1,0 +1,688 @@
+package vsim
+
+import (
+	"fmt"
+
+	"freehw/internal/vlog"
+)
+
+// ElabError reports a problem during design elaboration.
+type ElabError struct {
+	Where string
+	Msg   string
+}
+
+func (e *ElabError) Error() string { return fmt.Sprintf("elaborate %s: %s", e.Where, e.Msg) }
+
+// Signal is one elaborated net or variable (or memory).
+type Signal struct {
+	Name     string // local name
+	FullName string // hierarchical name
+	Width    int
+	Signed   bool
+	IsNet    bool // nets resolve from drivers; variables are written directly
+	isEvent  bool // declared with `event`
+	VecLo    int  // declared low bit index: bit offset = declared index - VecLo
+	Val      Value
+
+	// Memories: Array non-nil, indexed [idx-ArrLo].
+	Array []Value
+	ArrLo int
+	ArrHi int
+
+	drivers  []*driver
+	watchers []*watcher
+}
+
+type driver struct {
+	val Value // full signal width; z on undriven bits
+}
+
+// watcher is a sensitivity subscription: when any source signal changes the
+// watcher's expression is re-evaluated and compared for the requested edge.
+type watcher struct {
+	edge    string // "", "posedge", "negedge"
+	expr    vlog.Expr
+	scope   *Scope
+	last    Value
+	oneShot bool
+	// group ties the watchers of one event-control wait together: when any
+	// member fires, the whole group dies (an @(a or b) wait must not be
+	// woken twice).
+	group *waitGroup
+	// exactly one of the following is set
+	proc *proc
+	cont *contAssign
+	wake func() // used by wait statements and monitors
+	dead bool
+}
+
+type waitGroup struct{ done bool }
+
+// contAssign is an elaborated continuous assignment (also used for port
+// connections and gate primitives). Port connections evaluate their two
+// sides in different scopes, hence the separate rhsScope.
+type contAssign struct {
+	name     string
+	scope    *Scope // scope for the LHS (and RHS unless rhsScope is set)
+	rhsScope *Scope
+	lhs      vlog.Expr
+	rhs      vlog.Expr
+	drv      map[*Signal]*driver // driver slot per target signal
+	inEval   bool
+}
+
+func (c *contAssign) rhsScopeOr() *Scope {
+	if c.rhsScope != nil {
+		return c.rhsScope
+	}
+	return c.scope
+}
+
+// Scope is one level of the elaborated hierarchy (module instance or
+// generate block iteration).
+type Scope struct {
+	Name    string
+	Module  *vlog.Module
+	Params  map[string]Value
+	Signals map[string]*Signal
+	Genvars map[string]Value
+	Parent  *Scope
+	Childs  map[string]*Scope
+
+	sigOrder []*Signal
+}
+
+func newScope(name string, m *vlog.Module, parent *Scope) *Scope {
+	return &Scope{
+		Name: name, Module: m, Parent: parent,
+		Params:  map[string]Value{},
+		Signals: map[string]*Signal{},
+		Genvars: map[string]Value{},
+		Childs:  map[string]*Scope{},
+	}
+}
+
+// lookupSignal walks the scope chain.
+func (s *Scope) lookupSignal(name string) (*Signal, bool) {
+	for sc := s; sc != nil; sc = sc.Parent {
+		if sig, ok := sc.Signals[name]; ok {
+			return sig, true
+		}
+	}
+	return nil, false
+}
+
+func (s *Scope) lookupParam(name string) (Value, bool) {
+	for sc := s; sc != nil; sc = sc.Parent {
+		if v, ok := sc.Genvars[name]; ok {
+			return v, true
+		}
+		if v, ok := sc.Params[name]; ok {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+// moduleScope returns the enclosing module-instance scope (skipping
+// generate-block scopes) — functions and tasks live at module level.
+func (s *Scope) moduleScope() *Scope {
+	for sc := s; sc != nil; sc = sc.Parent {
+		if sc.Module != nil {
+			return sc
+		}
+	}
+	return s
+}
+
+func (s *Scope) lookupFunc(name string) (*vlog.Func, *Scope, bool) {
+	for sc := s; sc != nil; sc = sc.Parent {
+		if sc.Module != nil {
+			for _, f := range sc.Module.Funcs {
+				if f.Name == name {
+					return f, sc, true
+				}
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+func (s *Scope) lookupTask(name string) (*vlog.Task, *Scope, bool) {
+	for sc := s; sc != nil; sc = sc.Parent {
+		if sc.Module != nil {
+			for _, t := range sc.Module.Tasks {
+				if t.Name == name {
+					return t, sc, true
+				}
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// Design is an elaborated hierarchy ready to simulate.
+type Design struct {
+	Top     *Scope
+	TopMod  *vlog.Module
+	file    *vlog.SourceFile
+	procs   []*proc
+	conts   []*contAssign
+	signals []*Signal
+}
+
+// Elaborate builds a Design for module top in file f. overrides, if non-nil,
+// replaces top-level parameter defaults by name.
+func Elaborate(f *vlog.SourceFile, top string, overrides map[string]Value) (*Design, error) {
+	mod := f.FindModule(top)
+	if mod == nil {
+		return nil, &ElabError{Where: top, Msg: "module not found"}
+	}
+	d := &Design{file: f, TopMod: mod}
+	sc, err := d.elabModule(mod, top, nil, overridesToConns(overrides), 0)
+	if err != nil {
+		return nil, err
+	}
+	d.Top = sc
+	return d, nil
+}
+
+func overridesToConns(overrides map[string]Value) []paramOverride {
+	var list []paramOverride
+	for name, v := range overrides {
+		list = append(list, paramOverride{name: name, val: v})
+	}
+	return list
+}
+
+type paramOverride struct {
+	name string
+	val  Value
+}
+
+const maxDepth = 64
+
+// elabModule instantiates mod as a scope named name under parent.
+func (d *Design) elabModule(mod *vlog.Module, name string, parent *Scope, overrides []paramOverride, depth int) (*Scope, error) {
+	if depth > maxDepth {
+		return nil, &ElabError{Where: name, Msg: "instantiation too deep (recursive modules?)"}
+	}
+	sc := newScope(name, mod, nil) // module scopes do not inherit signals
+	if parent != nil {
+		parent.Childs[lastName(name)] = sc
+	}
+
+	// Parameters, in declaration order; overrides apply to non-local params.
+	ordIdx := 0
+	nonLocal := []*vlog.Param{}
+	for _, p := range mod.Params {
+		if !p.IsLocal {
+			nonLocal = append(nonLocal, p)
+		}
+	}
+	_ = ordIdx
+	byName := map[string]Value{}
+	byPos := []Value{}
+	for _, ov := range overrides {
+		if ov.name == "" {
+			byPos = append(byPos, ov.val)
+		} else {
+			byName[ov.name] = ov.val
+		}
+	}
+	for i, v := range byPos {
+		if i < len(nonLocal) {
+			byName[nonLocal[i].Name] = v
+		}
+	}
+	for _, p := range mod.Params {
+		var v Value
+		if ov, ok := byName[p.Name]; ok && !p.IsLocal {
+			v = ov
+		} else {
+			ev, err := d.constExpr(sc, p.Value)
+			if err != nil {
+				return nil, &ElabError{Where: name + "." + p.Name, Msg: err.Error()}
+			}
+			v = ev
+		}
+		if p.Vec != nil {
+			w, _, _, err := d.rangeWidth(sc, p.Vec)
+			if err != nil {
+				return nil, &ElabError{Where: name + "." + p.Name, Msg: err.Error()}
+			}
+			v = v.Resize(w)
+		}
+		v.Signed = v.Signed || p.Signed
+		sc.Params[p.Name] = v
+	}
+
+	// Signal declarations.
+	for _, decl := range mod.Decls {
+		if err := d.elabDecl(sc, name, decl); err != nil {
+			return nil, err
+		}
+	}
+	// Ports without any declaration default to scalar wires.
+	for _, pt := range mod.Ports {
+		if _, ok := sc.Signals[pt.Name]; !ok {
+			d.addSignal(sc, &Signal{Name: pt.Name, FullName: name + "." + pt.Name, Width: 1, IsNet: true})
+		}
+	}
+
+	// Body items.
+	if err := d.elabItems(sc, name, mod.Items, depth); err != nil {
+		return nil, err
+	}
+
+	// Declaration initializers: wires become continuous assigns; variables
+	// are set at elaboration when the initializer is constant (so they are
+	// visible to every initial block at t=0), else become initial processes.
+	for _, decl := range mod.Decls {
+		if decl.Init == nil {
+			continue
+		}
+		lhs := &vlog.Ident{Name: decl.Name}
+		if decl.Kind == vlog.DeclWire {
+			d.addCont(sc, name+".init."+decl.Name, lhs, decl.Init)
+			continue
+		}
+		sig := sc.Signals[decl.Name]
+		if v, err := d.constExpr(sc, decl.Init); err == nil && sig != nil {
+			sig.Val = v.Resize(sig.Width)
+			sig.Val.Signed = sig.Signed
+			continue
+		}
+		st := &vlog.AssignStmt{LHS: lhs, RHS: decl.Init, Blocking: true}
+		d.procs = append(d.procs, &proc{
+			name: name + ".init." + decl.Name, scope: sc,
+			body: st, kind: vlog.ProcInitial,
+		})
+	}
+	return sc, nil
+}
+
+func lastName(hier string) string {
+	for i := len(hier) - 1; i >= 0; i-- {
+		if hier[i] == '.' {
+			return hier[i+1:]
+		}
+	}
+	return hier
+}
+
+func (d *Design) addSignal(sc *Scope, sig *Signal) {
+	sc.Signals[sig.Name] = sig
+	sc.sigOrder = append(sc.sigOrder, sig)
+	d.signals = append(d.signals, sig)
+}
+
+// rangeWidth evaluates a RangeSpec to (width, msb, lsb).
+func (d *Design) rangeWidth(sc *Scope, r *vlog.RangeSpec) (w, msb, lsb int, err error) {
+	mv, err := d.constExpr(sc, r.MSB)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	lv, err := d.constExpr(sc, r.LSB)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	m64, ok1 := mv.Int64()
+	l64, ok2 := lv.Int64()
+	if !ok1 || !ok2 {
+		return 0, 0, 0, fmt.Errorf("range bounds contain x/z")
+	}
+	msb, lsb = int(m64), int(l64)
+	w = absInt(msb-lsb) + 1
+	if w <= 0 || w > 1<<20 {
+		return 0, 0, 0, fmt.Errorf("unreasonable range width %d", w)
+	}
+	return w, msb, lsb, nil
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func (d *Design) elabDecl(sc *Scope, where string, decl *vlog.Decl) error {
+	if _, exists := sc.Signals[decl.Name]; exists {
+		// Port redeclaration (output reg q after header) merges.
+		return d.mergeDecl(sc, where, decl)
+	}
+	sig := &Signal{Name: decl.Name, FullName: where + "." + decl.Name, Signed: decl.Signed}
+	switch decl.Kind {
+	case vlog.DeclWire:
+		sig.IsNet = true
+		sig.Width = 1
+	case vlog.DeclReg:
+		sig.Width = 1
+	case vlog.DeclInteger:
+		sig.Width = 32
+		sig.Signed = true
+	case vlog.DeclTime:
+		sig.Width = 64
+	case vlog.DeclReal:
+		return &ElabError{Where: sig.FullName, Msg: "real variables are not supported"}
+	case vlog.DeclEvent:
+		sig.Width = 1
+		sig.isEvent = true
+	default:
+		return &ElabError{Where: sig.FullName, Msg: "unsupported declaration kind"}
+	}
+	if decl.Vec != nil {
+		w, msb, lsb, err := d.rangeWidth(sc, decl.Vec)
+		if err != nil {
+			return &ElabError{Where: sig.FullName, Msg: err.Error()}
+		}
+		sig.Width = w
+		if lsb < msb {
+			sig.VecLo = lsb
+		} else {
+			sig.VecLo = msb
+		}
+	}
+	if decl.Arr != nil {
+		_, msb, lsb, err := d.rangeWidth(sc, decl.Arr)
+		if err != nil {
+			return &ElabError{Where: sig.FullName, Msg: err.Error()}
+		}
+		lo, hi := lsb, msb
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi-lo+1 > 1<<22 {
+			return &ElabError{Where: sig.FullName, Msg: "memory too large"}
+		}
+		sig.ArrLo, sig.ArrHi = lo, hi
+		sig.Array = make([]Value, hi-lo+1)
+		for i := range sig.Array {
+			sig.Array[i] = NewValue(sig.Width)
+		}
+	}
+	if sig.IsNet {
+		sig.Val = NewZ(sig.Width)
+	} else if decl.Kind == vlog.DeclEvent {
+		sig.Val = NewZero(1)
+	} else {
+		sig.Val = NewValue(sig.Width)
+	}
+	sig.Val.Signed = sig.Signed
+	d.addSignal(sc, sig)
+	return nil
+}
+
+// mergeDecl handles `output [7:0] q; reg [7:0] q;` pairs: the second decl
+// refines kind/range of the existing signal.
+func (d *Design) mergeDecl(sc *Scope, where string, decl *vlog.Decl) error {
+	sig := sc.Signals[decl.Name]
+	if decl.Kind == vlog.DeclReg || decl.Kind == vlog.DeclInteger {
+		sig.IsNet = false
+	}
+	if decl.Vec != nil {
+		w, _, _, err := d.rangeWidth(sc, decl.Vec)
+		if err != nil {
+			return &ElabError{Where: sig.FullName, Msg: err.Error()}
+		}
+		if sig.Width != 1 && sig.Width != w {
+			return &ElabError{Where: sig.FullName, Msg: "conflicting widths in redeclaration"}
+		}
+		sig.Width = w
+	}
+	if decl.Signed {
+		sig.Signed = true
+	}
+	if sig.IsNet {
+		sig.Val = NewZ(sig.Width)
+	} else {
+		sig.Val = NewValue(sig.Width)
+	}
+	sig.Val.Signed = sig.Signed
+	return nil
+}
+
+func (d *Design) elabItems(sc *Scope, where string, items []vlog.Item, depth int) error {
+	for i, it := range items {
+		switch item := it.(type) {
+		case *vlog.ContAssign:
+			d.addCont(sc, fmt.Sprintf("%s.assign%d", where, i), item.LHS, item.RHS)
+		case *vlog.Process:
+			d.procs = append(d.procs, &proc{
+				name:  fmt.Sprintf("%s.proc%d", where, i),
+				scope: sc, body: item.Body, kind: item.Kind,
+			})
+		case *vlog.Instance:
+			if err := d.elabInstance(sc, where, item, depth); err != nil {
+				return err
+			}
+		case *vlog.GenFor:
+			if err := d.elabGenFor(sc, where, item, depth); err != nil {
+				return err
+			}
+		case *vlog.GenIf:
+			if err := d.elabGenIf(sc, where, item, depth); err != nil {
+				return err
+			}
+		default:
+			return &ElabError{Where: where, Msg: fmt.Sprintf("unsupported item %T", it)}
+		}
+	}
+	return nil
+}
+
+func (d *Design) addCont(sc *Scope, name string, lhs, rhs vlog.Expr) {
+	d.conts = append(d.conts, &contAssign{name: name, scope: sc, lhs: lhs, rhs: rhs, drv: map[*Signal]*driver{}})
+}
+
+// elabGenFor unrolls a generate-for into child scopes label[i].
+func (d *Design) elabGenFor(sc *Scope, where string, gf *vlog.GenFor, depth int) error {
+	if gf.Genvar != gf.StepVar {
+		return &ElabError{Where: where, Msg: "generate loop must step its own genvar"}
+	}
+	iv, err := d.constExpr(sc, gf.InitVal)
+	if err != nil {
+		return &ElabError{Where: where, Msg: err.Error()}
+	}
+	cur, ok := iv.Int64()
+	if !ok {
+		return &ElabError{Where: where, Msg: "generate init is x/z"}
+	}
+	label := gf.Label
+	if label == "label" || label == "" {
+		label = "genblk"
+	}
+	for iter := 0; ; iter++ {
+		if iter > 1<<16 {
+			return &ElabError{Where: where, Msg: "generate loop does not terminate"}
+		}
+		// Evaluate condition with genvar bound.
+		tmp := newScope(where, nil, nil)
+		tmp.Parent = sc
+		tmp.Genvars[gf.Genvar] = FromInt64(cur, 32)
+		cv, err := d.constExpr(tmp, gf.Cond)
+		if err != nil {
+			return &ElabError{Where: where, Msg: err.Error()}
+		}
+		if !cv.IsTrue() {
+			break
+		}
+		// Child scope for this iteration.
+		child := newScope(fmt.Sprintf("%s.%s[%d]", where, label, cur), nil, nil)
+		child.Parent = sc
+		child.Genvars[gf.Genvar] = FromInt64(cur, 32)
+		sc.Childs[fmt.Sprintf("%s[%d]", label, cur)] = child
+		for _, decl := range gf.BodyDecl {
+			if err := d.elabDecl(child, child.Name, decl); err != nil {
+				return err
+			}
+		}
+		if err := d.elabItems(child, child.Name, gf.Body, depth); err != nil {
+			return err
+		}
+		// Step.
+		sv, err := d.constExpr(tmp, gf.StepVal)
+		if err != nil {
+			return &ElabError{Where: where, Msg: err.Error()}
+		}
+		next, ok := sv.Int64()
+		if !ok {
+			return &ElabError{Where: where, Msg: "generate step is x/z"}
+		}
+		if next == cur {
+			return &ElabError{Where: where, Msg: "generate loop does not advance"}
+		}
+		cur = next
+	}
+	return nil
+}
+
+func (d *Design) elabGenIf(sc *Scope, where string, gi *vlog.GenIf, depth int) error {
+	cv, err := d.constExpr(sc, gi.Cond)
+	if err != nil {
+		return &ElabError{Where: where, Msg: err.Error()}
+	}
+	items, decls := gi.Else, gi.ElseDecl
+	if cv.IsTrue() {
+		items, decls = gi.Then, gi.ThenDecl
+	}
+	child := newScope(where+".genif", nil, nil)
+	child.Parent = sc
+	for _, decl := range decls {
+		if err := d.elabDecl(child, child.Name, decl); err != nil {
+			return err
+		}
+	}
+	return d.elabItems(child, child.Name, items, depth)
+}
+
+// elabInstance wires a child module or a gate primitive.
+func (d *Design) elabInstance(sc *Scope, where string, inst *vlog.Instance, depth int) error {
+	if inst.Gate {
+		return d.elabGate(sc, where, inst)
+	}
+	mod := d.file.FindModule(inst.ModName)
+	if mod == nil {
+		return &ElabError{Where: where + "." + inst.Name, Msg: "unknown module " + inst.ModName}
+	}
+	// Parameter overrides: evaluate in the parent scope.
+	var ovs []paramOverride
+	for _, pc := range inst.Params {
+		if pc.Expr == nil {
+			continue
+		}
+		v, err := d.constExpr(sc, pc.Expr)
+		if err != nil {
+			return &ElabError{Where: where + "." + inst.Name, Msg: err.Error()}
+		}
+		ovs = append(ovs, paramOverride{name: pc.Name, val: v})
+	}
+	childName := where + "." + inst.Name
+	child, err := d.elabModule(mod, childName, sc.moduleScope(), ovs, depth+1)
+	if err != nil {
+		return err
+	}
+	// Port connections.
+	conns := inst.Conns
+	named := len(conns) > 0 && conns[0].Name != ""
+	for i, pt := range mod.Ports {
+		var expr vlog.Expr
+		connected := false
+		if named {
+			for _, c := range conns {
+				if c.Name == pt.Name {
+					expr = c.Expr
+					connected = true
+					break
+				}
+			}
+		} else if i < len(conns) {
+			expr = conns[i].Expr
+			connected = expr != nil
+		}
+		if !connected || expr == nil {
+			continue
+		}
+		dir := pt.Dir
+		if dir == "" {
+			dir = "input"
+		}
+		childPort := &vlog.Ident{Name: pt.Name}
+		switch dir {
+		case "input":
+			d.conts = append(d.conts, &contAssign{
+				name:  childName + ".port." + pt.Name,
+				scope: child, rhsScope: sc,
+				lhs: childPort, rhs: expr, drv: map[*Signal]*driver{},
+			})
+		case "output":
+			d.conts = append(d.conts, &contAssign{
+				name:  childName + ".port." + pt.Name,
+				scope: sc, rhsScope: child,
+				lhs: expr, rhs: childPort, drv: map[*Signal]*driver{},
+			})
+		default:
+			return &ElabError{Where: childName, Msg: "inout ports are not supported"}
+		}
+	}
+	return nil
+}
+
+// elabGate maps gate primitives onto continuous assignments.
+func (d *Design) elabGate(sc *Scope, where string, inst *vlog.Instance) error {
+	n := len(inst.Conns)
+	if n < 2 {
+		return &ElabError{Where: where, Msg: inst.ModName + " gate needs at least 2 terminals"}
+	}
+	get := func(i int) vlog.Expr { return inst.Conns[i].Expr }
+	gname := fmt.Sprintf("%s.gate.%s.%s", where, inst.ModName, inst.Name)
+	mkRHS := func(op vlog.Kind, invert bool, args []vlog.Expr) vlog.Expr {
+		e := args[0]
+		for _, a := range args[1:] {
+			e = &vlog.Binary{Op: op, X: e, Y: a}
+		}
+		if invert {
+			e = &vlog.Unary{Op: vlog.TILD, X: e}
+		}
+		return e
+	}
+	switch inst.ModName {
+	case "buf", "not":
+		// All but the last terminal are outputs.
+		in := get(n - 1)
+		var rhs vlog.Expr = in
+		if inst.ModName == "not" {
+			rhs = &vlog.Unary{Op: vlog.TILD, X: in}
+		}
+		for i := 0; i < n-1; i++ {
+			d.addCont(sc, fmt.Sprintf("%s.o%d", gname, i), get(i), rhs)
+		}
+	default:
+		var op vlog.Kind
+		invert := false
+		switch inst.ModName {
+		case "and":
+			op = vlog.AND
+		case "nand":
+			op, invert = vlog.AND, true
+		case "or":
+			op = vlog.OR
+		case "nor":
+			op, invert = vlog.OR, true
+		case "xor":
+			op = vlog.XOR
+		case "xnor":
+			op, invert = vlog.XOR, true
+		default:
+			return &ElabError{Where: where, Msg: "unsupported gate " + inst.ModName}
+		}
+		args := make([]vlog.Expr, 0, n-1)
+		for i := 1; i < n; i++ {
+			args = append(args, get(i))
+		}
+		d.addCont(sc, gname, get(0), mkRHS(op, invert, args))
+	}
+	return nil
+}
