@@ -14,7 +14,6 @@ import (
 	"freehw/internal/core"
 	"freehw/internal/curation"
 	"freehw/internal/dedup"
-	"freehw/internal/lm"
 	"freehw/internal/similarity"
 	"freehw/internal/training"
 	"freehw/internal/veval"
@@ -236,11 +235,3 @@ func BenchmarkCurationPipeline(b *testing.B) {
 	}
 }
 
-var _ = lm.DefaultConfig // keep lm imported for godoc cross-reference
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [-scale 0.25] [-seed 1] [-evaln 10] [-problems 0] [-skip-eval]
+//	repro [-scale 0.25] [-seed 1] [-evaln 10] [-problems 0] [-skip-eval] [-workers 0]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 		problems = flag.Int("problems", 0, "cap on problem count (0 = all 156)")
 		skipEval = flag.Bool("skip-eval", false, "skip the (slow) Table II evaluation")
 		skipFig3 = flag.Bool("skip-fig3", false, "skip the Figure 3 copyright benchmark")
+		workers  = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.EvalN = *evalN
 	cfg.EvalProblems = *problems
+	cfg.Workers = *workers
 
 	start := time.Now()
 	log.Printf("building world at scale %.2f and scraping the simulated GitHub...", *scale)

@@ -1,0 +1,3 @@
+module freehw
+
+go 1.24

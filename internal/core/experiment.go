@@ -16,13 +16,12 @@ import (
 	"freehw/internal/curation"
 	"freehw/internal/dedup"
 	"freehw/internal/gitsim"
-	"freehw/internal/license"
 	"freehw/internal/lm"
+	"freehw/internal/par"
 	"freehw/internal/similarity"
 	"freehw/internal/tokenizer"
 	"freehw/internal/training"
 	"freehw/internal/veval"
-	"freehw/internal/vlog"
 )
 
 // Config sizes the full experiment.
@@ -39,6 +38,9 @@ type Config struct {
 	EvalProblems int
 	// GitRateLimit enables server-side throttling during the scrape.
 	GitRateLimit int
+	// Workers bounds concurrency everywhere (0 = GOMAXPROCS). Every result
+	// is identical for any worker count; see the determinism tests.
+	Workers int
 }
 
 // DefaultConfig returns the flagship configuration used by the benches.
@@ -114,28 +116,40 @@ func New(cfg Config) (*Experiment, error) {
 		WindowSplits: client.WindowSplit,
 	}
 
-	e.FreeSet = curation.RunFreeSet(repos)
-	e.VeriGenLike = curation.RunVeriGenLike(repos)
-	e.DirtyLicensed = curation.Run(repos, curation.Options{
-		Mask:  curation.StageMask{SkipCopyright: true},
-		Dedup: dedup.Options{Threshold: 0.85, Seed: 1},
+	// One shared extraction feeds all three funnel variants: per-file
+	// shingles, copyright scans, and syntax verdicts are computed once
+	// (concurrently) instead of once per pipeline, and the three funnels
+	// themselves run in parallel. The worker budget is split between the
+	// two levels so total concurrency stays within cfg.Workers.
+	ex := curation.Extract(repos, dedup.Options{Threshold: 0.85, Seed: 1}, cfg.Workers)
+	funnelOpts := []curation.Options{
+		curation.FreeSetOptions(),
+		curation.VeriGenLikeOptions(),
+		{Mask: curation.StageMask{SkipCopyright: true}},
+	}
+	outerWorkers, innerWorkers := par.Split(cfg.Workers, len(funnelOpts))
+	funnels := par.Map(outerWorkers, len(funnelOpts), func(i int) *curation.Result {
+		opt := funnelOpts[i]
+		opt.Workers = innerWorkers
+		return curation.RunExtracted(ex, opt)
 	})
+	e.FreeSet, e.VeriGenLike, e.DirtyLicensed = funnels[0], funnels[1], funnels[2]
 
 	// Pre-training pools. The web slice excludes detectably protected files
 	// so that each base model's contamination is exactly its LeakFiles knob
 	// (foundation-model labs do run coarse license filters on pre-training
-	// code; the residual exposure is what LeakFiles calibrates).
+	// code; the residual exposure is what LeakFiles calibrates). The header
+	// scans are the extraction's memoized ones, shared with the funnels.
 	e.General = corpus.GeneralText(cfg.Seed+11, 400)
-	for _, r := range repos {
-		for _, f := range r.Files {
-			if !curation.IsVerilogPath(f.Path) {
-				continue
-			}
-			if license.ScanHeader(vlog.HeaderComment(f.Content)).Protected {
-				continue
-			}
-			e.WebFiles = append(e.WebFiles, f.Content)
+	files := ex.Files()
+	par.ForEach(cfg.Workers, len(files), func(i int) {
+		files[i].HeaderScan()
+	})
+	for _, f := range files {
+		if f.HeaderScan().Protected {
+			continue
 		}
+		e.WebFiles = append(e.WebFiles, f.Record().Content)
 	}
 
 	// The copyright benchmark corpus: comment-stripped bodies of the full
@@ -147,7 +161,7 @@ func New(cfg Config) (*Experiment, error) {
 		names[i] = pf.Name
 		texts[i] = pf.Body
 	}
-	e.ProtCorpus = similarity.NewCorpus(names, texts)
+	e.ProtCorpus = similarity.NewCorpusWorkers(names, texts, cfg.Workers)
 
 	var promptNames, promptTexts []string
 	for _, pi := range world.PlacedProtected {
@@ -211,7 +225,12 @@ type Zoo struct {
 	Specs   map[string]ModelSpec
 }
 
-// BuildZoo trains every model in specs (bases first).
+// BuildZoo trains every model in specs. Training runs are independent
+// within a dependency level, so models train concurrently in base-first
+// topological waves: wave 0 is every foundation model, wave 1 every model
+// whose base trained in an earlier wave, and so on. Results are identical
+// to sequential training (each run depends only on its spec and base), and
+// z.Order preserves the spec order regardless of wave scheduling.
 func (e *Experiment) BuildZoo(specs []ModelSpec) (*Zoo, error) {
 	z := &Zoo{
 		Models:  map[string]*lm.Model{},
@@ -219,16 +238,49 @@ func (e *Experiment) BuildZoo(specs []ModelSpec) (*Zoo, error) {
 		Specs:   map[string]ModelSpec{},
 	}
 	for _, spec := range specs {
-		if _, dup := z.Models[spec.Name]; dup {
+		if _, dup := z.Specs[spec.Name]; dup {
 			return nil, fmt.Errorf("core: duplicate model %q", spec.Name)
 		}
-		m, rep, err := e.trainModel(z, spec)
-		if err != nil {
-			return nil, err
-		}
-		z.Models[spec.Name] = m
-		z.Reports[spec.Name] = rep
 		z.Specs[spec.Name] = spec
+	}
+
+	type trained struct {
+		m   *lm.Model
+		rep training.Report
+		err error
+	}
+	pending := make([]ModelSpec, len(specs))
+	copy(pending, specs)
+	for len(pending) > 0 {
+		// Collect the next wave: every pending spec whose base is ready.
+		var wave, rest []ModelSpec
+		for _, spec := range pending {
+			if spec.Base == "" || z.Models[spec.Base] != nil {
+				wave = append(wave, spec)
+			} else {
+				rest = append(rest, spec)
+			}
+		}
+		if len(wave) == 0 {
+			// No progress: the first stuck spec names a base that is
+			// neither built nor buildable before it.
+			spec := rest[0]
+			return nil, fmt.Errorf("core: base model %q not built before %q", spec.Base, spec.Name)
+		}
+		results := par.MapSlice(e.Cfg.Workers, wave, func(spec ModelSpec) trained {
+			m, rep, err := e.trainModel(z, spec)
+			return trained{m: m, rep: rep, err: err}
+		})
+		for i, r := range results {
+			if r.err != nil {
+				return nil, r.err
+			}
+			z.Models[wave[i].Name] = r.m
+			z.Reports[wave[i].Name] = r.rep
+		}
+		pending = rest
+	}
+	for _, spec := range specs {
 		z.Order = append(z.Order, spec.Name)
 	}
 	return z, nil
@@ -267,6 +319,33 @@ func trainBaseModel(name string, tok *tokenizer.Tokenizer, general, web []string
 	return m, rep, nil
 }
 
+// leakIndices selects which placed protected files a spec's pre-training
+// leaks: spread across the placed set (distinct per base model) so
+// base-model exposure is not concentrated on the benchmark's prompt head.
+// Returns indices into World.PlacedProtected, in selection order.
+func (e *Experiment) leakIndices(spec ModelSpec) []int {
+	placed := e.World.PlacedProtected
+	if spec.LeakFiles <= 0 || len(placed) == 0 {
+		return nil
+	}
+	step := len(placed)/spec.LeakFiles | 1
+	off := int(hashName(spec.Name)) % len(placed)
+	var out []int
+	seen := map[int]bool{}
+	for i := 0; len(seen) < spec.LeakFiles && i < len(placed); i++ {
+		idx := (off + i*step) % len(placed)
+		if seen[idx] {
+			idx = (idx + 1) % len(placed)
+		}
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		out = append(out, idx)
+	}
+	return out
+}
+
 // webSlice assembles a base model's uncurated pre-training Verilog.
 func (e *Experiment) webSlice(spec ModelSpec) []string {
 	var out []string
@@ -281,25 +360,8 @@ func (e *Experiment) webSlice(spec ModelSpec) []string {
 			out = append(out, e.WebFiles[i])
 		}
 	}
-	// Leak files are spread across the placed set (distinct per base model)
-	// so base-model exposure is not concentrated on the benchmark's prompt
-	// head.
-	placed := e.World.PlacedProtected
-	if spec.LeakFiles > 0 && len(placed) > 0 {
-		step := len(placed)/spec.LeakFiles | 1
-		off := int(hashName(spec.Name)) % len(placed)
-		seen := map[int]bool{}
-		for i := 0; len(seen) < spec.LeakFiles && i < len(placed); i++ {
-			idx := (off + i*step) % len(placed)
-			if seen[idx] {
-				idx = (idx + 1) % len(placed)
-			}
-			if seen[idx] {
-				continue
-			}
-			seen[idx] = true
-			out = append(out, e.World.Protected[placed[idx]].Source)
-		}
+	for _, idx := range e.leakIndices(spec) {
+		out = append(out, e.World.Protected[e.World.PlacedProtected[idx]].Source)
 	}
 	return out
 }
@@ -324,20 +386,29 @@ type CopyrightPoint struct {
 }
 
 // RunCopyrightBenchmark probes every zoo model with the protected prompts.
+// Models are independent, so they fan out across workers, and each model's
+// prompts fan out again inside RunBenchmark — with the two levels split so
+// total concurrency stays within Cfg.Workers, not Workers². An explicitly
+// set Cfg.Bench.Workers overrides the inner share (opting out of the
+// bound: concurrency is then up to outer x Bench.Workers). The points keep
+// zoo order.
 func (e *Experiment) RunCopyrightBenchmark(z *Zoo) []CopyrightPoint {
-	var out []CopyrightPoint
-	for _, name := range z.Order {
+	outer, inner := par.Split(e.Cfg.Workers, len(z.Order))
+	bench := e.Cfg.Bench
+	if bench.Workers == 0 {
+		bench.Workers = inner
+	}
+	return par.MapSlice(outer, z.Order, func(name string) CopyrightPoint {
 		m := z.Models[name]
-		rep := similarity.RunBenchmark(name, m, e.ProtCorpus, e.Prompts, e.Cfg.Bench)
-		out = append(out, CopyrightPoint{
+		rep := similarity.RunBenchmark(name, m, e.ProtCorpus, e.Prompts, bench)
+		return CopyrightPoint{
 			Model:         name,
 			Base:          z.Specs[name].Base,
 			ViolationRate: rep.ViolationRate(),
 			Violations:    rep.NumViolations,
 			Prompts:       rep.NumPrompts,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // RenderFigure3 prints the violation-rate bars.
@@ -374,7 +445,7 @@ func (e *Experiment) RunVerilogEval(m *lm.Model) EvalOutcome {
 	if e.Cfg.EvalProblems > 0 && e.Cfg.EvalProblems < len(problems) {
 		problems = problems[:e.Cfg.EvalProblems]
 	}
-	cfg := veval.EvalConfig{N: e.Cfg.EvalN, MaxTokens: 768}
+	cfg := veval.EvalConfig{N: e.Cfg.EvalN, MaxTokens: 768, Workers: e.Cfg.Workers}
 	out := EvalOutcome{Model: m.Name, ProblemsTotal: len(problems)}
 	for _, temp := range []float64{0.2, 0.8} {
 		m.SetTemperature(temp)
@@ -411,23 +482,9 @@ func TableII(outcomes []EvalOutcome) string {
 
 // LeakedFor exposes the leak-file names a spec would receive (diagnostics).
 func (e *Experiment) LeakedFor(spec ModelSpec) []string {
-	placed := e.World.PlacedProtected
 	var out []string
-	if spec.LeakFiles > 0 && len(placed) > 0 {
-		step := len(placed)/spec.LeakFiles | 1
-		off := int(hashName(spec.Name)) % len(placed)
-		seen := map[int]bool{}
-		for i := 0; len(seen) < spec.LeakFiles && i < len(placed); i++ {
-			idx := (off + i*step) % len(placed)
-			if seen[idx] {
-				idx = (idx + 1) % len(placed)
-			}
-			if seen[idx] {
-				continue
-			}
-			seen[idx] = true
-			out = append(out, e.World.Protected[placed[idx]].Name)
-		}
+	for _, idx := range e.leakIndices(spec) {
+		out = append(out, e.World.Protected[e.World.PlacedProtected[idx]].Name)
 	}
 	return out
 }

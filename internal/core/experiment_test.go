@@ -2,6 +2,7 @@ package core
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"freehw/internal/license"
@@ -9,18 +10,28 @@ import (
 	"freehw/internal/vlog"
 )
 
-// smallExperiment builds a fast, statistically meaningful environment.
+var (
+	smallOnce sync.Once
+	smallExp  *Experiment
+	smallErr  error
+)
+
+// smallExperiment returns a fast, statistically meaningful environment.
+// The experiment is immutable after New, so it is built once and shared by
+// every test that needs it.
 func smallExperiment(t testing.TB) *Experiment {
 	t.Helper()
-	cfg := DefaultConfig()
-	cfg.Scale = 0.1
-	cfg.EvalN = 4
-	cfg.EvalProblems = 24
-	e, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
+	smallOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Scale = 0.1
+		cfg.EvalN = 4
+		cfg.EvalProblems = 24
+		smallExp, smallErr = New(cfg)
+	})
+	if smallErr != nil {
+		t.Fatal(smallErr)
 	}
-	return e
+	return smallExp
 }
 
 func TestExperimentAssembly(t *testing.T) {

@@ -2,14 +2,26 @@
 // (Figure 1, §III-B..D): scraped repositories → repository-license gate →
 // Verilog extraction → MinHash/LSH de-duplication (Jaccard 0.85) →
 // per-file copyright screening → syntax check → FreeSet.
+//
+// The funnel is organized around an Extraction: a scrape's Verilog files
+// with lazily memoized per-file analyses (shingles + MinHash signature,
+// header/body copyright scans, syntax verdict). One Extraction can feed
+// several funnel variants — FreeSet, the VeriGen-style comparison corpus,
+// the license-only ablation — without recomputing any per-file work, and
+// every per-file stage fans out across CPUs while order-sensitive steps
+// (LSH insertion, result aggregation) stay sequential, keeping outputs
+// byte-identical to a serial run.
 package curation
 
 import (
 	"strings"
+	"sync"
+	"time"
 
 	"freehw/internal/dedup"
 	"freehw/internal/gitsim"
 	"freehw/internal/license"
+	"freehw/internal/par"
 	"freehw/internal/vlog"
 )
 
@@ -40,6 +52,9 @@ type Options struct {
 	// (used to build the VeriGen-like comparison dataset: its BigQuery
 	// snapshot was last updated in 2022).
 	MaxRepoYear int
+	// Workers bounds per-file concurrency (0 = GOMAXPROCS). Any worker
+	// count produces the same Result.
+	Workers int
 }
 
 // CopyrightFinding records one removed protected file.
@@ -123,53 +138,171 @@ func repoLicense(r *gitsim.RepoData) license.License {
 	return license.Unknown
 }
 
-// Run executes the funnel over scraped repositories.
-func Run(repos []gitsim.RepoData, opt Options) *Result {
-	res := &Result{}
+// ExtractedFile is one scraped Verilog file plus lazily memoized analyses.
+// Each analysis runs at most once per Extraction, no matter how many funnel
+// variants (or concurrent workers) ask for it.
+type ExtractedFile struct {
+	rec      FileRecord
+	licensed bool
 
-	// Stage 0/1: extract Verilog files; repository license gate.
-	type candidate struct {
-		rec      FileRecord
-		licensed bool
+	prepOnce sync.Once
+	prep     dedup.Prepared
+
+	hdrOnce sync.Once
+	hdrScan license.ScanResult
+
+	bodyOnce sync.Once
+	bodyHits []string
+
+	synOnce sync.Once
+	synBad  bool
+}
+
+// Record returns the file's dataset record.
+func (f *ExtractedFile) Record() FileRecord { return f.rec }
+
+// Licensed reports whether the file's repository passed the license gate.
+func (f *ExtractedFile) Licensed() bool { return f.licensed }
+
+// HeaderScan returns the memoized file-level copyright screen of the
+// header comment.
+func (f *ExtractedFile) HeaderScan() license.ScanResult {
+	f.hdrOnce.Do(func() {
+		f.hdrScan = license.ScanHeader(vlog.HeaderComment(f.rec.Content))
+	})
+	return f.hdrScan
+}
+
+// BodyHits returns the memoized sensitive-content findings of the body.
+func (f *ExtractedFile) BodyHits() []string {
+	f.bodyOnce.Do(func() {
+		f.bodyHits = license.ScanBody(f.rec.Content)
+	})
+	return f.bodyHits
+}
+
+// SyntaxBad reports the memoized syntax-filter verdict.
+func (f *ExtractedFile) SyntaxBad() bool {
+	f.synOnce.Do(func() {
+		f.synBad = vlog.Check(f.rec.Content) != nil
+	})
+	return f.synBad
+}
+
+func (f *ExtractedFile) prepared(p *dedup.Preparer) dedup.Prepared {
+	f.prepOnce.Do(func() {
+		f.prep = p.Prepare(f.rec.Content)
+	})
+	return f.prep
+}
+
+type extractedRepo struct {
+	createdAt time.Time
+	licensed  bool
+	files     []*ExtractedFile
+}
+
+// Extraction is a scrape's Verilog files with shared, memoized per-file
+// analyses, ready to feed one or more funnel runs.
+type Extraction struct {
+	repos    []extractedRepo
+	dedupOpt dedup.Options
+	prep     *dedup.Preparer
+	workers  int
+}
+
+// Extract classifies repository licenses and collects Verilog files. dopt
+// fixes the de-duplication parameters every subsequent RunExtracted uses
+// (all funnel variants must share them for the memoized shingles to be
+// valid). Repository-level work fans out across workers.
+func Extract(repos []gitsim.RepoData, dopt dedup.Options, workers int) *Extraction {
+	ex := &Extraction{
+		dedupOpt: dopt,
+		prep:     dedup.NewPreparer(dopt),
+		workers:  workers,
 	}
-	var candidates []candidate
-	for i := range repos {
+	ex.repos = par.Map(workers, len(repos), func(i int) extractedRepo {
 		r := &repos[i]
-		if opt.MaxRepoYear > 0 && !r.Meta.CreatedAt.IsZero() && r.Meta.CreatedAt.Year() > opt.MaxRepoYear {
-			continue
-		}
-		res.ReposSeen++
 		l := repoLicense(r)
-		licensed := license.Accepted(l)
-		if licensed {
-			res.ReposLicensed++
+		er := extractedRepo{
+			createdAt: r.Meta.CreatedAt,
+			licensed:  license.Accepted(l),
 		}
 		for _, f := range r.Files {
 			if !IsVerilogPath(f.Path) {
 				continue
 			}
-			res.TotalFiles++
-			candidates = append(candidates, candidate{
+			er.files = append(er.files, &ExtractedFile{
 				rec:      FileRecord{Repo: r.Meta.FullName, Path: f.Path, Content: f.Content, License: l},
-				licensed: licensed,
+				licensed: er.licensed,
 			})
 		}
-	}
+		return er
+	})
+	return ex
+}
 
-	var pool []FileRecord
-	for _, c := range candidates {
-		if opt.Mask.SkipLicense || c.licensed {
-			pool = append(pool, c.rec)
+// Files returns every extracted Verilog file in scrape order (no year
+// filtering), for consumers that need the raw pool — e.g. assembling
+// uncurated pre-training slices.
+func (ex *Extraction) Files() []*ExtractedFile {
+	var out []*ExtractedFile
+	for i := range ex.repos {
+		out = append(out, ex.repos[i].files...)
+	}
+	return out
+}
+
+// fileVerdict is a stage-3 outcome.
+type fileVerdict int8
+
+const (
+	verdictKeep fileVerdict = iota
+	verdictCopyright
+	verdictSyntax
+)
+
+// RunExtracted executes the funnel over an Extraction. The Extraction's
+// dedup parameters are authoritative (opt.Dedup is ignored); all other
+// Options apply. Calls may run concurrently over the same Extraction.
+func RunExtracted(ex *Extraction, opt Options) *Result {
+	workers := opt.Workers
+	if workers == 0 {
+		workers = ex.workers
+	}
+	res := &Result{}
+
+	// Stage 0/1: year filter, repository license gate.
+	var pool []*ExtractedFile
+	for i := range ex.repos {
+		r := &ex.repos[i]
+		if opt.MaxRepoYear > 0 && !r.createdAt.IsZero() && r.createdAt.Year() > opt.MaxRepoYear {
+			continue
+		}
+		res.ReposSeen++
+		if r.licensed {
+			res.ReposLicensed++
+		}
+		for _, f := range r.files {
+			res.TotalFiles++
+			if opt.Mask.SkipLicense || f.licensed {
+				pool = append(pool, f)
+			}
 		}
 	}
 	res.AfterLicense = len(pool)
 
-	// Stage 2: de-duplication.
+	// Stage 2: de-duplication. Shingle + MinHash + band hashes compute in
+	// parallel; the LSH insert runs sequentially in pool order so the
+	// first-seen document is always the one retained.
 	if !opt.Mask.SkipDedup {
-		idx := dedup.NewIndex(opt.Dedup)
-		var unique []FileRecord
+		par.ForEach(workers, len(pool), func(i int) {
+			pool[i].prepared(ex.prep)
+		})
+		idx := dedup.NewIndex(ex.dedupOpt)
+		var unique []*ExtractedFile
 		for _, f := range pool {
-			if idx.Add(f.Key(), f.Content).Unique {
+			if idx.AddPrepared(f.rec.Key(), f.prepared(ex.prep)).Unique {
 				unique = append(unique, f)
 			}
 		}
@@ -177,48 +310,70 @@ func Run(repos []gitsim.RepoData, opt Options) *Result {
 	}
 	res.AfterDedup = len(pool)
 
-	// Stage 3: per-file copyright screen + syntax check.
-	var final []FileRecord
-	for _, f := range pool {
+	// Stage 3: per-file copyright screen + syntax check, verdicts computed
+	// in parallel and aggregated in order.
+	verdicts := par.Map(workers, len(pool), func(i int) fileVerdict {
+		f := pool[i]
 		if !opt.Mask.SkipCopyright {
-			hdr := vlog.HeaderComment(f.Content)
-			scan := license.ScanHeader(hdr)
-			hits := license.ScanBody(f.Content)
-			if scan.Protected || len(hits) > 0 {
-				res.CopyrightRemoved++
-				res.CopyrightFindings = append(res.CopyrightFindings, CopyrightFinding{
-					Key: f.Key(), Reasons: scan.Reasons, Company: scan.Company, SensitiveHits: hits,
-				})
-				continue
+			if f.HeaderScan().Protected || len(f.BodyHits()) > 0 {
+				return verdictCopyright
 			}
 		}
-		if !opt.Mask.SkipSyntax {
-			if err := vlog.Check(f.Content); err != nil {
-				res.SyntaxRemoved++
-				continue
-			}
+		if !opt.Mask.SkipSyntax && f.SyntaxBad() {
+			return verdictSyntax
 		}
-		final = append(final, f)
-		res.Bytes += int64(len(f.Content))
+		return verdictKeep
+	})
+	var final []FileRecord
+	for i, f := range pool {
+		switch verdicts[i] {
+		case verdictCopyright:
+			res.CopyrightRemoved++
+			scan := f.HeaderScan()
+			res.CopyrightFindings = append(res.CopyrightFindings, CopyrightFinding{
+				Key: f.rec.Key(), Reasons: scan.Reasons, Company: scan.Company, SensitiveHits: f.BodyHits(),
+			})
+		case verdictSyntax:
+			res.SyntaxRemoved++
+		default:
+			final = append(final, f.rec)
+			res.Bytes += int64(len(f.rec.Content))
+		}
 	}
 	res.Files = final
 	res.FinalFiles = len(final)
 	return res
 }
 
-// RunFreeSet runs the full funnel with paper defaults.
-func RunFreeSet(repos []gitsim.RepoData) *Result {
-	return Run(repos, Options{Dedup: dedup.Options{Threshold: 0.85, Seed: 1}})
+// Run executes the funnel over scraped repositories.
+func Run(repos []gitsim.RepoData, opt Options) *Result {
+	return RunExtracted(Extract(repos, opt.Dedup, opt.Workers), opt)
 }
 
-// RunVeriGenLike reproduces a VeriGen-style dataset for comparison: no
+// FreeSetOptions returns the full-funnel paper defaults.
+func FreeSetOptions() Options {
+	return Options{Dedup: dedup.Options{Threshold: 0.85, Seed: 1}}
+}
+
+// VeriGenLikeOptions mirrors a VeriGen-style pipeline for comparison: no
 // repository-license granularization, no per-file copyright screen, and a
 // corpus frozen at 2022 (the Google BigQuery snapshot VeriGen used has not
 // been updated since then) — but with the same dedup and syntax checks.
-func RunVeriGenLike(repos []gitsim.RepoData) *Result {
-	return Run(repos, Options{
+func VeriGenLikeOptions() Options {
+	return Options{
 		Mask:        StageMask{SkipLicense: true, SkipCopyright: true},
 		Dedup:       dedup.Options{Threshold: 0.85, Seed: 1},
 		MaxRepoYear: 2022,
-	})
+	}
+}
+
+// RunFreeSet runs the full funnel with paper defaults.
+func RunFreeSet(repos []gitsim.RepoData) *Result {
+	return Run(repos, FreeSetOptions())
+}
+
+// RunVeriGenLike reproduces a VeriGen-style dataset for comparison (see
+// VeriGenLikeOptions).
+func RunVeriGenLike(repos []gitsim.RepoData) *Result {
+	return Run(repos, VeriGenLikeOptions())
 }

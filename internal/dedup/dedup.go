@@ -6,56 +6,96 @@
 package dedup
 
 import (
-	"hash/fnv"
+	"slices"
 	"sort"
 	"strings"
 )
 
+// FNV-1a 64-bit parameters. Shingle and band hashing inline the algorithm
+// instead of allocating a hash/fnv object per shingle; the values produced
+// are identical to hash/fnv's (dedup_test.go proves it against the stdlib).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// ShingleSet is a document's shingle hashes as a sorted, duplicate-free
+// slice. The slice form keeps Jaccard a linear merge and MinHash signing a
+// sequential scan, with none of the per-document map allocations the
+// original map[uint64]struct{} representation paid.
+type ShingleSet []uint64
+
+// Contains reports set membership (binary search).
+func (s ShingleSet) Contains(h uint64) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= h })
+	return i < len(s) && s[i] == h
+}
+
 // Shingles splits text into k-token shingles and returns their 64-bit FNV
-// hashes as a set. Tokens are whitespace-separated words, which is robust to
-// reformatting while staying cheap.
-func Shingles(text string, k int) map[uint64]struct{} {
+// hashes as a sorted set. Tokens are whitespace-separated words, which is
+// robust to reformatting while staying cheap.
+func Shingles(text string, k int) ShingleSet {
 	if k <= 0 {
 		k = 5
 	}
 	words := strings.Fields(text)
-	out := make(map[uint64]struct{}, len(words))
 	if len(words) == 0 {
-		return out
+		return ShingleSet{}
 	}
 	if len(words) < k {
-		h := fnv.New64a()
-		h.Write([]byte(strings.Join(words, " ")))
-		out[h.Sum64()] = struct{}{}
-		return out
-	}
-	for i := 0; i+k <= len(words); i++ {
-		h := fnv.New64a()
-		for j := i; j < i+k; j++ {
-			h.Write([]byte(words[j]))
-			h.Write([]byte{0})
+		// One shingle over the words joined by single spaces.
+		h := uint64(fnvOffset64)
+		for i, w := range words {
+			if i > 0 {
+				h ^= ' '
+				h *= fnvPrime64
+			}
+			h = fnvString(h, w)
 		}
-		out[h.Sum64()] = struct{}{}
+		return ShingleSet{h}
 	}
-	return out
+	out := make(ShingleSet, 0, len(words)-k+1)
+	for i := 0; i+k <= len(words); i++ {
+		h := uint64(fnvOffset64)
+		for j := i; j < i+k; j++ {
+			h = fnvString(h, words[j])
+			// NUL separator between tokens, matching the original encoding.
+			h *= fnvPrime64
+		}
+		out = append(out, h)
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
-// Jaccard computes |a∩b| / |a∪b| over shingle sets.
-func Jaccard(a, b map[uint64]struct{}) float64 {
+// Jaccard computes |a∩b| / |a∪b| over sorted shingle sets with a linear
+// merge.
+func Jaccard(a, b ShingleSet) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	small, large := a, b
-	if len(small) > len(large) {
-		small, large = large, small
-	}
-	inter := 0
-	for h := range small {
-		if _, ok := large[h]; ok {
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
 			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
 		}
 	}
 	union := len(a) + len(b) - inter
@@ -90,12 +130,12 @@ func NewMinHasher(n int, seed uint64) *MinHasher {
 func (m *MinHasher) N() int { return len(m.a) }
 
 // Sign computes the MinHash signature of a shingle set.
-func (m *MinHasher) Sign(shingles map[uint64]struct{}) Signature {
+func (m *MinHasher) Sign(shingles ShingleSet) Signature {
 	sig := make(Signature, len(m.a))
 	for i := range sig {
 		sig[i] = ^uint64(0)
 	}
-	for x := range shingles {
+	for _, x := range shingles {
 		for i := range m.a {
 			h := m.a[i]*x + m.b[i]
 			if h < sig[i] {
@@ -131,38 +171,9 @@ func (s *splitmix) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// Index is a banded LSH index over MinHash signatures. Two documents become
-// dedup candidates when they agree on all rows of at least one band; the
-// exact Jaccard over shingles then decides.
-type Index struct {
-	hasher    *MinHasher
-	bands     int
-	rows      int
-	threshold float64
-	shingleK  int
-
-	buckets []map[uint64][]int // per band: band-hash -> doc ids
-	docs    []doc
-}
-
-type doc struct {
-	id       int
-	key      string
-	shingles map[uint64]struct{}
-	sig      Signature
-}
-
-// Options configures an Index.
-type Options struct {
-	Permutations int     // MinHash permutations (default 128)
-	Bands        int     // LSH bands (default 32; rows = permutations/bands)
-	Threshold    float64 // Jaccard duplicate threshold (default 0.85)
-	ShingleK     int     // tokens per shingle (default 5)
-	Seed         uint64
-}
-
-// NewIndex builds an empty LSH index.
-func NewIndex(opt Options) *Index {
+// normalize fills in Options defaults; Preparer and Index must agree on the
+// resolved values, so both construct through this.
+func (opt Options) normalize() Options {
 	if opt.Permutations <= 0 {
 		opt.Permutations = 128
 	}
@@ -178,12 +189,91 @@ func NewIndex(opt Options) *Index {
 	if opt.ShingleK <= 0 {
 		opt.ShingleK = 5
 	}
+	return opt
+}
+
+// Prepared is the per-document precomputation an Index consumes: shingles,
+// MinHash signature, and per-band LSH hashes. Preparing documents is
+// side-effect free, so a batch can be prepared concurrently and fed to a
+// sequential Index insert that preserves first-seen-kept order.
+type Prepared struct {
+	Shingles ShingleSet
+	Sig      Signature
+	Bands    []uint64
+}
+
+// Preparer computes Prepared documents for a given Options. A Preparer and
+// an Index built from the same Options are compatible.
+type Preparer struct {
+	hasher   *MinHasher
+	bands    int
+	rows     int
+	shingleK int
+}
+
+// NewPreparer builds a Preparer for opt.
+func NewPreparer(opt Options) *Preparer {
+	opt = opt.normalize()
+	return &Preparer{
+		hasher:   NewMinHasher(opt.Permutations, opt.Seed+0x5eed),
+		bands:    opt.Bands,
+		rows:     opt.Permutations / opt.Bands,
+		shingleK: opt.ShingleK,
+	}
+}
+
+// Prepare computes a document's shingles, signature, and band hashes.
+func (p *Preparer) Prepare(text string) Prepared {
+	sh := Shingles(text, p.shingleK)
+	sig := p.hasher.Sign(sh)
+	bands := make([]uint64, p.bands)
+	for b := 0; b < p.bands; b++ {
+		h := uint64(fnvOffset64)
+		for r := b * p.rows; r < (b+1)*p.rows; r++ {
+			v := sig[r]
+			for i := 0; i < 64; i += 8 {
+				h ^= uint64(byte(v >> i))
+				h *= fnvPrime64
+			}
+		}
+		bands[b] = h
+	}
+	return Prepared{Shingles: sh, Sig: sig, Bands: bands}
+}
+
+// Index is a banded LSH index over MinHash signatures. Two documents become
+// dedup candidates when they agree on all rows of at least one band; the
+// exact Jaccard over shingles then decides.
+type Index struct {
+	prep      *Preparer
+	threshold float64
+
+	buckets []map[uint64][]int // per band: band-hash -> doc ids
+	docs    []doc
+}
+
+type doc struct {
+	id       int
+	key      string
+	shingles ShingleSet
+	sig      Signature
+}
+
+// Options configures an Index.
+type Options struct {
+	Permutations int     // MinHash permutations (default 128)
+	Bands        int     // LSH bands (default 32; rows = permutations/bands)
+	Threshold    float64 // Jaccard duplicate threshold (default 0.85)
+	ShingleK     int     // tokens per shingle (default 5)
+	Seed         uint64
+}
+
+// NewIndex builds an empty LSH index.
+func NewIndex(opt Options) *Index {
+	opt = opt.normalize()
 	idx := &Index{
-		hasher:    NewMinHasher(opt.Permutations, opt.Seed+0x5eed),
-		bands:     opt.Bands,
-		rows:      opt.Permutations / opt.Bands,
+		prep:      NewPreparer(opt),
 		threshold: opt.Threshold,
-		shingleK:  opt.ShingleK,
 		buckets:   make([]map[uint64][]int, opt.Bands),
 	}
 	for i := range idx.buckets {
@@ -198,19 +288,9 @@ func (x *Index) Threshold() float64 { return x.threshold }
 // Len returns the number of retained (unique) documents.
 func (x *Index) Len() int { return len(x.docs) }
 
-// bandHash hashes one band of a signature.
-func (x *Index) bandHash(sig Signature, band int) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	for r := band * x.rows; r < (band+1)*x.rows; r++ {
-		v := sig[r]
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	return h.Sum64()
-}
+// Preparer returns a Preparer compatible with this index, for concurrent
+// batch preparation ahead of sequential AddPrepared calls.
+func (x *Index) Preparer() *Preparer { return x.prep }
 
 // AddResult reports what happened to a document offered to the index.
 type AddResult struct {
@@ -224,20 +304,23 @@ type AddResult struct {
 // Add offers a document; it is retained iff no prior document matches at or
 // above the threshold. The key identifies the document in results.
 func (x *Index) Add(key, text string) AddResult {
-	sh := Shingles(text, x.shingleK)
-	sig := x.hasher.Sign(sh)
+	return x.AddPrepared(key, x.prep.Prepare(text))
+}
 
+// AddPrepared offers a document whose shingles/signature/band hashes were
+// computed by a compatible Preparer (same Options). Insertions are strictly
+// ordered: the first document offered wins over later duplicates.
+func (x *Index) AddPrepared(key string, p Prepared) AddResult {
 	seen := map[int]struct{}{}
 	bestSim := 0.0
 	bestID := -1
-	for b := 0; b < x.bands; b++ {
-		bh := x.bandHash(sig, b)
-		for _, id := range x.buckets[b][bh] {
+	for b := range x.buckets {
+		for _, id := range x.buckets[b][p.Bands[b]] {
 			if _, dup := seen[id]; dup {
 				continue
 			}
 			seen[id] = struct{}{}
-			sim := Jaccard(sh, x.docs[id].shingles)
+			sim := Jaccard(p.Shingles, x.docs[id].shingles)
 			if sim > bestSim {
 				bestSim = sim
 				bestID = id
@@ -248,10 +331,9 @@ func (x *Index) Add(key, text string) AddResult {
 		return AddResult{Unique: false, DupOfKey: x.docs[bestID].key, Similarity: bestSim}
 	}
 	id := len(x.docs)
-	x.docs = append(x.docs, doc{id: id, key: key, shingles: sh, sig: sig})
-	for b := 0; b < x.bands; b++ {
-		bh := x.bandHash(sig, b)
-		x.buckets[b][bh] = append(x.buckets[b][bh], id)
+	x.docs = append(x.docs, doc{id: id, key: key, shingles: p.Shingles, sig: p.Sig})
+	for b := range x.buckets {
+		x.buckets[b][p.Bands[b]] = append(x.buckets[b][p.Bands[b]], id)
 	}
 	return AddResult{Unique: true}
 }
@@ -281,7 +363,7 @@ func Dedup(texts []string, opt Options) []int {
 // PairSimilarity computes the exact Jaccard similarity of two texts using
 // the index's shingling parameters.
 func (x *Index) PairSimilarity(a, b string) float64 {
-	return Jaccard(Shingles(a, x.shingleK), Shingles(b, x.shingleK))
+	return Jaccard(Shingles(a, x.prep.shingleK), Shingles(b, x.prep.shingleK))
 }
 
 // TopBucketSizes reports the largest LSH bucket sizes (diagnostics for the

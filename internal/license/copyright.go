@@ -116,21 +116,60 @@ func ScanHeader(header string) ScanResult {
 	return res
 }
 
-// SensitiveContent scans the whole file body for obviously critical leaked
-// material (the paper reports finding "possible encryption keys and other
-// critical information" in supposedly open repositories). Any hit marks the
-// file protected regardless of its header.
-var sensitivePatterns = []*regexp.Regexp{
-	regexp.MustCompile(`(?i)-----BEGIN (RSA |EC |OPENSSH )?PRIVATE KEY-----`),
-	regexp.MustCompile(`(?i)\bencryption[_ ]key\s*[:=]\s*[0-9a-fx'h_]{16,}`),
-	regexp.MustCompile(`(?i)\bsecret[_ ]key\s*[:=]`),
-	regexp.MustCompile(`(?i)\b(aes|des|hmac)[_ ]key\s*[:=]\s*[0-9a-fx'h_]{8,}`),
+// sensitivePattern pairs a regexp with a literal every one of its matches
+// must contain (ASCII case-insensitive). The literal gates the expensive
+// regexp scan: bodies lacking it skip the pattern entirely, which is the
+// overwhelmingly common path. A pattern with no such literal sets needle
+// "" and is always scanned — new patterns stay correct by construction
+// instead of depending on a global prefilter assumption.
+type sensitivePattern struct {
+	re     *regexp.Regexp
+	needle string
+}
+
+// sensitivePatterns scans for obviously critical leaked material (the
+// paper reports finding "possible encryption keys and other critical
+// information" in supposedly open repositories). Any hit marks the file
+// protected regardless of its header.
+var sensitivePatterns = []sensitivePattern{
+	{regexp.MustCompile(`(?i)-----BEGIN (RSA |EC |OPENSSH )?PRIVATE KEY-----`), "private key"},
+	{regexp.MustCompile(`(?i)\bencryption[_ ]key\s*[:=]\s*[0-9a-fx'h_]{16,}`), "key"},
+	{regexp.MustCompile(`(?i)\bsecret[_ ]key\s*[:=]`), "key"},
+	{regexp.MustCompile(`(?i)\b(aes|des|hmac)[_ ]key\s*[:=]\s*[0-9a-fx'h_]{8,}`), "key"},
+}
+
+// containsFold reports whether body contains needle (lowercase ASCII) in
+// any letter case. Scanning bytes directly avoids both the regexp engine
+// and a lowercased copy of the body.
+func containsFold(body, needle string) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	for i := 0; i+len(needle) <= len(body); i++ {
+		j := 0
+		for ; j < len(needle); j++ {
+			c := body[i+j]
+			if c >= 'A' && c <= 'Z' {
+				c |= 0x20
+			}
+			if c != needle[j] {
+				break
+			}
+		}
+		if j == len(needle) {
+			return true
+		}
+	}
+	return false
 }
 
 // ScanBody reports sensitive-content findings in the file body.
 func ScanBody(body string) (hits []string) {
-	for _, re := range sensitivePatterns {
-		if m := re.FindString(body); m != "" {
+	for _, p := range sensitivePatterns {
+		if !containsFold(body, p.needle) {
+			continue
+		}
+		if m := p.re.FindString(body); m != "" {
 			if len(m) > 40 {
 				m = m[:40] + "..."
 			}

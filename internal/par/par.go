@@ -1,0 +1,112 @@
+// Package par provides bounded-concurrency helpers used by every hot loop
+// in the pipeline: the copyright benchmark fans out over prompts, the
+// curation funnel over repositories and files, VerilogEval over problems,
+// and the model zoo over independent training runs.
+//
+// All helpers preserve input ordering — results land at the index of their
+// input — so parallel runs produce byte-identical reports to serial runs.
+// Work is distributed dynamically (an atomic cursor, not fixed chunks) so
+// uneven item costs do not leave workers idle.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), the default everywhere in this repository.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Split divides a worker budget across two nested fan-out levels with n
+// outer items: outer*inner never exceeds Workers(workers), so nested
+// parallel loops stay within the configured bound instead of multiplying.
+func Split(workers, n int) (outer, inner int) {
+	total := Workers(workers)
+	outer = total
+	if outer > n {
+		outer = n
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner = total / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
+}
+
+// ForEach calls f(i) for every i in [0, n) using at most workers goroutines
+// (workers <= 0 means GOMAXPROCS). With one worker it degrades to a plain
+// loop, so the serial path stays allocation- and goroutine-free. A panic in
+// any f is re-raised in the caller after all workers stop.
+func ForEach(workers, n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var (
+		cursor    atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+					// Drain remaining work so sibling workers exit quickly.
+					cursor.Store(int64(n))
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	// wg.Wait() orders every panicOnce.Do before this read.
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// Map computes f(i) for every i in [0, n) with bounded concurrency and
+// returns the results in input order.
+func Map[T any](workers, n int, f func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) {
+		out[i] = f(i)
+	})
+	return out
+}
+
+// MapSlice maps f over items with bounded concurrency, preserving order.
+func MapSlice[S, T any](workers int, items []S, f func(item S) T) []T {
+	return Map(workers, len(items), func(i int) T {
+		return f(items[i])
+	})
+}

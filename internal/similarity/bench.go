@@ -3,6 +3,7 @@ package similarity
 import (
 	"sort"
 
+	"freehw/internal/par"
 	"freehw/internal/vlog"
 )
 
@@ -26,6 +27,9 @@ type BenchmarkConfig struct {
 	Threshold float64
 	// MaxTokens bounds each generation.
 	MaxTokens int
+	// Workers bounds benchmark concurrency (0 = GOMAXPROCS). Results are
+	// identical for any worker count.
+	Workers int
 }
 
 // DefaultBenchmarkConfig returns the paper's settings.
@@ -110,21 +114,27 @@ func (r Report) ScoreDistribution() []float64 {
 // against the protected corpus. Only the model's own output is scored (the
 // prompt is by construction a fragment of a protected file; including it
 // would flag every model).
+//
+// Prompts are independent, so generation + scoring fans out across
+// cfg.Workers goroutines; results keep prompt order, making the Report
+// byte-identical to a serial run. Generators must be safe for concurrent
+// Generate calls (internal/lm models are: sampling is read-only).
 func RunBenchmark(model string, gen Generator, corpus *Corpus, prompts []Prompt, cfg BenchmarkConfig) Report {
 	rep := Report{Model: model, NumPrompts: len(prompts)}
-	for _, p := range prompts {
+	rep.Results = par.MapSlice(cfg.Workers, prompts, func(p Prompt) ProbeResult {
 		g := gen.Generate(p.Text, cfg.MaxTokens)
 		best := corpus.Best(g)
-		res := ProbeResult{
+		return ProbeResult{
 			Prompt:     p,
 			Generation: g,
 			Best:       best,
 			Violation:  best.Score >= cfg.Threshold,
 		}
+	})
+	for _, res := range rep.Results {
 		if res.Violation {
 			rep.NumViolations++
 		}
-		rep.Results = append(rep.Results, res)
 	}
 	return rep
 }

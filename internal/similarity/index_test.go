@@ -1,0 +1,220 @@
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// randDoc draws words from a small vocabulary so documents share many terms
+// and the index's accumulators actually merge postings from most documents.
+func randDoc(rng *rand.Rand, vocab, words int) string {
+	var sb strings.Builder
+	for i := 0; i < words; i++ {
+		fmt.Fprintf(&sb, "tok%d ", rng.Intn(vocab))
+		if rng.Intn(6) == 0 {
+			sb.WriteString("; ")
+		}
+	}
+	return sb.String()
+}
+
+// bruteBest is the reference implementation: full cosine scan, first
+// strictly-greater score wins.
+func bruteBest(names, texts []string, query string) Match {
+	q := NewVector(query)
+	best := Match{Index: -1}
+	for i, text := range texts {
+		s := Cosine(q, NewVector(text))
+		if s > best.Score {
+			best = Match{Name: names[i], Index: i, Score: s}
+		}
+	}
+	return best
+}
+
+// The indexed Best must match a brute-force cosine scan on random corpora:
+// same score within float tolerance, and the same document unless two
+// documents tie at the top.
+func TestIndexBestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(60)
+		names := make([]string, n)
+		texts := make([]string, n)
+		for i := range texts {
+			names[i] = fmt.Sprintf("d%d", i)
+			texts[i] = randDoc(rng, 30+rng.Intn(100), 20+rng.Intn(150))
+		}
+		// Force duplicates so top-ties exercise the tie-break.
+		if n > 10 {
+			texts[7] = texts[2]
+		}
+		corpus := NewCorpus(names, texts)
+		for q := 0; q < 10; q++ {
+			var query string
+			if q%3 == 0 {
+				query = texts[rng.Intn(n)] // exact hit
+			} else {
+				query = randDoc(rng, 60, 10+rng.Intn(80))
+			}
+			got := corpus.Best(query)
+			want := bruteBest(names, texts, query)
+			if math.Abs(got.Score-want.Score) > 1e-9 {
+				t.Fatalf("trial %d query %d: score %v != brute %v", trial, q, got.Score, want.Score)
+			}
+			if got.Index != want.Index {
+				// Allowed only when the brute scores genuinely tie.
+				qv := NewVector(query)
+				alt := Cosine(qv, NewVector(texts[got.Index]))
+				if math.Abs(alt-want.Score) > 1e-9 {
+					t.Fatalf("trial %d query %d: index %d (%v) != brute %d (%v)",
+						trial, q, got.Index, got.Score, want.Index, want.Score)
+				}
+			}
+		}
+	}
+}
+
+// The indexed TopK must return the same score sequence as sorting a full
+// brute-force scan, for k below, at, and above the corpus size.
+func TestIndexTopKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := 40
+	names := make([]string, n)
+	texts := make([]string, n)
+	for i := range texts {
+		names[i] = fmt.Sprintf("d%d", i)
+		texts[i] = randDoc(rng, 50, 30+rng.Intn(100))
+	}
+	texts[9] = texts[4] // exact duplicate: guaranteed score tie
+	corpus := NewCorpus(names, texts)
+	for q := 0; q < 15; q++ {
+		query := randDoc(rng, 70, 10+rng.Intn(60))
+		qv := NewVector(query)
+		brute := make([]float64, n)
+		for i, text := range texts {
+			brute[i] = Cosine(qv, NewVector(text))
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(brute)))
+		for _, k := range []int{1, 3, n, n + 5} {
+			ms := corpus.TopK(query, k)
+			wantLen := k
+			if wantLen > n {
+				wantLen = n
+			}
+			if len(ms) != wantLen {
+				t.Fatalf("k=%d: got %d matches", k, len(ms))
+			}
+			for i, m := range ms {
+				if math.Abs(m.Score-brute[i]) > 1e-9 {
+					t.Fatalf("k=%d rank %d: score %v != brute %v", k, i, m.Score, brute[i])
+				}
+				// Deterministic ordering contract: descending score, then
+				// ascending index.
+				if i > 0 {
+					prev := ms[i-1]
+					if m.Score > prev.Score+1e-12 ||
+						(m.Score == prev.Score && m.Index < prev.Index) {
+						t.Fatalf("k=%d: ordering violated at rank %d: %+v after %+v", k, i, m, prev)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Incremental Add must index documents identically to batch construction.
+func TestIndexIncrementalAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	texts := make([]string, 20)
+	names := make([]string, 20)
+	for i := range texts {
+		names[i] = fmt.Sprintf("d%d", i)
+		texts[i] = randDoc(rng, 40, 50)
+	}
+	batch := NewCorpus(names, texts)
+	inc := NewCorpus(nil, nil)
+	for i := range texts {
+		inc.Add(names[i], texts[i])
+	}
+	if batch.Len() != inc.Len() {
+		t.Fatal("length mismatch")
+	}
+	for q := 0; q < 8; q++ {
+		query := randDoc(rng, 40, 30)
+		a, b := batch.Best(query), inc.Best(query)
+		if a != b {
+			t.Fatalf("query %d: %+v != %+v", q, a, b)
+		}
+	}
+}
+
+// Empty queries and empty corpora must stay well-defined.
+func TestIndexDegenerateCases(t *testing.T) {
+	empty := NewCorpus(nil, nil)
+	if m := empty.Best("module m; endmodule"); m.Index != -1 || m.Score != 0 {
+		t.Fatalf("empty corpus best = %+v", m)
+	}
+	if ms := empty.TopK("x", 3); len(ms) != 0 {
+		t.Fatalf("empty corpus topk = %+v", ms)
+	}
+	c := NewCorpus([]string{"a"}, []string{"module a; endmodule"})
+	if m := c.Best(""); m.Index != -1 || m.Score != 0 {
+		t.Fatalf("empty query best = %+v", m)
+	}
+	if ms := c.TopK("", 2); len(ms) != 1 || ms[0].Score != 0 {
+		t.Fatalf("empty query topk = %+v", ms)
+	}
+	// A corpus containing an empty document must never match it.
+	c2 := NewCorpus([]string{"e", "x"}, []string{"", "alpha beta gamma"})
+	if m := c2.Best("alpha beta"); m.Index != 1 {
+		t.Fatalf("best should skip empty doc: %+v", m)
+	}
+}
+
+// benchCorpus mirrors BenchmarkCorpusBest's corpus for the brute-force
+// baseline comparison.
+func benchCorpus() ([]string, *Corpus) {
+	rng := rand.New(rand.NewSource(1))
+	texts := make([]string, 500)
+	for i := range texts {
+		var sb strings.Builder
+		for j := 0; j < 150; j++ {
+			fmt.Fprintf(&sb, "tok%d ", rng.Intn(400))
+		}
+		texts[i] = sb.String()
+	}
+	return texts, NewCorpus(nil, texts)
+}
+
+// BenchmarkCorpusBestBruteForce is the pre-index reference: one cosine per
+// corpus document. Compare against BenchmarkCorpusBest (inverted index).
+func BenchmarkCorpusBestBruteForce(b *testing.B) {
+	texts, _ := benchCorpus()
+	vecs := make([]Vector, len(texts))
+	for i, text := range texts {
+		vecs[i] = NewVector(text)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := NewVector(texts[i%len(texts)])
+		best := Match{Index: -1}
+		for j, v := range vecs {
+			if s := Cosine(q, v); s > best.Score {
+				best = Match{Index: j, Score: s}
+			}
+		}
+	}
+}
+
+func BenchmarkCorpusTopK(b *testing.B) {
+	texts, corpus := benchCorpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		corpus.TopK(texts[i%len(texts)], 10)
+	}
+}

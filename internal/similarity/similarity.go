@@ -3,12 +3,21 @@
 // protected files using cosine similarity over term-frequency vectors; a
 // score of 0.8 or higher marks the generation as originating from the
 // protected corpus.
+//
+// Corpus lookups run on an inverted index (term -> postings with
+// precomputed unit-normalized weights) with accumulator-based scoring, so a
+// query touches only the postings of its own terms instead of intersecting
+// its term map against every document vector. Cosine and NewVector remain
+// as the reference implementation; index_test.go proves the index
+// equivalent to a brute-force cosine scan on random corpora.
 package similarity
 
 import (
+	"container/heap"
 	"math"
-	"sort"
 	"strings"
+
+	"freehw/internal/par"
 )
 
 // DefaultThreshold is the paper's violation threshold.
@@ -50,23 +59,42 @@ func Tokenize(text string) []string {
 	return out
 }
 
+// termCounts builds the unigram+bigram term frequencies of text. order
+// lists the distinct terms in first-appearance order, giving every
+// consumer a deterministic iteration sequence.
+func termCounts(text string) (counts map[string]float64, order []string) {
+	toks := Tokenize(text)
+	counts = make(map[string]float64, len(toks)*2)
+	order = make([]string, 0, len(toks)*2)
+	bump := func(t string) {
+		if _, ok := counts[t]; !ok {
+			order = append(order, t)
+		}
+		counts[t]++
+	}
+	for i, t := range toks {
+		bump(t)
+		if i+1 < len(toks) {
+			bump(t + "\x00" + toks[i+1])
+		}
+	}
+	return counts, order
+}
+
+func normOf(counts map[string]float64) float64 {
+	var sum float64
+	for _, f := range counts {
+		sum += f * f
+	}
+	return math.Sqrt(sum)
+}
+
 // NewVector builds a unit-normalized TF vector over word unigrams and
 // bigrams. Bigrams give the metric sensitivity to local structure so that
 // different modules built from the same keyword vocabulary do not collide.
 func NewVector(text string) Vector {
-	toks := Tokenize(text)
-	terms := make(map[string]float64, len(toks)*2)
-	for i, t := range toks {
-		terms[t]++
-		if i+1 < len(toks) {
-			terms[t+"\x00"+toks[i+1]]++
-		}
-	}
-	var sum float64
-	for _, f := range terms {
-		sum += f * f
-	}
-	return Vector{terms: terms, norm: math.Sqrt(sum)}
+	counts, _ := termCounts(text)
+	return Vector{terms: counts, norm: normOf(counts)}
 }
 
 // Cosine returns the cosine similarity in [0,1].
@@ -87,34 +115,77 @@ func Cosine(a, b Vector) float64 {
 	return dot / (a.norm * b.norm)
 }
 
-// Corpus is an indexed collection of protected documents.
-type Corpus struct {
-	names   []string
-	vectors []Vector
+// posting is one document's weight for one term: tf(term, doc) divided by
+// the document norm, so a dot product against raw query counts needs only
+// the query norm at the end.
+type posting struct {
+	doc int32
+	w   float64
 }
 
-// NewCorpus builds a corpus; names and texts run in parallel.
+// Corpus is an indexed collection of protected documents.
+type Corpus struct {
+	names    []string
+	termIDs  map[string]int32
+	postings [][]posting
+}
+
+// NewCorpus builds a corpus; names and texts run in parallel. See
+// NewCorpusWorkers.
 func NewCorpus(names, texts []string) *Corpus {
-	c := &Corpus{}
-	for i, text := range texts {
+	return NewCorpusWorkers(names, texts, 0)
+}
+
+// NewCorpusWorkers builds a corpus with bounded concurrency (workers <= 0
+// means GOMAXPROCS). Per-document term counting fans out; index insertion
+// stays sequential in document order, so the built index is identical
+// regardless of worker count.
+func NewCorpusWorkers(names, texts []string, workers int) *Corpus {
+	c := &Corpus{termIDs: map[string]int32{}}
+	type prepped struct {
+		counts map[string]float64
+		order  []string
+	}
+	preps := par.Map(workers, len(texts), func(i int) prepped {
+		counts, order := termCounts(texts[i])
+		return prepped{counts: counts, order: order}
+	})
+	for i, p := range preps {
 		name := ""
 		if i < len(names) {
 			name = names[i]
 		}
-		c.names = append(c.names, name)
-		c.vectors = append(c.vectors, NewVector(text))
+		c.addCounts(name, p.counts, p.order)
 	}
 	return c
 }
 
-// Add appends one document.
+// Add appends one document to the index.
 func (c *Corpus) Add(name, text string) {
+	counts, order := termCounts(text)
+	c.addCounts(name, counts, order)
+}
+
+func (c *Corpus) addCounts(name string, counts map[string]float64, order []string) {
+	id := int32(len(c.names))
 	c.names = append(c.names, name)
-	c.vectors = append(c.vectors, NewVector(text))
+	norm := normOf(counts)
+	if norm == 0 {
+		return // empty document: no postings, unreachable by any query
+	}
+	for _, t := range order {
+		tid, ok := c.termIDs[t]
+		if !ok {
+			tid = int32(len(c.postings))
+			c.termIDs[t] = tid
+			c.postings = append(c.postings, nil)
+		}
+		c.postings[tid] = append(c.postings[tid], posting{doc: id, w: counts[t] / norm})
+	}
 }
 
 // Len returns the number of indexed documents.
-func (c *Corpus) Len() int { return len(c.vectors) }
+func (c *Corpus) Len() int { return len(c.names) }
 
 // Match is the best corpus match for a query.
 type Match struct {
@@ -123,29 +194,91 @@ type Match struct {
 	Score float64
 }
 
-// Best returns the closest corpus document to the query text.
+// score accumulates per-document dot products for the query's terms. Only
+// documents sharing at least one term with the query are touched; the
+// returned accumulator holds dot(query, doc)/norm(doc), so dividing by the
+// query norm yields cosine. qnorm is 0 for empty queries.
+func (c *Corpus) score(text string) (acc []float64, qnorm float64) {
+	counts, order := termCounts(text)
+	qnorm = normOf(counts)
+	if qnorm == 0 || len(c.names) == 0 {
+		return nil, qnorm
+	}
+	acc = make([]float64, len(c.names))
+	for _, t := range order {
+		tid, ok := c.termIDs[t]
+		if !ok {
+			continue
+		}
+		qw := counts[t]
+		for _, p := range c.postings[tid] {
+			acc[p.doc] += qw * p.w
+		}
+	}
+	return acc, qnorm
+}
+
+// Best returns the closest corpus document to the query text. Ties resolve
+// to the lowest document index.
 func (c *Corpus) Best(text string) Match {
-	q := NewVector(text)
+	acc, qnorm := c.score(text)
 	best := Match{Index: -1}
-	for i, v := range c.vectors {
-		s := Cosine(q, v)
-		if s > best.Score {
+	for i, dot := range acc {
+		if s := dot / qnorm; s > best.Score {
 			best = Match{Name: c.names[i], Index: i, Score: s}
 		}
 	}
 	return best
 }
 
-// TopK returns the k closest matches, best first.
+// matchWorse orders matches weakest-first: lower score, then higher index
+// (ties keep the lower document index).
+func matchWorse(a, b Match) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Index > b.Index
+}
+
+// matchHeap is a bounded min-heap whose root is the weakest kept match.
+type matchHeap []Match
+
+func (h matchHeap) Len() int           { return len(h) }
+func (h matchHeap) Less(i, j int) bool { return matchWorse(h[i], h[j]) }
+func (h matchHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *matchHeap) Push(x any)        { *h = append(*h, x.(Match)) }
+func (h *matchHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	*h = old[:n-1]
+	return m
+}
+
+// TopK returns the k closest matches, best first (score descending, index
+// ascending on ties), using a bounded heap instead of sorting every score.
 func (c *Corpus) TopK(text string, k int) []Match {
-	q := NewVector(text)
-	ms := make([]Match, 0, len(c.vectors))
-	for i, v := range c.vectors {
-		ms = append(ms, Match{Name: c.names[i], Index: i, Score: Cosine(q, v)})
+	if k <= 0 {
+		return nil
 	}
-	sort.Slice(ms, func(i, j int) bool { return ms[i].Score > ms[j].Score })
-	if k < len(ms) {
-		ms = ms[:k]
+	acc, qnorm := c.score(text)
+	h := make(matchHeap, 0, k)
+	for i := range c.names {
+		var s float64
+		if acc != nil {
+			s = acc[i] / qnorm
+		}
+		m := Match{Name: c.names[i], Index: i, Score: s}
+		if len(h) < k {
+			heap.Push(&h, m)
+		} else if matchWorse(h[0], m) {
+			h[0] = m
+			heap.Fix(&h, 0)
+		}
 	}
-	return ms
+	out := make([]Match, len(h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Match)
+	}
+	return out
 }

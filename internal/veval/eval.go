@@ -3,6 +3,8 @@ package veval
 import (
 	"fmt"
 	"strings"
+
+	"freehw/internal/par"
 )
 
 // Sampler draws reproducible completions (internal/lm.Model implements it).
@@ -14,6 +16,10 @@ type Sampler interface {
 type EvalConfig struct {
 	N         int // samples per problem (paper draws n, reports pass@1/5/10)
 	MaxTokens int
+	// Workers bounds cross-problem concurrency (0 = GOMAXPROCS). Sample i
+	// of a problem is always drawn with seed i against that problem's
+	// prompt, so results are identical for any worker count.
+	Workers int
 }
 
 // DefaultEvalConfig returns n=20 samples of up to 768 tokens.
@@ -74,6 +80,11 @@ func (r Result) Solved() int {
 }
 
 // Evaluate runs the benchmark: N samples per problem, graded by simulation.
+// Problems are independent and fan out across cfg.Workers goroutines; each
+// problem owns a private Grader (the reference trace is per-problem anyway)
+// and draws its samples with seeds 0..N-1, so the Result is identical to a
+// serial run. Samplers must be safe for concurrent use (internal/lm models
+// are: sampling is read-only).
 func Evaluate(model string, s Sampler, problems []Problem, cfg EvalConfig) Result {
 	if cfg.N <= 0 {
 		cfg.N = 20
@@ -81,9 +92,9 @@ func Evaluate(model string, s Sampler, problems []Problem, cfg EvalConfig) Resul
 	if cfg.MaxTokens <= 0 {
 		cfg.MaxTokens = 768
 	}
-	g := NewGrader()
 	res := Result{Model: model}
-	for _, p := range problems {
+	res.Problems = par.MapSlice(cfg.Workers, problems, func(p Problem) ProblemResult {
+		g := NewGrader()
 		pr := ProblemResult{ID: p.ID, N: cfg.N}
 		prompt := p.Prompt()
 		for i := 0; i < cfg.N; i++ {
@@ -95,8 +106,8 @@ func Evaluate(model string, s Sampler, problems []Problem, cfg EvalConfig) Resul
 				pr.FirstFailure = gr.Reason
 			}
 		}
-		res.Problems = append(res.Problems, pr)
-	}
+		return pr
+	})
 	return res
 }
 

@@ -2,6 +2,7 @@ package veval
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -209,6 +210,22 @@ func TestRenderTableII(t *testing.T) {
 	for _, want := range []string{"GPT-4", "VeriGen", "CodeV-CodeQwen", "FreeV-Llama3.1", "14.8", "36.0"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table II missing %q", want)
+		}
+	}
+}
+
+// Evaluate must return an identical Result for any worker count.
+func TestEvaluateWorkerDeterminism(t *testing.T) {
+	suite := BuildSuite()[:12]
+	perfect := perfectSampler{byPrompt: map[string]string{}}
+	for _, p := range suite {
+		perfect.byPrompt[p.Prompt()] = referenceCompletion(p)
+	}
+	base := Evaluate("m", perfect, suite, EvalConfig{N: 3, Workers: 1})
+	for _, workers := range []int{2, 8} {
+		got := Evaluate("m", perfect, suite, EvalConfig{N: 3, Workers: workers})
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d diverged:\n%+v\nvs\n%+v", workers, base, got)
 		}
 	}
 }
