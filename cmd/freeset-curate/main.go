@@ -7,6 +7,7 @@
 // Usage:
 //
 //	freeset-curate [-scale 0.5] [-seed 1] [-out dir] [-rate 0]
+//	               [-shards 0] [-no-cache] [-repeat 1]
 package main
 
 import (
@@ -16,19 +17,24 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"freehw/internal/core"
 	"freehw/internal/curation"
+	"freehw/internal/vcache"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("freeset-curate: ")
 	var (
-		scale = flag.Float64("scale", 0.5, "world scale (1.0 = 1:100 of the paper's snapshot)")
-		seed  = flag.Int64("seed", 1, "world seed")
-		out   = flag.String("out", "", "directory to write the curated dataset into")
-		rate  = flag.Int("rate", 0, "simulated API rate limit (requests per 50ms; 0 = off)")
+		scale   = flag.Float64("scale", 0.5, "world scale (1.0 = 1:100 of the paper's snapshot)")
+		seed    = flag.Int64("seed", 1, "world seed")
+		out     = flag.String("out", "", "directory to write the curated dataset into")
+		rate    = flag.Int("rate", 0, "simulated API rate limit (requests per 50ms; 0 = off)")
+		shards  = flag.Int("shards", 0, "LSH dedup shard count (0 = one per core)")
+		noCache = flag.Bool("no-cache", false, "disable the content-hash verdict cache")
+		repeat  = flag.Int("repeat", 1, "re-run the FreeSet funnel n times (warm-cache timing)")
 	)
 	flag.Parse()
 
@@ -36,12 +42,27 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.GitRateLimit = *rate
+	cfg.LSHShards = *shards
+	cfg.NoCache = *noCache
 	e, err := core.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("scraped %d repos with %d API requests (%d window splits, %d rate waits)",
 		e.ScrapeStats.Repos, e.ScrapeStats.Requests, e.ScrapeStats.WindowSplits, e.ScrapeStats.RateWaits)
+
+	for r := 1; r < *repeat; r++ {
+		opt := curation.FreeSetOptions()
+		opt.Shards = *shards
+		opt.NoCache = *noCache
+		start := time.Now()
+		res := curation.Run(e.Repos, opt)
+		log.Printf("funnel re-run %d: %d files in %v", r, res.FinalFiles, time.Since(start))
+	}
+	if !*noCache {
+		st := vcache.Shared(curation.FreeSetOptions().Dedup).Stats()
+		log.Printf("verdict cache: %d entries, %d hits, %d misses", st.Entries, st.Hits, st.Misses)
+	}
 
 	fmt.Println("===== Funnel =====")
 	fmt.Print(e.FreeSet.FunnelReport(*scale))

@@ -83,6 +83,76 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// The whole pipeline must be byte-identical across LSH shard counts and
+// verdict-cache temperatures: kept file bytes, funnel counts, the rendered
+// Figure 3, and Table II may not depend on how the dedup index is sharded
+// or on whether per-file verdicts were computed or replayed from cache.
+func TestShardAndCacheDeterminism(t *testing.T) {
+	type artifacts struct {
+		fileBytes []string // kept FreeSet file contents, in order
+		keys      [][]string
+		freeSet   curation.Result
+		figure3   string
+		tableII   string
+	}
+	run := func(shards int, noCache bool) artifacts {
+		cfg := detConfig(4)
+		cfg.LSHShards = shards
+		cfg.NoCache = noCache
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := e.BuildZoo(detZoo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strip := *e.FreeSet
+		strip.Files = nil
+		strip.CopyrightFindings = nil
+		var contents []string
+		for _, f := range e.FreeSet.Files {
+			contents = append(contents, f.Content)
+		}
+		return artifacts{
+			fileBytes: contents,
+			keys:      [][]string{e.FreeSet.Keys(), e.VeriGenLike.Keys(), e.DirtyLicensed.Keys()},
+			freeSet:   strip,
+			figure3:   RenderFigure3(e.RunCopyrightBenchmark(z)),
+			tableII:   TableII([]EvalOutcome{e.RunVerilogEval(z.Models["det-free"])}),
+		}
+	}
+
+	base := run(1, true) // single shard, no cache: the reference
+	variants := []struct {
+		name    string
+		shards  int
+		noCache bool
+	}{
+		{"shards=8 cold", 8, true},
+		{"shards=3 cache cold-or-warm", 3, false},
+		{"shards=8 cache warm", 8, false}, // shared store warmed by the previous run
+	}
+	for _, v := range variants {
+		got := run(v.shards, v.noCache)
+		if !reflect.DeepEqual(base.fileBytes, got.fileBytes) {
+			t.Errorf("%s: kept file bytes diverged", v.name)
+		}
+		if !reflect.DeepEqual(base.keys, got.keys) {
+			t.Errorf("%s: kept-file keys diverged", v.name)
+		}
+		if !reflect.DeepEqual(base.freeSet, got.freeSet) {
+			t.Errorf("%s: funnel counts diverged:\nbase %+v\ngot  %+v", v.name, base.freeSet, got.freeSet)
+		}
+		if base.figure3 != got.figure3 {
+			t.Errorf("%s: Figure 3 diverged:\nbase:\n%s\ngot:\n%s", v.name, base.figure3, got.figure3)
+		}
+		if base.tableII != got.tableII {
+			t.Errorf("%s: Table II diverged:\nbase:\n%s\ngot:\n%s", v.name, base.tableII, got.tableII)
+		}
+	}
+}
+
 // The curation funnel alone must keep the same files in the same order for
 // any worker count, including copyright findings.
 func TestCurationWorkerDeterminism(t *testing.T) {

@@ -21,6 +21,7 @@ import (
 	"freehw/internal/similarity"
 	"freehw/internal/tokenizer"
 	"freehw/internal/training"
+	"freehw/internal/vcache"
 	"freehw/internal/veval"
 )
 
@@ -41,6 +42,13 @@ type Config struct {
 	// Workers bounds concurrency everywhere (0 = GOMAXPROCS). Every result
 	// is identical for any worker count; see the determinism tests.
 	Workers int
+	// LSHShards is the curation dedup index's shard count (0 = one per
+	// core). Every result is identical for any shard count.
+	LSHShards int
+	// NoCache disables the process-wide content-hash verdict cache during
+	// curation. Results are identical either way; repeated experiments
+	// over the same world are much faster with the cache on.
+	NoCache bool
 }
 
 // DefaultConfig returns the flagship configuration used by the benches.
@@ -121,7 +129,12 @@ func New(cfg Config) (*Experiment, error) {
 	// (concurrently) instead of once per pipeline, and the three funnels
 	// themselves run in parallel. The worker budget is split between the
 	// two levels so total concurrency stays within cfg.Workers.
-	ex := curation.Extract(repos, dedup.Options{Threshold: 0.85, Seed: 1}, cfg.Workers)
+	dopt := dedup.Options{Threshold: 0.85, Seed: 1}
+	var store *vcache.Store
+	if !cfg.NoCache {
+		store = vcache.Shared(dopt)
+	}
+	ex := curation.ExtractWithCache(repos, dopt, cfg.Workers, store)
 	funnelOpts := []curation.Options{
 		curation.FreeSetOptions(),
 		curation.VeriGenLikeOptions(),
@@ -131,6 +144,7 @@ func New(cfg Config) (*Experiment, error) {
 	funnels := par.Map(outerWorkers, len(funnelOpts), func(i int) *curation.Result {
 		opt := funnelOpts[i]
 		opt.Workers = innerWorkers
+		opt.Shards = cfg.LSHShards
 		return curation.RunExtracted(ex, opt)
 	})
 	e.FreeSet, e.VeriGenLike, e.DirtyLicensed = funnels[0], funnels[1], funnels[2]

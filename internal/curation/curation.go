@@ -5,24 +5,26 @@
 //
 // The funnel is organized around an Extraction: a scrape's Verilog files
 // with lazily memoized per-file analyses (shingles + MinHash signature,
-// header/body copyright scans, syntax verdict). One Extraction can feed
-// several funnel variants — FreeSet, the VeriGen-style comparison corpus,
-// the license-only ablation — without recomputing any per-file work, and
-// every per-file stage fans out across CPUs while order-sensitive steps
-// (LSH insertion, result aggregation) stay sequential, keeping outputs
-// byte-identical to a serial run.
+// header/body copyright scans, syntax verdict). The analyses live in a
+// content-hash keyed vcache store, so one Extraction can feed several
+// funnel variants — FreeSet, the VeriGen-style comparison corpus, the
+// license-only ablation — without recomputing any per-file work, and
+// repeated curation runs over overlapping corpora skip the per-file work
+// entirely. Every per-file stage fans out across CPUs, de-duplication
+// inserts through a sharded LSH index, and order-sensitive aggregation
+// stays sequential, keeping outputs byte-identical to a serial run at any
+// worker/shard count and any cache temperature.
 package curation
 
 import (
 	"strings"
-	"sync"
 	"time"
 
 	"freehw/internal/dedup"
 	"freehw/internal/gitsim"
 	"freehw/internal/license"
 	"freehw/internal/par"
-	"freehw/internal/vlog"
+	"freehw/internal/vcache"
 )
 
 // FileRecord is one dataset entry with its provenance.
@@ -55,6 +57,19 @@ type Options struct {
 	// Workers bounds per-file concurrency (0 = GOMAXPROCS). Any worker
 	// count produces the same Result.
 	Workers int
+	// Shards is the LSH shard count for the dedup index (0 = one per
+	// core). Any shard count produces the same Result.
+	Shards int
+	// Cache overrides the verdict cache Run extracts through; nil selects
+	// the process-wide vcache.Shared store for the dedup options. Only
+	// Run consults it: an Extraction's cache is fixed at Extract time, so
+	// RunExtracted ignores this field (pass the store to ExtractWithCache
+	// instead).
+	Cache *vcache.Store
+	// NoCache disables cross-run verdict caching entirely (per-extraction
+	// memoization still applies). Ignored when Cache is set, and — like
+	// Cache — only honored by Run, not RunExtracted.
+	NoCache bool
 }
 
 // CopyrightFinding records one removed protected file.
@@ -139,23 +154,14 @@ func repoLicense(r *gitsim.RepoData) license.License {
 }
 
 // ExtractedFile is one scraped Verilog file plus lazily memoized analyses.
-// Each analysis runs at most once per Extraction, no matter how many funnel
-// variants (or concurrent workers) ask for it.
+// The analyses live in a vcache.Entry keyed by content hash, so they run
+// at most once per file content — not per Extraction, funnel variant, or
+// worker — and, when the Extraction uses a shared store, at most once per
+// process across repeated curation runs.
 type ExtractedFile struct {
 	rec      FileRecord
 	licensed bool
-
-	prepOnce sync.Once
-	prep     dedup.Prepared
-
-	hdrOnce sync.Once
-	hdrScan license.ScanResult
-
-	bodyOnce sync.Once
-	bodyHits []string
-
-	synOnce sync.Once
-	synBad  bool
+	entry    *vcache.Entry
 }
 
 // Record returns the file's dataset record.
@@ -167,33 +173,21 @@ func (f *ExtractedFile) Licensed() bool { return f.licensed }
 // HeaderScan returns the memoized file-level copyright screen of the
 // header comment.
 func (f *ExtractedFile) HeaderScan() license.ScanResult {
-	f.hdrOnce.Do(func() {
-		f.hdrScan = license.ScanHeader(vlog.HeaderComment(f.rec.Content))
-	})
-	return f.hdrScan
+	return f.entry.HeaderScan(f.rec.Content)
 }
 
 // BodyHits returns the memoized sensitive-content findings of the body.
 func (f *ExtractedFile) BodyHits() []string {
-	f.bodyOnce.Do(func() {
-		f.bodyHits = license.ScanBody(f.rec.Content)
-	})
-	return f.bodyHits
+	return f.entry.BodyHits(f.rec.Content)
 }
 
 // SyntaxBad reports the memoized syntax-filter verdict.
 func (f *ExtractedFile) SyntaxBad() bool {
-	f.synOnce.Do(func() {
-		f.synBad = vlog.Check(f.rec.Content) != nil
-	})
-	return f.synBad
+	return f.entry.SyntaxBad(f.rec.Content)
 }
 
 func (f *ExtractedFile) prepared(p *dedup.Preparer) dedup.Prepared {
-	f.prepOnce.Do(func() {
-		f.prep = p.Prepare(f.rec.Content)
-	})
-	return f.prep
+	return f.entry.Prepared(f.rec.Content, p)
 }
 
 type extractedRepo struct {
@@ -209,17 +203,44 @@ type Extraction struct {
 	dedupOpt dedup.Options
 	prep     *dedup.Preparer
 	workers  int
+	cache    *vcache.Store
 }
 
 // Extract classifies repository licenses and collects Verilog files. dopt
 // fixes the de-duplication parameters every subsequent RunExtracted uses
 // (all funnel variants must share them for the memoized shingles to be
-// valid). Repository-level work fans out across workers.
+// valid). Repository-level work fans out across workers. Verdicts are
+// cached through the process-wide store for dopt; use ExtractWithCache to
+// pick a different store or disable caching.
 func Extract(repos []gitsim.RepoData, dopt dedup.Options, workers int) *Extraction {
+	return ExtractWithCache(repos, dopt, workers, vcache.Shared(dopt))
+}
+
+// ExtractWithCache is Extract with an explicit verdict cache. A nil store
+// disables cross-run caching: each file gets a standalone memo entry, so
+// behavior matches caching but nothing outlives the Extraction. The store
+// must be keyed by dopt (vcache.Shared(dopt) or vcache.NewStore(dopt)); a
+// store built for different dedup parameters would replay artifacts that
+// are invalid here, so it is replaced with a fresh extraction-local store
+// rather than silently corrupting the kept set.
+func ExtractWithCache(repos []gitsim.RepoData, dopt dedup.Options, workers int, store *vcache.Store) *Extraction {
+	if store != nil && !store.Compatible(dopt) {
+		store = vcache.NewStore(dopt)
+	}
+	// The preparer signs serially: prepared() is always called from an
+	// already-workers-wide per-file fan-out, so nesting SignParallel here
+	// would multiply the concurrency budget to workers².
 	ex := &Extraction{
 		dedupOpt: dopt,
 		prep:     dedup.NewPreparer(dopt),
 		workers:  workers,
+		cache:    store,
+	}
+	entryFor := func(content string) *vcache.Entry {
+		if store == nil {
+			return vcache.NewEntry()
+		}
+		return store.Entry(content)
 	}
 	ex.repos = par.Map(workers, len(repos), func(i int) extractedRepo {
 		r := &repos[i]
@@ -235,12 +256,17 @@ func Extract(repos []gitsim.RepoData, dopt dedup.Options, workers int) *Extracti
 			er.files = append(er.files, &ExtractedFile{
 				rec:      FileRecord{Repo: r.Meta.FullName, Path: f.Path, Content: f.Content, License: l},
 				licensed: er.licensed,
+				entry:    entryFor(f.Content),
 			})
 		}
 		return er
 	})
 	return ex
 }
+
+// Cache returns the verdict store the extraction reads through (nil when
+// caching is disabled).
+func (ex *Extraction) Cache() *vcache.Store { return ex.cache }
 
 // Files returns every extracted Verilog file in scrape order (no year
 // filtering), for consumers that need the raw pool — e.g. assembling
@@ -293,16 +319,25 @@ func RunExtracted(ex *Extraction, opt Options) *Result {
 	res.AfterLicense = len(pool)
 
 	// Stage 2: de-duplication. Shingle + MinHash + band hashes compute in
-	// parallel; the LSH insert runs sequentially in pool order so the
-	// first-seen document is always the one retained.
+	// parallel (cached by content hash across runs); the sharded LSH index
+	// then ingests the pool in order through its deterministic wave
+	// insertion, so the first-seen document is always the one retained at
+	// any shard/worker count.
 	if !opt.Mask.SkipDedup {
 		par.ForEach(workers, len(pool), func(i int) {
 			pool[i].prepared(ex.prep)
 		})
-		idx := dedup.NewIndex(ex.dedupOpt)
+		keys := make([]string, len(pool))
+		preps := make([]dedup.Prepared, len(pool))
+		for i, f := range pool {
+			keys[i] = f.rec.Key()
+			preps[i] = f.prepared(ex.prep)
+		}
+		idx := dedup.NewShardedIndex(ex.dedupOpt, opt.Shards, workers)
+		results := idx.AddAll(keys, preps)
 		var unique []*ExtractedFile
-		for _, f := range pool {
-			if idx.AddPrepared(f.rec.Key(), f.prepared(ex.prep)).Unique {
+		for i, f := range pool {
+			if results[i].Unique {
 				unique = append(unique, f)
 			}
 		}
@@ -345,9 +380,15 @@ func RunExtracted(ex *Extraction, opt Options) *Result {
 	return res
 }
 
-// Run executes the funnel over scraped repositories.
+// Run executes the funnel over scraped repositories. The verdict cache is
+// opt.Cache when set, disabled when opt.NoCache, and the process-wide
+// shared store for opt.Dedup otherwise.
 func Run(repos []gitsim.RepoData, opt Options) *Result {
-	return RunExtracted(Extract(repos, opt.Dedup, opt.Workers), opt)
+	store := opt.Cache
+	if store == nil && !opt.NoCache {
+		store = vcache.Shared(opt.Dedup)
+	}
+	return RunExtracted(ExtractWithCache(repos, opt.Dedup, opt.Workers, store), opt)
 }
 
 // FreeSetOptions returns the full-funnel paper defaults.

@@ -9,6 +9,8 @@ import (
 	"slices"
 	"sort"
 	"strings"
+
+	"freehw/internal/par"
 )
 
 // FNV-1a 64-bit parameters. Shingle and band hashing inline the algorithm
@@ -129,22 +131,7 @@ func NewMinHasher(n int, seed uint64) *MinHasher {
 // N returns the signature length.
 func (m *MinHasher) N() int { return len(m.a) }
 
-// Sign computes the MinHash signature of a shingle set.
-func (m *MinHasher) Sign(shingles ShingleSet) Signature {
-	sig := make(Signature, len(m.a))
-	for i := range sig {
-		sig[i] = ^uint64(0)
-	}
-	for _, x := range shingles {
-		for i := range m.a {
-			h := m.a[i]*x + m.b[i]
-			if h < sig[i] {
-				sig[i] = h
-			}
-		}
-	}
-	return sig
-}
+// Sign is implemented in sign.go (register-blocked batched kernel).
 
 // SigSimilarity estimates Jaccard similarity from two signatures.
 func SigSimilarity(a, b Signature) float64 {
@@ -170,6 +157,10 @@ func (s *splitmix) next() uint64 {
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return z ^ (z >> 31)
 }
+
+// Normalized returns opt with defaults filled in — the form under which two
+// Options values are comparable (vcache keys its shared stores by it).
+func (opt Options) Normalized() Options { return opt.normalize() }
 
 // normalize fills in Options defaults; Preparer and Index must agree on the
 // resolved values, so both construct through this.
@@ -209,23 +200,38 @@ type Preparer struct {
 	bands    int
 	rows     int
 	shingleK int
+	workers  int
 }
 
 // NewPreparer builds a Preparer for opt.
 func NewPreparer(opt Options) *Preparer {
+	return NewPreparerWorkers(opt, 1)
+}
+
+// NewPreparerWorkers builds a Preparer that may fan the signing of very
+// large documents (>= parallelSignMin shingles) across workers (<= 0
+// resolves to GOMAXPROCS, matching every other worker knob). Output is
+// byte-identical to NewPreparer's at any worker count.
+func NewPreparerWorkers(opt Options, workers int) *Preparer {
 	opt = opt.normalize()
 	return &Preparer{
 		hasher:   NewMinHasher(opt.Permutations, opt.Seed+0x5eed),
 		bands:    opt.Bands,
 		rows:     opt.Permutations / opt.Bands,
 		shingleK: opt.ShingleK,
+		workers:  par.Workers(workers),
 	}
 }
 
 // Prepare computes a document's shingles, signature, and band hashes.
 func (p *Preparer) Prepare(text string) Prepared {
 	sh := Shingles(text, p.shingleK)
-	sig := p.hasher.Sign(sh)
+	var sig Signature
+	if p.workers > 1 && len(sh) >= parallelSignMin {
+		sig = p.hasher.SignParallel(sh, p.workers)
+	} else {
+		sig = p.hasher.Sign(sh)
+	}
 	bands := make([]uint64, p.bands)
 	for b := 0; b < p.bands; b++ {
 		h := uint64(fnvOffset64)

@@ -1,0 +1,288 @@
+package dedup
+
+import (
+	"sync"
+
+	"freehw/internal/par"
+)
+
+// ShardedIndex is a banded LSH index whose insertion hot path scales with
+// cores while staying byte-identical to the sequential Index's kept set at
+// any shard or worker count.
+//
+// Band buckets are striped across N shards (band b lives in shard
+// b % nshards), each guarded by its own lock. Documents are offered in
+// batches; each batch runs four phases:
+//
+//  1. probe — every batch document probes the committed index in parallel
+//     (read-only: no inserts happen while probing);
+//  2. group — batch-local band buckets are built shard-parallel, so each
+//     document learns which earlier batch documents share a band with it;
+//  3. verify+sweep — exact Jaccard for every in-batch candidate pair runs
+//     in parallel, then a cheap sequential sweep decides kept/duplicate in
+//     offer order, honoring the sequential rule that only *kept* documents
+//     are dedup candidates (a duplicate of a duplicate is kept when it does
+//     not match any kept document);
+//  4. commit — kept documents enter the shard buckets, shard-parallel, in
+//     offer order, so bucket contents are independent of scheduling.
+//
+// The kept set (every AddResult.Unique bit) is provably identical to
+// feeding the same sequence through Index.AddPrepared. DupOfKey and
+// Similarity report the best-matching kept document; when a committed and
+// an in-batch document tie exactly, the committed one wins, which is the
+// only place results can differ from the sequential Index (the sequential
+// tie-break is pure encounter order).
+//
+// Like Index, a ShardedIndex is NOT safe for concurrent external use: all
+// parallelism is internal to an Add/AddAll call, which must come from one
+// goroutine at a time. The per-shard locks guard bucket mutation in the
+// commit phase (see addBatch), not external callers.
+type ShardedIndex struct {
+	prep      *Preparer
+	threshold float64
+	nshards   int
+	batch     int
+	workers   int
+
+	locks   []sync.Mutex
+	buckets []map[uint64][]int // per band: band-hash -> kept doc ids, ascending
+	docs    []doc
+}
+
+// defaultBatch bounds the per-wave candidate-pair graph: small enough that
+// duplicate-heavy corpora resolve incrementally (later waves probe only
+// kept documents), large enough to amortize the phase barriers.
+const defaultBatch = 256
+
+// NewShardedIndex builds an empty sharded LSH index. shards <= 0 selects
+// one shard per core (capped at the band count); workers bounds the
+// internal fan-out (0 = GOMAXPROCS).
+func NewShardedIndex(opt Options, shards, workers int) *ShardedIndex {
+	opt = opt.normalize()
+	if shards <= 0 {
+		shards = par.Workers(0)
+	}
+	if shards > opt.Bands {
+		shards = opt.Bands
+	}
+	x := &ShardedIndex{
+		prep:      NewPreparerWorkers(opt, workers),
+		threshold: opt.Threshold,
+		nshards:   shards,
+		batch:     defaultBatch,
+		workers:   par.Workers(workers),
+		locks:     make([]sync.Mutex, shards),
+		buckets:   make([]map[uint64][]int, opt.Bands),
+	}
+	for i := range x.buckets {
+		x.buckets[i] = map[uint64][]int{}
+	}
+	return x
+}
+
+// Threshold returns the Jaccard duplicate threshold.
+func (x *ShardedIndex) Threshold() float64 { return x.threshold }
+
+// Len returns the number of retained (unique) documents.
+func (x *ShardedIndex) Len() int { return len(x.docs) }
+
+// Shards returns the shard count (diagnostics).
+func (x *ShardedIndex) Shards() int { return x.nshards }
+
+// Preparer returns a Preparer compatible with this index.
+func (x *ShardedIndex) Preparer() *Preparer { return x.prep }
+
+// Keys returns the retained document keys in offer order.
+func (x *ShardedIndex) Keys() []string {
+	out := make([]string, len(x.docs))
+	for i, d := range x.docs {
+		out[i] = d.key
+	}
+	return out
+}
+
+// Add offers a single document (a batch of one).
+func (x *ShardedIndex) Add(key, text string) AddResult {
+	return x.AddPrepared(key, x.prep.Prepare(text))
+}
+
+// AddPrepared offers a single prepared document (a batch of one).
+func (x *ShardedIndex) AddPrepared(key string, p Prepared) AddResult {
+	out := make([]AddResult, 1)
+	x.addBatch([]string{key}, []Prepared{p}, out)
+	return out[0]
+}
+
+// AddAll offers documents in order, internally batched into waves. The
+// result at index i reports document i's fate; the kept set matches a
+// sequential Index fed the same sequence.
+func (x *ShardedIndex) AddAll(keys []string, preps []Prepared) []AddResult {
+	out := make([]AddResult, len(keys))
+	for lo := 0; lo < len(keys); lo += x.batch {
+		hi := min(lo+x.batch, len(keys))
+		x.addBatch(keys[lo:hi], preps[lo:hi], out[lo:hi])
+	}
+	return out
+}
+
+// probe scans the committed buckets for p's best-matching kept document,
+// in the sequential Index's encounter order (bands ascending, then bucket
+// insertion order) so equal-similarity candidates resolve identically.
+func (x *ShardedIndex) probe(p Prepared) (bestSim float64, bestID int) {
+	seen := map[int]struct{}{}
+	bestID = -1
+	for b := range x.buckets {
+		for _, id := range x.buckets[b][p.Bands[b]] {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			sim := Jaccard(p.Shingles, x.docs[id].shingles)
+			if sim > bestSim {
+				bestSim, bestID = sim, id
+			}
+		}
+	}
+	return bestSim, bestID
+}
+
+type preHit struct {
+	sim float64
+	id  int
+}
+
+// addOne is the sequential insertion path: exactly Index.AddPrepared over
+// the shard-striped buckets. Used when the resolved worker count is 1,
+// where the wave phases' batch bookkeeping would be pure overhead.
+func (x *ShardedIndex) addOne(key string, p Prepared) AddResult {
+	sim, id := x.probe(p)
+	if id >= 0 && sim >= x.threshold {
+		return AddResult{Unique: false, DupOfKey: x.docs[id].key, Similarity: sim}
+	}
+	docID := len(x.docs)
+	x.docs = append(x.docs, doc{id: docID, key: key, shingles: p.Shingles, sig: p.Sig})
+	for b := range x.buckets {
+		x.buckets[b][p.Bands[b]] = append(x.buckets[b][p.Bands[b]], docID)
+	}
+	return AddResult{Unique: true}
+}
+
+func (x *ShardedIndex) addBatch(keys []string, preps []Prepared, out []AddResult) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	if x.workers <= 1 || n == 1 {
+		for i := range keys {
+			out[i] = x.addOne(keys[i], preps[i])
+		}
+		return
+	}
+
+	// Phase 1: probe the committed index, read-only and parallel.
+	pre := par.Map(x.workers, n, func(i int) preHit {
+		sim, id := x.probe(preps[i])
+		return preHit{sim: sim, id: id}
+	})
+
+	// Phase 2: batch-local band buckets, built shard-parallel. Bucket
+	// entries are ascending batch offsets by construction.
+	local := make([]map[uint64][]int, len(x.buckets))
+	par.ForEach(x.workers, x.nshards, func(s int) {
+		for b := s; b < len(x.buckets); b += x.nshards {
+			m := map[uint64][]int{}
+			for i := 0; i < n; i++ {
+				h := preps[i].Bands[b]
+				m[h] = append(m[h], i)
+			}
+			local[b] = m
+		}
+	})
+
+	// Per-document in-batch candidates: earlier batch documents sharing a
+	// band, in band-major first-encounter order (the sequential probe
+	// order), with exact Jaccard computed in parallel.
+	type cand struct {
+		j   int
+		sim float64
+	}
+	cands := par.Map(x.workers, n, func(i int) []cand {
+		var list []cand
+		var seen map[int]bool
+		for b := range local {
+			for _, j := range local[b][preps[i].Bands[b]] {
+				if j >= i {
+					break // ascending offsets: nothing earlier remains
+				}
+				if seen == nil {
+					seen = map[int]bool{}
+				}
+				if seen[j] {
+					continue
+				}
+				seen[j] = true
+				list = append(list, cand{j: j, sim: Jaccard(preps[i].Shingles, preps[j].Shingles)})
+			}
+		}
+		return list
+	})
+
+	// Phase 3: sequential sweep in offer order. Only kept documents count
+	// as candidates, exactly as when each would have been inserted one by
+	// one into a sequential index.
+	firstKept := len(x.docs)
+	keptID := make([]int, n) // batch offset -> committed doc id, -1 if dup
+	for i := 0; i < n; i++ {
+		bestSim, bestKey, found := 0.0, "", false
+		if pre[i].id >= 0 {
+			bestSim, bestKey, found = pre[i].sim, x.docs[pre[i].id].key, true
+		}
+		for _, c := range cands[i] {
+			if keptID[c.j] < 0 {
+				continue
+			}
+			if c.sim > bestSim {
+				bestSim, bestKey, found = c.sim, keys[c.j], true
+			}
+		}
+		if found && bestSim >= x.threshold {
+			keptID[i] = -1
+			out[i] = AddResult{Unique: false, DupOfKey: bestKey, Similarity: bestSim}
+			continue
+		}
+		id := len(x.docs)
+		x.docs = append(x.docs, doc{id: id, key: keys[i], shingles: preps[i].Shingles, sig: preps[i].Sig})
+		keptID[i] = id
+		out[i] = AddResult{Unique: true}
+	}
+
+	// Phase 4: commit kept documents to the shard buckets. Each shard's
+	// goroutine walks the batch in offer order, so bucket contents are
+	// ascending doc ids regardless of shard or worker count. par.ForEach
+	// hands each shard to exactly one goroutine, so the shard locks are
+	// uncontended today; they pin down shard ownership for any future
+	// scheduler that overlaps commit with other shard-touching work.
+	if len(x.docs) == firstKept {
+		return
+	}
+	par.ForEach(x.workers, x.nshards, func(s int) {
+		x.locks[s].Lock()
+		defer x.locks[s].Unlock()
+		for b := s; b < len(x.buckets); b += x.nshards {
+			for i := 0; i < n; i++ {
+				if keptID[i] < 0 {
+					continue
+				}
+				h := preps[i].Bands[b]
+				x.buckets[b][h] = append(x.buckets[b][h], keptID[i])
+			}
+		}
+	})
+}
+
+// TopBucketSizes reports the largest LSH bucket sizes (diagnostics),
+// matching Index.TopBucketSizes.
+func (x *ShardedIndex) TopBucketSizes(n int) []int {
+	idx := &Index{buckets: x.buckets}
+	return idx.TopBucketSizes(n)
+}

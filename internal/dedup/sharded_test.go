@@ -1,0 +1,201 @@
+package dedup
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// corpusWithDups builds a synthetic corpus with exact duplicates, near
+// duplicates (including duplicates-of-duplicates, which exercise the
+// "only kept documents are candidates" rule), and unique documents.
+func corpusWithDups(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	var out []string
+	fresh := func() []string {
+		words := make([]string, 120)
+		for i := range words {
+			words[i] = fmt.Sprintf("w%04d", rng.Intn(3000))
+		}
+		return words
+	}
+	var bases [][]string
+	for len(out) < n {
+		switch {
+		case len(bases) == 0 || rng.Float64() < 0.4:
+			b := fresh()
+			bases = append(bases, b)
+			out = append(out, strings.Join(b, " "))
+		case rng.Float64() < 0.5:
+			// Exact duplicate of a prior document.
+			out = append(out, out[rng.Intn(len(out))])
+		default:
+			// Near duplicate of a prior base, mutation rate around the
+			// threshold so some land just above and some just below.
+			b := bases[rng.Intn(len(bases))]
+			m := make([]string, len(b))
+			copy(m, b)
+			for k := 0; k < 1+rng.Intn(8); k++ {
+				m[rng.Intn(len(m))] = fmt.Sprintf("mut%05d", rng.Intn(99999))
+			}
+			bases = append(bases, m)
+			out = append(out, strings.Join(m, " "))
+		}
+	}
+	return out
+}
+
+// The sharded index must retain exactly the documents the sequential Index
+// retains, in the same order, at any shard/worker/batch configuration.
+func TestShardedIndexMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		texts := corpusWithDups(seed, 700)
+		opt := Options{Seed: 1, Threshold: 0.85}
+
+		seq := NewIndex(opt)
+		prep := seq.Preparer()
+		keys := make([]string, len(texts))
+		preps := make([]Prepared, len(texts))
+		for i, tx := range texts {
+			keys[i] = fmt.Sprintf("doc%04d", i)
+			preps[i] = prep.Prepare(tx)
+		}
+		seqResults := make([]AddResult, len(texts))
+		for i := range texts {
+			seqResults[i] = seq.AddPrepared(keys[i], preps[i])
+		}
+
+		for _, cfg := range []struct{ shards, workers int }{
+			{1, 1}, {1, 8}, {4, 1}, {4, 4}, {32, 8}, {100, 3},
+		} {
+			sh := NewShardedIndex(opt, cfg.shards, cfg.workers)
+			got := sh.AddAll(keys, preps)
+			for i := range got {
+				if got[i].Unique != seqResults[i].Unique {
+					t.Fatalf("seed %d shards=%d workers=%d: doc %d unique=%v, sequential says %v",
+						seed, cfg.shards, cfg.workers, i, got[i].Unique, seqResults[i].Unique)
+				}
+			}
+			if !reflect.DeepEqual(sh.Keys(), seq.Keys()) {
+				t.Fatalf("seed %d shards=%d workers=%d: kept keys diverged", seed, cfg.shards, cfg.workers)
+			}
+			if sh.Len() != seq.Len() {
+				t.Fatalf("seed %d: Len %d != %d", seed, sh.Len(), seq.Len())
+			}
+		}
+	}
+}
+
+// Results across shard counts must be deterministic. The wave path
+// (workers>1) is one algorithm at any shard/worker count, so its full
+// AddResults are compared exactly; the workers=1 sequential fast path
+// shares everything but the committed-wins-ties DupOfKey rule (see the
+// type comment), so against it only the guaranteed invariants — Unique,
+// Similarity, and the kept keys — are compared.
+func TestShardedIndexShardCountDeterminism(t *testing.T) {
+	texts := corpusWithDups(9, 500)
+	opt := Options{Seed: 2}
+	prep := NewPreparer(opt)
+	keys := make([]string, len(texts))
+	preps := make([]Prepared, len(texts))
+	for i, tx := range texts {
+		keys[i] = fmt.Sprintf("d%d", i)
+		preps[i] = prep.Prepare(tx)
+	}
+	serialIdx := NewShardedIndex(opt, 1, 1)
+	serial := serialIdx.AddAll(keys, preps)
+	base := NewShardedIndex(opt, 2, 2).AddAll(keys, preps)
+	for _, cfg := range []struct{ shards, workers int }{{8, 8}, {32, 5}} {
+		got := NewShardedIndex(opt, cfg.shards, cfg.workers).AddAll(keys, preps)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("shards=%d workers=%d: AddResults diverged from shards=2", cfg.shards, cfg.workers)
+		}
+	}
+	waveIdx := NewShardedIndex(opt, 8, 8)
+	wave := waveIdx.AddAll(keys, preps)
+	for i := range serial {
+		if serial[i].Unique != wave[i].Unique || serial[i].Similarity != wave[i].Similarity {
+			t.Fatalf("doc %d: serial path %+v vs wave path %+v", i, serial[i], wave[i])
+		}
+	}
+	if !reflect.DeepEqual(serialIdx.Keys(), waveIdx.Keys()) {
+		t.Fatal("kept keys diverged between serial and wave paths")
+	}
+}
+
+// Single-document adds through the batch machinery must behave like the
+// sequential Index on the dedup package's own canonical cases.
+func TestShardedIndexSingleAdds(t *testing.T) {
+	idx := NewShardedIndex(Options{Seed: 1}, 4, 2)
+	text := "module m (input a, output y); assign y = ~a; endmodule " +
+		strings.Repeat("wire pad_signal_for_shingles; ", 20)
+	if r := idx.Add("first", text); !r.Unique {
+		t.Fatal("first doc must be unique")
+	}
+	r := idx.Add("second", text)
+	if r.Unique || r.DupOfKey != "first" || r.Similarity != 1 {
+		t.Fatalf("dup result: %+v", r)
+	}
+	if r := idx.Add("third", "entirely different words one two three four five six seven eight nine ten"); !r.Unique {
+		t.Fatalf("unrelated doc flagged dup: %+v", r)
+	}
+	if got := idx.Keys(); !reflect.DeepEqual(got, []string{"first", "third"}) {
+		t.Fatalf("keys: %v", got)
+	}
+}
+
+// A batch consisting only of duplicates of committed documents must not
+// grow the index (phase 4 early-out path).
+func TestShardedIndexAllDupBatch(t *testing.T) {
+	opt := Options{Seed: 1}
+	idx := NewShardedIndex(opt, 2, 2)
+	prep := idx.Preparer()
+	text := strings.Repeat("some padded verilog-ish words here ", 30)
+	idx.AddPrepared("orig", prep.Prepare(text))
+	keys := []string{"a", "b", "c"}
+	preps := []Prepared{prep.Prepare(text), prep.Prepare(text), prep.Prepare(text)}
+	for i, r := range idx.AddAll(keys, preps) {
+		if r.Unique || r.DupOfKey != "orig" {
+			t.Fatalf("doc %d: %+v", i, r)
+		}
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("index grew to %d", idx.Len())
+	}
+}
+
+func benchPrepared(b *testing.B, n int) ([]string, []Prepared, Options) {
+	b.Helper()
+	texts := corpusWithDups(42, n)
+	opt := Options{Seed: 1}
+	prep := NewPreparer(opt)
+	keys := make([]string, len(texts))
+	preps := make([]Prepared, len(texts))
+	for i, tx := range texts {
+		keys[i] = fmt.Sprintf("doc%d", i)
+		preps[i] = prep.Prepare(tx)
+	}
+	return keys, preps, opt
+}
+
+func BenchmarkSequentialInsert(b *testing.B) {
+	keys, preps, opt := benchPrepared(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := NewIndex(opt)
+		for j := range keys {
+			idx.AddPrepared(keys[j], preps[j])
+		}
+	}
+}
+
+func BenchmarkShardedInsert(b *testing.B) {
+	keys, preps, opt := benchPrepared(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := NewShardedIndex(opt, 0, 0)
+		idx.AddAll(keys, preps)
+	}
+}

@@ -1,0 +1,113 @@
+package dedup
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveSign is the pre-batching reference kernel: for each shingle, scan
+// every permutation. The batched kernel must reproduce it bit for bit.
+func naiveSign(m *MinHasher, shingles ShingleSet) Signature {
+	sig := make(Signature, len(m.a))
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for _, x := range shingles {
+		for i := range m.a {
+			h := m.a[i]*x + m.b[i]
+			if h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+func randShingles(rng *rand.Rand, n int) ShingleSet {
+	out := make(ShingleSet, n)
+	for i := range out {
+		out[i] = rng.Uint64()
+	}
+	return out
+}
+
+func TestSignMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, perms := range []int{1, 3, 4, 7, 32, 128, 130} {
+		m := NewMinHasher(perms, 99)
+		for _, sz := range []int{0, 1, 2, 17, 500} {
+			sh := randShingles(rng, sz)
+			want := naiveSign(m, sh)
+			got := m.Sign(sh)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("perms=%d size=%d: Sign[%d] = %#x, want %#x", perms, sz, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSignParallelMatchesSign(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMinHasher(128, 42)
+	for _, sz := range []int{0, 3, 1000, parallelSignMin + 1} {
+		sh := randShingles(rng, sz)
+		want := m.Sign(sh)
+		for _, workers := range []int{1, 2, 3, 8, 200} {
+			got := m.SignParallel(sh, workers)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("size=%d workers=%d: SignParallel[%d] = %#x, want %#x", sz, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Large documents must take the parallel-signing path inside Prepare and
+// still produce identical artifacts to a serial Preparer.
+func TestPreparerWorkersIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	words := make([]byte, 0, 1<<18)
+	for i := 0; i < parallelSignMin+500; i++ {
+		words = append(words, 'a'+byte(rng.Intn(26)), 'a'+byte(rng.Intn(26)), ' ')
+	}
+	text := string(words)
+	opt := Options{Seed: 3}
+	serial := NewPreparer(opt).Prepare(text)
+	parallel := NewPreparerWorkers(opt, 8).Prepare(text)
+	if len(serial.Sig) != len(parallel.Sig) {
+		t.Fatal("signature length diverged")
+	}
+	for i := range serial.Sig {
+		if serial.Sig[i] != parallel.Sig[i] {
+			t.Fatalf("sig[%d] diverged", i)
+		}
+	}
+	for i := range serial.Bands {
+		if serial.Bands[i] != parallel.Bands[i] {
+			t.Fatalf("band[%d] diverged", i)
+		}
+	}
+}
+
+func BenchmarkMinHashSign(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewMinHasher(128, 1)
+	sh := randShingles(rng, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Sign(sh)
+	}
+}
+
+func BenchmarkMinHashSignNaive(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewMinHasher(128, 1)
+	sh := randShingles(rng, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveSign(m, sh)
+	}
+}

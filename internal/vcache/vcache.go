@@ -1,0 +1,199 @@
+// Package vcache is a content-hash keyed cache for the per-file analyses
+// the curation funnel repeats: the vlog syntax verdict, the header/body
+// copyright scans, and the MinHash/LSH dedup artifacts. Verdicts are pure
+// functions of file content (plus, for dedup artifacts, the dedup Options),
+// so memoizing them by content hash is safe across funnel variants, across
+// repeated corpora, and across whole curation runs — the dominant cost of
+// re-curating a corpus (pprof: ~30% syntax filter, ~16% MinHash signing)
+// collapses to a hash lookup on the second pass.
+//
+// A Store shards its entry map by key so concurrent funnel workers do not
+// serialize on one lock. Entries memoize each analysis with a sync.Once per
+// field: the first caller computes, everyone else waits, and a value is
+// never computed twice no matter how many funnel variants share the store.
+package vcache
+
+import (
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"freehw/internal/dedup"
+	"freehw/internal/license"
+	"freehw/internal/vlog"
+)
+
+// Key identifies file content (SHA-256).
+type Key [32]byte
+
+// KeyOf hashes file content.
+func KeyOf(content string) Key { return sha256.Sum256([]byte(content)) }
+
+// Entry memoizes every cached analysis of one file content. The zero-ish
+// entry from NewEntry works standalone (no Store) as a pure per-file memo.
+type Entry struct {
+	prepOnce sync.Once
+	prep     dedup.Prepared
+
+	hdrOnce sync.Once
+	hdr     license.ScanResult
+
+	bodyOnce sync.Once
+	body     []string
+
+	synOnce sync.Once
+	synBad  bool
+}
+
+// NewEntry returns a standalone entry (per-file memoization without a
+// store, the cache-disabled mode of the curation funnel).
+func NewEntry() *Entry { return &Entry{} }
+
+// Prepared returns the memoized dedup artifacts, computing them with p on
+// first use. p must be built from the dedup Options the entry's store is
+// keyed by (any compatible Preparer computes identical artifacts, so which
+// caller wins the race does not matter).
+func (e *Entry) Prepared(content string, p *dedup.Preparer) dedup.Prepared {
+	e.prepOnce.Do(func() { e.prep = p.Prepare(content) })
+	return e.prep
+}
+
+// HeaderScan returns the memoized copyright screen of the header comment.
+func (e *Entry) HeaderScan(content string) license.ScanResult {
+	e.hdrOnce.Do(func() { e.hdr = license.ScanHeader(vlog.HeaderComment(content)) })
+	return e.hdr
+}
+
+// BodyHits returns the memoized sensitive-content findings of the body.
+func (e *Entry) BodyHits(content string) []string {
+	e.bodyOnce.Do(func() { e.body = license.ScanBody(content) })
+	return e.body
+}
+
+// SyntaxBad returns the memoized syntax-filter verdict.
+func (e *Entry) SyntaxBad(content string) bool {
+	e.synOnce.Do(func() { e.synBad = vlog.Check(content) != nil })
+	return e.synBad
+}
+
+// storeShards is the lock-stripe count; a power of two so shard selection
+// is a mask. 64 stripes keep contention negligible at any realistic core
+// count without bloating small stores.
+const storeShards = 64
+
+type shard struct {
+	mu sync.Mutex
+	m  map[Key]*Entry
+}
+
+// Store is a sharded content-hash -> Entry map. All entries' dedup
+// artifacts are computed under the store's dedup Options; analyses that do
+// not depend on those options (scans, syntax) are options-agnostic.
+type Store struct {
+	opt    dedup.Options
+	shards [storeShards]shard
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// prepKey reduces dopt to the fields cached dedup artifacts actually
+// depend on: Threshold only affects candidate acceptance in the index,
+// never the shingles/signature/band hashes, so runs differing only in
+// threshold (a natural ablation sweep) share one store.
+func prepKey(dopt dedup.Options) dedup.Options {
+	n := dopt.Normalized()
+	n.Threshold = 0
+	return n
+}
+
+// NewStore builds an empty store for dopt.
+func NewStore(dopt dedup.Options) *Store {
+	s := &Store{opt: prepKey(dopt)}
+	for i := range s.shards {
+		s.shards[i].m = map[Key]*Entry{}
+	}
+	return s
+}
+
+// Options returns the reduced, normalized dedup options the store is
+// keyed by (Threshold is zeroed: cached artifacts do not depend on it).
+func (s *Store) Options() dedup.Options { return s.opt }
+
+// Compatible reports whether entries cached in s are valid for a funnel
+// running with dopt — i.e. whether both resolve to the same artifact-
+// relevant dedup parameters.
+func (s *Store) Compatible(dopt dedup.Options) bool { return s.opt == prepKey(dopt) }
+
+// Entry returns the entry for content, creating it on first sight.
+func (s *Store) Entry(content string) *Entry {
+	k := KeyOf(content)
+	sh := &s.shards[k[0]&(storeShards-1)]
+	sh.mu.Lock()
+	e, ok := sh.m[k]
+	if !ok {
+		e = &Entry{}
+		sh.m[k] = e
+	}
+	sh.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return e
+}
+
+// Len returns the number of distinct contents seen.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats reports lookup traffic.
+type Stats struct {
+	Hits, Misses int64
+	Entries      int
+}
+
+// Stats returns a snapshot of the store's traffic counters.
+func (s *Store) Stats() Stats {
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Entries: s.Len()}
+}
+
+// sharedStores is the process-wide registry: one store per normalized dedup
+// Options, so every curation run over the same parameters shares verdicts.
+var (
+	sharedMu     sync.Mutex
+	sharedStores = map[dedup.Options]*Store{}
+)
+
+// Shared returns the process-wide store for dopt, creating it on first use.
+// Repeated curation runs with the same artifact-relevant dedup parameters
+// (threshold excluded) hit the same store, which is what makes re-curating
+// a corpus (or curating overlapping corpora) cheap.
+func Shared(dopt dedup.Options) *Store {
+	key := prepKey(dopt)
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if s, ok := sharedStores[key]; ok {
+		return s
+	}
+	s := NewStore(key)
+	sharedStores[key] = s
+	return s
+}
+
+// ResetShared drops every process-wide store (tests and long-lived servers
+// that need to bound memory).
+func ResetShared() {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	sharedStores = map[dedup.Options]*Store{}
+}

@@ -1,0 +1,119 @@
+package vcache
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"freehw/internal/dedup"
+	"freehw/internal/license"
+	"freehw/internal/vlog"
+)
+
+const goodSrc = "module m(input a, output y); assign y = ~a; endmodule"
+const badSrc = "module m(input a output y); assign y = ~a;"
+const protectedSrc = `// Copyright (c) 2019 Xilinx, Inc. All rights reserved.
+// CONFIDENTIAL AND PROPRIETARY.
+module p(input a, output y); assign y = a; endmodule`
+
+func TestEntryMatchesDirectComputation(t *testing.T) {
+	s := NewStore(dedup.Options{Seed: 1})
+	prep := dedup.NewPreparer(s.Options())
+	for _, src := range []string{goodSrc, badSrc, protectedSrc} {
+		e := s.Entry(src)
+		if got, want := e.SyntaxBad(src), vlog.Check(src) != nil; got != want {
+			t.Errorf("SyntaxBad = %v, want %v", got, want)
+		}
+		if got, want := e.HeaderScan(src), license.ScanHeader(vlog.HeaderComment(src)); !reflect.DeepEqual(got, want) {
+			t.Errorf("HeaderScan = %+v, want %+v", got, want)
+		}
+		if got, want := e.BodyHits(src), license.ScanBody(src); !reflect.DeepEqual(got, want) {
+			t.Errorf("BodyHits = %v, want %v", got, want)
+		}
+		if got, want := e.Prepared(src, prep), prep.Prepare(src); !reflect.DeepEqual(got, want) {
+			t.Errorf("Prepared diverged for %q", src[:20])
+		}
+	}
+}
+
+func TestStoreDedupsByContent(t *testing.T) {
+	s := NewStore(dedup.Options{})
+	e1 := s.Entry(goodSrc)
+	e2 := s.Entry(goodSrc)
+	if e1 != e2 {
+		t.Fatal("same content produced distinct entries")
+	}
+	if e3 := s.Entry(badSrc); e3 == e1 {
+		t.Fatal("different content shared an entry")
+	}
+	st := s.Stats()
+	if st.Entries != 2 || st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestStoreConcurrentEntrySingleComputation(t *testing.T) {
+	s := NewStore(dedup.Options{})
+	var computed sync.Map
+	var wg sync.WaitGroup
+	results := make([]bool, 64)
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := fmt.Sprintf("module m%d; endmodule", g%4)
+			e := s.Entry(src)
+			if _, loaded := computed.LoadOrStore(e, true); !loaded {
+				// First goroutine to see this entry; nothing to assert,
+				// SyntaxBad below must agree across all sharers.
+			}
+			results[g] = e.SyntaxBad(src)
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 4 {
+		t.Fatalf("expected 4 entries, got %d", s.Len())
+	}
+	for g, bad := range results {
+		if bad {
+			t.Fatalf("goroutine %d saw a bad verdict for valid source", g)
+		}
+	}
+}
+
+func TestSharedRegistryKeyedByNormalizedOptions(t *testing.T) {
+	ResetShared()
+	defer ResetShared()
+	a := Shared(dedup.Options{})
+	b := Shared(dedup.Options{Permutations: 128, Bands: 32, Threshold: 0.85, ShingleK: 5})
+	if a != b {
+		t.Fatal("equivalent options produced distinct shared stores")
+	}
+	c := Shared(dedup.Options{Seed: 7})
+	if c == a {
+		t.Fatal("different seeds shared a store")
+	}
+	// Threshold only affects index acceptance, never cached artifacts, so
+	// a threshold sweep must stay warm on one store.
+	d := Shared(dedup.Options{Threshold: 0.90})
+	if d != a {
+		t.Fatal("threshold-only change produced a distinct shared store")
+	}
+}
+
+func TestStoreCompatible(t *testing.T) {
+	s := NewStore(dedup.Options{Seed: 1})
+	if !s.Compatible(dedup.Options{Seed: 1}) {
+		t.Fatal("store incompatible with its own options")
+	}
+	if !s.Compatible(dedup.Options{Seed: 1, Threshold: 0.95}) {
+		t.Fatal("threshold-only change flagged incompatible")
+	}
+	if s.Compatible(dedup.Options{Seed: 2}) {
+		t.Fatal("different seed accepted")
+	}
+	if s.Compatible(dedup.Options{Seed: 1, ShingleK: 9}) {
+		t.Fatal("different shingle size accepted")
+	}
+}

@@ -229,13 +229,6 @@ func simulate(p Problem, src string) ([]string, error) {
 	return traces, sim.Err()
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func hashID(s string) uint32 {
 	var h uint32 = 2166136261
 	for i := 0; i < len(s); i++ {

@@ -93,6 +93,58 @@ func TestWrongImplementationsFail(t *testing.T) {
 	}
 }
 
+// Grade must fail cleanly — informative Reason, no panic — on degenerate
+// completions and broken problems.
+func TestGradeEdgeCases(t *testing.T) {
+	ref := `module edge_m(input a, b, output [1:0] y, output z);
+  assign y = {a, b};
+  assign z = a ^ b;
+endmodule`
+	p := Problem{
+		ID:         "edge_custom",
+		Family:     "custom",
+		ModuleName: "edge_m",
+		Reference:  ref,
+		Kind:       Combinational,
+	}
+	g := NewGrader()
+
+	// Empty completion: the assembled candidate is a bare module header
+	// with no endmodule, which must surface as a parse failure.
+	if res := g.Grade(p, ""); res.Pass || res.Reason == "" {
+		t.Fatalf("empty completion: %+v", res)
+	} else if !strings.Contains(res.Reason, "parse") {
+		t.Fatalf("empty completion should fail parsing, got: %s", res.Reason)
+	}
+
+	// Unparseable module body.
+	if res := g.Grade(p, "assign y = ;; garbage !!\nendmodule"); res.Pass || res.Reason == "" {
+		t.Fatalf("unparseable completion: %+v", res)
+	}
+
+	// Port mismatch: the candidate drives only some of the reference's
+	// outputs; the undriven port's trace must mismatch, not crash.
+	if res := g.Grade(p, "assign y = {a, b};\nendmodule"); res.Pass {
+		t.Fatal("candidate with undriven output port passed")
+	} else if !strings.Contains(res.Reason, "mismatch") {
+		t.Fatalf("undriven port should mismatch traces, got: %s", res.Reason)
+	}
+
+	// A candidate that fights the reference interface by re-declaring a
+	// port as a conflicting width must fail gracefully too.
+	if res := g.Grade(p, "wire [7:0] z;\nassign y = {a, b};\nendmodule"); res.Pass {
+		t.Fatal("candidate redeclaring a port width passed")
+	}
+
+	// Broken reference: grading reports it rather than caching garbage.
+	broken := p
+	broken.ID = "edge_broken"
+	broken.Reference = "module edge_m(input a); not verilog"
+	if res := g.Grade(broken, "endmodule"); res.Pass || !strings.Contains(res.Reason, "reference broken") {
+		t.Fatalf("broken reference: %+v", res)
+	}
+}
+
 func TestSequentialGrading(t *testing.T) {
 	suite := BuildSuite()
 	g := NewGrader()

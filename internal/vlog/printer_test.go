@@ -1,8 +1,12 @@
 package vlog
 
 import (
+	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
+
+	"freehw/internal/corpus"
 )
 
 // reparse checks Print output still parses and prints identically on a
@@ -131,6 +135,61 @@ func TestPrintExprForms(t *testing.T) {
 		printed := Print(f)
 		if _, err := ParseFile(printed); err != nil {
 			t.Fatalf("%s: printed form does not parse: %v\n%s", expr, err, printed)
+		}
+	}
+}
+
+// zeroPos clears every Pos field reachable from v, so ASTs parsed from
+// differently formatted sources compare structurally.
+func zeroPos(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Ptr, reflect.Interface:
+		if !v.IsNil() {
+			zeroPos(v.Elem())
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			zeroPos(v.Index(i))
+		}
+	case reflect.Struct:
+		if v.Type() == reflect.TypeOf(Pos{}) {
+			if v.CanSet() {
+				v.Set(reflect.Zero(v.Type()))
+			}
+			return
+		}
+		for i := 0; i < v.NumField(); i++ {
+			zeroPos(v.Field(i))
+		}
+	}
+}
+
+func normalizedAST(t *testing.T, src, stage string) *SourceFile {
+	t.Helper()
+	f, err := ParseFile(src)
+	if err != nil {
+		t.Fatalf("%s does not parse: %v\n%s", stage, err, src)
+	}
+	zeroPos(reflect.ValueOf(f))
+	return f
+}
+
+// Property: for every module the corpus generator can emit — canonical and
+// noised spellings of every design family — Parse(Print(Parse(src))) is
+// the identity on the AST (modulo source positions). This pins the printer
+// to the parser: printing loses nothing the parser cares about.
+func TestPrintParseRoundTripCorpusModules(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, fam := range corpus.Families {
+		for trial := 0; trial < 4; trial++ {
+			m := corpus.Generate(rng, fam, trial%2 == 0)
+			ast1 := normalizedAST(t, m.Source, fam+" source")
+			printed := Print(ast1)
+			ast2 := normalizedAST(t, printed, fam+" printed form")
+			if !reflect.DeepEqual(ast1, ast2) {
+				t.Fatalf("%s (%s): AST changed across print/parse round trip\n--- source ---\n%s\n--- printed ---\n%s",
+					fam, m.Name, m.Source, printed)
+			}
 		}
 	}
 }
