@@ -17,6 +17,7 @@ import (
 	"freehw/internal/similarity"
 	"freehw/internal/training"
 	"freehw/internal/veval"
+	"freehw/internal/vlog"
 )
 
 const benchScale = 0.25
@@ -243,8 +244,10 @@ func BenchmarkCurationPipeline(b *testing.B) {
 
 // BenchmarkCurationPipelineCold measures the same funnel with the verdict
 // cache disabled: every iteration recomputes every per-file analysis, so
-// this isolates the batched MinHash kernel and sharded LSH insertion from
-// the cache win (compare against BenchmarkCurationPipeline).
+// this isolates the per-file compute — the QuickCheck syntax pre-check
+// with its parser fallback, the single-pass license scans, the batched
+// MinHash kernel, and sharded LSH insertion — from the cache win (compare
+// against BenchmarkCurationPipeline).
 func BenchmarkCurationPipelineCold(b *testing.B) {
 	e, _ := benchEnv(b)
 	opt := curation.FreeSetOptions()
@@ -254,6 +257,55 @@ func BenchmarkCurationPipelineCold(b *testing.B) {
 		res := curation.Run(e.Repos, opt)
 		if res.FinalFiles == 0 {
 			b.Fatal("no output")
+		}
+	}
+}
+
+// BenchmarkCurationPipelineColdNoQuickCheck is the cold funnel with the
+// streaming syntax pre-check disabled (every file pays the full parse) —
+// the A/B for QuickCheck's share of the cold path.
+func BenchmarkCurationPipelineColdNoQuickCheck(b *testing.B) {
+	e, _ := benchEnv(b)
+	vlog.SetQuickCheck(false)
+	defer vlog.SetQuickCheck(true)
+	opt := curation.FreeSetOptions()
+	opt.NoCache = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := curation.Run(e.Repos, opt)
+		if res.FinalFiles == 0 {
+			b.Fatal("no output")
+		}
+	}
+}
+
+// BenchmarkQuickCheck measures the streaming syntax pre-check over every
+// scraped Verilog file in the benchmark world (the population the curation
+// funnel actually screens); compare with the full parse it replaces on the
+// definitive-good path.
+func BenchmarkQuickCheck(b *testing.B) {
+	e, _ := benchEnv(b)
+	var files []string
+	var bytes int64
+	for i := range e.Repos {
+		for _, f := range e.Repos[i].Files {
+			if curation.IsVerilogPath(f.Path) {
+				files = append(files, f.Content)
+				bytes += int64(len(f.Content))
+			}
+		}
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		good := 0
+		for _, s := range files {
+			if vlog.QuickCheck(s) {
+				good++
+			}
+		}
+		if good == 0 {
+			b.Fatal("no file passed the pre-check")
 		}
 	}
 }

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	freeset-curate [-scale 0.5] [-seed 1] [-out dir] [-rate 0]
-//	               [-shards 0] [-no-cache] [-repeat 1]
+//	               [-shards 0] [-no-cache] [-cache-budget 0] [-repeat 1]
 package main
 
 import (
@@ -34,6 +34,7 @@ func main() {
 		rate    = flag.Int("rate", 0, "simulated API rate limit (requests per 50ms; 0 = off)")
 		shards  = flag.Int("shards", 0, "LSH dedup shard count (0 = one per core)")
 		noCache = flag.Bool("no-cache", false, "disable the content-hash verdict cache")
+		budget  = flag.Int64("cache-budget", 0, "verdict cache byte budget (segmented-LRU eviction; 0 = unbounded)")
 		repeat  = flag.Int("repeat", 1, "re-run the FreeSet funnel n times (warm-cache timing)")
 	)
 	flag.Parse()
@@ -44,6 +45,7 @@ func main() {
 	cfg.GitRateLimit = *rate
 	cfg.LSHShards = *shards
 	cfg.NoCache = *noCache
+	cfg.CacheBudget = *budget
 	e, err := core.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -55,13 +57,15 @@ func main() {
 		opt := curation.FreeSetOptions()
 		opt.Shards = *shards
 		opt.NoCache = *noCache
+		opt.CacheBudget = *budget
 		start := time.Now()
 		res := curation.Run(e.Repos, opt)
 		log.Printf("funnel re-run %d: %d files in %v", r, res.FinalFiles, time.Since(start))
 	}
 	if !*noCache {
 		st := vcache.Shared(curation.FreeSetOptions().Dedup).Stats()
-		log.Printf("verdict cache: %d entries, %d hits, %d misses", st.Entries, st.Hits, st.Misses)
+		log.Printf("verdict cache: %d entries (~%d KB), %d hits, %d misses, %d evictions",
+			st.Entries, st.Bytes>>10, st.Hits, st.Misses, st.Evictions)
 	}
 
 	fmt.Println("===== Funnel =====")

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"freehw/internal/curation"
+	"freehw/internal/vcache"
+	"freehw/internal/vlog"
 )
 
 // detConfig is a reduced configuration used to rebuild the experiment twice
@@ -83,11 +85,15 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
-// The whole pipeline must be byte-identical across LSH shard counts and
-// verdict-cache temperatures: kept file bytes, funnel counts, the rendered
-// Figure 3, and Table II may not depend on how the dedup index is sharded
-// or on whether per-file verdicts were computed or replayed from cache.
+// The whole pipeline must be byte-identical across LSH shard counts,
+// verdict-cache temperatures, cache byte budgets (unbounded / tight /
+// effectively zero), and the QuickCheck syntax pre-check on or off: kept
+// file bytes, funnel counts, the rendered Figure 3, and Table II may not
+// depend on how the dedup index is sharded, on whether per-file verdicts
+// were computed or replayed from cache, on what the eviction clock
+// dropped, or on which path decided a syntax verdict.
 func TestShardAndCacheDeterminism(t *testing.T) {
+	defer vcache.ResetShared() // budget variants mutate the shared store
 	type artifacts struct {
 		fileBytes []string // kept FreeSet file contents, in order
 		keys      [][]string
@@ -95,10 +101,15 @@ func TestShardAndCacheDeterminism(t *testing.T) {
 		figure3   string
 		tableII   string
 	}
-	run := func(shards int, noCache bool) artifacts {
+	run := func(shards int, noCache bool, budget int64, quickCheck bool) artifacts {
+		if !quickCheck {
+			vlog.SetQuickCheck(false)
+			defer vlog.SetQuickCheck(true)
+		}
 		cfg := detConfig(4)
 		cfg.LSHShards = shards
 		cfg.NoCache = noCache
+		cfg.CacheBudget = budget
 		e, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -123,18 +134,24 @@ func TestShardAndCacheDeterminism(t *testing.T) {
 		}
 	}
 
-	base := run(1, true) // single shard, no cache: the reference
+	base := run(1, true, 0, true) // single shard, no cache: the reference
 	variants := []struct {
-		name    string
-		shards  int
-		noCache bool
+		name       string
+		shards     int
+		noCache    bool
+		budget     int64
+		quickCheck bool
 	}{
-		{"shards=8 cold", 8, true},
-		{"shards=3 cache cold-or-warm", 3, false},
-		{"shards=8 cache warm", 8, false}, // shared store warmed by the previous run
+		{"shards=8 cold", 8, true, 0, true},
+		{"shards=3 cache cold-or-warm", 3, false, 0, true},
+		{"shards=8 cache warm", 8, false, 0, true}, // shared store warmed by the previous run
+		{"quickcheck off, cold", 1, true, 0, false},
+		{"budget tight", 4, false, 256 << 10, true},
+		{"budget zero", 8, false, 1, true}, // every entry evicted on insert
+		{"quickcheck off, budget tight", 3, false, 256 << 10, false},
 	}
 	for _, v := range variants {
-		got := run(v.shards, v.noCache)
+		got := run(v.shards, v.noCache, v.budget, v.quickCheck)
 		if !reflect.DeepEqual(base.fileBytes, got.fileBytes) {
 			t.Errorf("%s: kept file bytes diverged", v.name)
 		}

@@ -49,6 +49,10 @@ type Config struct {
 	// curation. Results are identical either way; repeated experiments
 	// over the same world are much faster with the cache on.
 	NoCache bool
+	// CacheBudget bounds the verdict cache's approximate resident bytes
+	// (0 leaves the store unchanged, negative removes any bound). Results
+	// are identical at any budget; see curation.Options.CacheBudget.
+	CacheBudget int64
 }
 
 // DefaultConfig returns the flagship configuration used by the benches.
@@ -133,6 +137,9 @@ func New(cfg Config) (*Experiment, error) {
 	var store *vcache.Store
 	if !cfg.NoCache {
 		store = vcache.Shared(dopt)
+		if cfg.CacheBudget != 0 {
+			store.SetBudget(max(cfg.CacheBudget, 0))
+		}
 	}
 	ex := curation.ExtractWithCache(repos, dopt, cfg.Workers, store)
 	funnelOpts := []curation.Options{

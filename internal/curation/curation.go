@@ -70,6 +70,14 @@ type Options struct {
 	// memoization still applies). Ignored when Cache is set, and — like
 	// Cache — only honored by Run, not RunExtracted.
 	NoCache bool
+	// CacheBudget bounds the verdict cache's approximate resident bytes
+	// (vcache segmented-LRU eviction); 0 leaves the store's current budget
+	// untouched, negative removes any bound. Applied by Run to whichever
+	// store it resolves (opt.Cache or the process-wide shared store), so a
+	// long-lived server curating many disjoint corpora stops growing
+	// without bound. Results are byte-identical at any budget; only cache
+	// hit rates change.
+	CacheBudget int64
 }
 
 // CopyrightFinding records one removed protected file.
@@ -382,11 +390,15 @@ func RunExtracted(ex *Extraction, opt Options) *Result {
 
 // Run executes the funnel over scraped repositories. The verdict cache is
 // opt.Cache when set, disabled when opt.NoCache, and the process-wide
-// shared store for opt.Dedup otherwise.
+// shared store for opt.Dedup otherwise; a nonzero opt.CacheBudget is
+// applied to the resolved store before extraction.
 func Run(repos []gitsim.RepoData, opt Options) *Result {
 	store := opt.Cache
 	if store == nil && !opt.NoCache {
 		store = vcache.Shared(opt.Dedup)
+	}
+	if store != nil && opt.CacheBudget != 0 {
+		store.SetBudget(max(opt.CacheBudget, 0))
 	}
 	return RunExtracted(ExtractWithCache(repos, opt.Dedup, opt.Workers, store), opt)
 }

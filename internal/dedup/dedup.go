@@ -65,11 +65,32 @@ func Shingles(text string, k int) ShingleSet {
 		return ShingleSet{h}
 	}
 	out := make(ShingleSet, 0, len(words)-k+1)
-	for i := 0; i+k <= len(words); i++ {
+	// Four independent window chains per iteration: FNV is a serial
+	// multiply chain, so a single window leaves the multiplier idle most
+	// cycles. Interleaving four windows lets the CPU overlap the chains
+	// (the same register-blocking idiom as the batched MinHash kernel in
+	// sign.go) while producing bit-identical hashes — the stdlib-FNV
+	// oracle test pins that.
+	i := 0
+	for ; i+3+k <= len(words); i += 4 {
+		h0 := uint64(fnvOffset64)
+		h1 := uint64(fnvOffset64)
+		h2 := uint64(fnvOffset64)
+		h3 := uint64(fnvOffset64)
+		for j := 0; j < k; j++ {
+			// NUL separator between tokens, matching the original encoding
+			// (xor 0 is the identity, leaving just the multiply).
+			h0 = fnvString(h0, words[i+j]) * fnvPrime64
+			h1 = fnvString(h1, words[i+1+j]) * fnvPrime64
+			h2 = fnvString(h2, words[i+2+j]) * fnvPrime64
+			h3 = fnvString(h3, words[i+3+j]) * fnvPrime64
+		}
+		out = append(out, h0, h1, h2, h3)
+	}
+	for ; i+k <= len(words); i++ {
 		h := uint64(fnvOffset64)
 		for j := i; j < i+k; j++ {
 			h = fnvString(h, words[j])
-			// NUL separator between tokens, matching the original encoding.
 			h *= fnvPrime64
 		}
 		out = append(out, h)

@@ -1,0 +1,83 @@
+package license
+
+// acAutomaton is a byte-level Aho–Corasick matcher with a dense, fully
+// resolved transition table: one array lookup per input byte, no failure
+// chasing at scan time. The curation funnel's copyright screens used to
+// sweep the header once per indicator (and the body once per sensitive
+// needle); building a single automaton over every pattern makes each scan
+// one pass over the text regardless of how many indicators are configured.
+type acAutomaton struct {
+	next [][256]int32
+	out  [][]uint16 // pattern ids ending at each state (suffix matches merged)
+}
+
+// newAC builds the automaton for patterns. Pattern ids are their indices.
+// Patterns must be non-empty; match semantics equal strings.Contains for
+// every pattern simultaneously.
+func newAC(patterns []string) *acAutomaton {
+	m := &acAutomaton{}
+	newNode := func() int32 {
+		var row [256]int32
+		for i := range row {
+			row[i] = -1
+		}
+		m.next = append(m.next, row)
+		m.out = append(m.out, nil)
+		return int32(len(m.next) - 1)
+	}
+	root := newNode()
+	for id, p := range patterns {
+		cur := root
+		for i := 0; i < len(p); i++ {
+			c := p[i]
+			if m.next[cur][c] < 0 {
+				m.next[cur][c] = newNode()
+			}
+			cur = m.next[cur][c]
+		}
+		m.out[cur] = append(m.out[cur], uint16(id))
+	}
+	// Breadth-first failure links, merging suffix outputs and resolving
+	// every transition so scanning never walks the failure chain.
+	fail := make([]int32, len(m.next))
+	queue := make([]int32, 0, len(m.next))
+	for c := 0; c < 256; c++ {
+		if t := m.next[root][c]; t >= 0 {
+			fail[t] = root
+			queue = append(queue, t)
+		} else {
+			m.next[root][c] = root
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		m.out[u] = append(m.out[u], m.out[fail[u]]...)
+		for c := 0; c < 256; c++ {
+			if v := m.next[u][c]; v >= 0 {
+				fail[v] = m.next[fail[u]][c]
+				queue = append(queue, v)
+			} else {
+				m.next[u][c] = m.next[fail[u]][c]
+			}
+		}
+	}
+	return m
+}
+
+// scan marks seen[id] for every pattern occurring in text. When fold is
+// set, ASCII uppercase input bytes fold to lowercase first (patterns are
+// expected lowercase), matching containsFold semantics.
+func (m *acAutomaton) scan(text string, fold bool, seen []bool) {
+	s := int32(0)
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if fold && c >= 'A' && c <= 'Z' {
+			c |= 0x20
+		}
+		s = m.next[s][c]
+		for _, id := range m.out[s] {
+			seen[id] = true
+		}
+	}
+}

@@ -3,6 +3,7 @@ package license
 import (
 	"regexp"
 	"strings"
+	"sync"
 )
 
 // ScanResult reports the file-level copyright screen's verdict.
@@ -68,34 +69,77 @@ var openSourceMarkers = []string{
 	"public domain",
 }
 
+// headerScanner is the single automaton over every header indicator. The
+// three categories share one pass; ids are offsets into the concatenated
+// pattern list.
+var (
+	headerScanOnce sync.Once
+	headerAC       *acAutomaton
+	headerPatterns int
+	weakBase       int // first weak-indicator id
+	osBase         int // first open-source-marker id
+	copyrightID    int // id of the weak indicator "copyright" (gates companyRe)
+)
+
+func buildHeaderScanner() {
+	var pats []string
+	pats = append(pats, strongIndicators...)
+	weakBase = len(pats)
+	pats = append(pats, weakIndicators...)
+	osBase = len(pats)
+	pats = append(pats, openSourceMarkers...)
+	copyrightID = -1
+	for i, w := range weakIndicators {
+		if w == "copyright" {
+			copyrightID = weakBase + i
+		}
+	}
+	headerPatterns = len(pats)
+	headerAC = newAC(pats)
+}
+
 // ScanHeader inspects a file's header-comment text (see vlog.HeaderComment)
 // and decides whether the file is copyright-protected for curation purposes.
+// All indicators are matched in one Aho–Corasick pass over the normalized
+// header; Reasons keep the declaration order of strongIndicators, so the
+// result is deterministic regardless of where indicators appear in the text.
 func ScanHeader(header string) ScanResult {
+	headerScanOnce.Do(buildHeaderScanner)
 	n := normalize(header)
 	res := ScanResult{}
 
+	var seenBuf [64]bool
+	seen := seenBuf[:]
+	if headerPatterns > len(seenBuf) {
+		seen = make([]bool, headerPatterns)
+	}
+	headerAC.scan(n, false, seen)
+
 	openSource := false
-	for _, m := range openSourceMarkers {
-		if strings.Contains(n, m) {
+	for i := range openSourceMarkers {
+		if seen[osBase+i] {
 			openSource = true
 			break
 		}
 	}
-
-	for _, s := range strongIndicators {
-		if strings.Contains(n, s) {
+	for i, s := range strongIndicators {
+		if seen[i] {
 			res.Reasons = append(res.Reasons, s)
 		}
 	}
 	weak := 0
-	for _, w := range weakIndicators {
-		if strings.Contains(n, w) {
+	for i := range weakIndicators {
+		if seen[weakBase+i] {
 			weak++
 		}
 	}
 
-	if m := companyRe.FindStringSubmatch(header); m != nil {
-		res.Company = strings.TrimSpace(m[1])
+	// companyRe requires the literal "copyright", so the automaton verdict
+	// gates the (comparatively expensive) backtracking regexp.
+	if copyrightID >= 0 && seen[copyrightID] {
+		if m := companyRe.FindStringSubmatch(header); m != nil {
+			res.Company = strings.TrimSpace(m[1])
+		}
 	}
 
 	switch {
@@ -163,10 +207,54 @@ func containsFold(body, needle string) bool {
 	return false
 }
 
-// ScanBody reports sensitive-content findings in the file body.
+// bodyScanner matches every distinct sensitive needle in one case-folded
+// pass; pattern i's needle maps to automaton id bodyNeedleID[i] (-1 for
+// patterns with no needle, which are always scanned).
+var (
+	bodyScanOnce sync.Once
+	bodyAC       *acAutomaton
+	bodyNeedleID []int
+	bodyNeedles  int
+)
+
+func buildBodyScanner() {
+	idOf := map[string]int{}
+	var pats []string
+	bodyNeedleID = make([]int, len(sensitivePatterns))
+	for i, p := range sensitivePatterns {
+		if p.needle == "" {
+			bodyNeedleID[i] = -1
+			continue
+		}
+		id, ok := idOf[p.needle]
+		if !ok {
+			id = len(pats)
+			idOf[p.needle] = id
+			pats = append(pats, p.needle)
+		}
+		bodyNeedleID[i] = id
+	}
+	bodyNeedles = len(pats)
+	if len(pats) > 0 {
+		bodyAC = newAC(pats)
+	}
+}
+
+// ScanBody reports sensitive-content findings in the file body. One
+// automaton pass decides which needles occur; only patterns whose needle
+// was found (or that declare none) pay for a regexp scan.
 func ScanBody(body string) (hits []string) {
-	for _, p := range sensitivePatterns {
-		if !containsFold(body, p.needle) {
+	bodyScanOnce.Do(buildBodyScanner)
+	var seenBuf [16]bool
+	seen := seenBuf[:]
+	if bodyNeedles > len(seenBuf) {
+		seen = make([]bool, bodyNeedles)
+	}
+	if bodyAC != nil {
+		bodyAC.scan(body, true, seen)
+	}
+	for i, p := range sensitivePatterns {
+		if id := bodyNeedleID[i]; id >= 0 && !seen[id] {
 			continue
 		}
 		if m := p.re.FindString(body); m != "" {

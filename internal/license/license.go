@@ -12,7 +12,6 @@
 package license
 
 import (
-	"regexp"
 	"strings"
 )
 
@@ -110,10 +109,38 @@ var fingerprints = []struct {
 	}},
 }
 
-var spaceRe = regexp.MustCompile(`\s+`)
-
+// normalize lowercases ASCII letters and collapses whitespace runs
+// ([\t\n\f\r ], the regexp \s class) to single spaces in one pass. It
+// replaces the old spaceRe.ReplaceAllString(strings.ToLower(text), " ")
+// pipeline, which allocated twice and ran the regexp engine over every
+// header the curation funnel screens. Non-ASCII bytes pass through
+// untouched (ToLower would re-encode invalid UTF-8 as U+FFFD; we don't) —
+// no indicator or fingerprint contains cased non-ASCII letters or either
+// byte form, so match results are identical.
 func normalize(text string) string {
-	return spaceRe.ReplaceAllString(strings.ToLower(text), " ")
+	var sb strings.Builder
+	sb.Grow(len(text))
+	pendingSpace := false
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch c {
+		case ' ', '\t', '\n', '\f', '\r':
+			pendingSpace = true
+		default:
+			if pendingSpace {
+				sb.WriteByte(' ')
+				pendingSpace = false
+			}
+			if c >= 'A' && c <= 'Z' {
+				c |= 0x20
+			}
+			sb.WriteByte(c)
+		}
+	}
+	if pendingSpace {
+		sb.WriteByte(' ')
+	}
+	return sb.String()
 }
 
 // Classify identifies the license of a LICENSE file's text. It returns

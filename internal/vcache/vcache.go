@@ -11,6 +11,13 @@
 // serialize on one lock. Entries memoize each analysis with a sync.Once per
 // field: the first caller computes, everyone else waits, and a value is
 // never computed twice no matter how many funnel variants share the store.
+//
+// Stores are unbounded by default; SetBudget bounds approximate resident
+// bytes with a two-generation clock (segmented-LRU) eviction policy, so a
+// long-lived server curating many disjoint corpora holds its working set
+// hot while one-shot sweeps wash through probation. Eviction only forgets
+// memoized verdicts — recomputation yields identical values — so curation
+// output is byte-identical at any budget.
 package vcache
 
 import (
@@ -59,20 +66,33 @@ func (e *Entry) Prepared(content string, p *dedup.Preparer) dedup.Prepared {
 }
 
 // HeaderScan returns the memoized copyright screen of the header comment.
+// The Reasons slice is a defensive copy: entries are shared across funnel
+// variants and goroutines, so a caller that sorts or appends must not be
+// able to corrupt every future hit.
 func (e *Entry) HeaderScan(content string) license.ScanResult {
 	e.hdrOnce.Do(func() { e.hdr = license.ScanHeader(vlog.HeaderComment(content)) })
-	return e.hdr
+	res := e.hdr
+	if res.Reasons != nil {
+		res.Reasons = append([]string(nil), res.Reasons...)
+	}
+	return res
 }
 
-// BodyHits returns the memoized sensitive-content findings of the body.
+// BodyHits returns the memoized sensitive-content findings of the body,
+// as a defensive copy (see HeaderScan).
 func (e *Entry) BodyHits(content string) []string {
 	e.bodyOnce.Do(func() { e.body = license.ScanBody(content) })
-	return e.body
+	if e.body == nil {
+		return nil
+	}
+	return append([]string(nil), e.body...)
 }
 
-// SyntaxBad returns the memoized syntax-filter verdict.
+// SyntaxBad returns the memoized syntax-filter verdict. The verdict is
+// computed through vlog.CheckFast: the streaming QuickCheck pass decides
+// the common well-formed case, the full parser everything else.
 func (e *Entry) SyntaxBad(content string) bool {
-	e.synOnce.Do(func() { e.synBad = vlog.Check(content) != nil })
+	e.synOnce.Do(func() { e.synBad = vlog.CheckFast(content) != nil })
 	return e.synBad
 }
 
@@ -81,20 +101,116 @@ func (e *Entry) SyntaxBad(content string) bool {
 // count without bloating small stores.
 const storeShards = 64
 
-type shard struct {
-	mu sync.Mutex
-	m  map[Key]*Entry
+// slotOverhead approximates the fixed bytes an entry costs beyond its
+// artifacts: the Entry struct, its map cell, and the clock-ring slot.
+const slotOverhead = 512
+
+// entryCost approximates an entry's resident bytes. Cached artifacts scale
+// with the content (the shingle set holds one hash per unique shingle, the
+// signature and band hashes are fixed, scans are small), so content length
+// plus a fixed overhead is a faithful — deliberately approximate — account.
+func entryCost(contentLen int) int64 { return slotOverhead + int64(contentLen) }
+
+// slot is one cached entry plus its clock-eviction bookkeeping, guarded by
+// the owning shard's lock.
+type slot struct {
+	e    *Entry
+	key  Key
+	cost int64
+	ref  bool // referenced since the clock hand last passed
+	hot  bool // protected generation (survived at least one sweep with a hit)
 }
 
-// Store is a sharded content-hash -> Entry map. All entries' dedup
-// artifacts are computed under the store's dedup Options; analyses that do
-// not depend on those options (scans, syntax) are options-agnostic.
+type shard struct {
+	mu    sync.Mutex
+	m     map[Key]*slot
+	ring  []*slot // clock order (insertion order, hand wraps); nil = tombstone
+	hand  int
+	dead  int // tombstone count in ring
+	bytes int64
+}
+
+// evict runs the two-generation clock until the shard fits its budget.
+// Probationary slots (hot=false) are evicted on their first unreferenced
+// visit; referenced slots get promoted to the protected generation, which
+// must be demoted once before eviction — a segmented-LRU approximation
+// that keeps the funnel's re-scanned entries resident while one-shot
+// corpus sweeps wash through probation. Each visit strictly downgrades a
+// slot (ref→clear, hot→demote, cold→evict), so the sweep terminates.
+//
+// Evicted slots become nil tombstones (O(1)); the ring compacts in one
+// pass once tombstones outnumber live slots, keeping steady-state inserts
+// amortized O(1) instead of copying the ring tail per eviction.
+func (sh *shard) evict(budget int64, evictions *atomic.Int64) {
+	for sh.bytes > budget && len(sh.ring) > sh.dead {
+		if sh.hand >= len(sh.ring) {
+			sh.hand = 0
+		}
+		sl := sh.ring[sh.hand]
+		switch {
+		case sl == nil: // tombstone
+			sh.hand++
+		case sl.ref:
+			sl.ref = false
+			sl.hot = true
+			sh.hand++
+		case sl.hot:
+			sl.hot = false
+			sh.hand++
+		default:
+			delete(sh.m, sl.key)
+			sh.ring[sh.hand] = nil
+			sh.dead++
+			sh.hand++
+			sh.bytes -= sl.cost
+			evictions.Add(1)
+		}
+	}
+	if sh.dead > len(sh.ring)-sh.dead {
+		sh.compact()
+	}
+}
+
+// compact drops tombstones in one pass, preserving clock order and the
+// hand's position relative to surviving slots.
+func (sh *shard) compact() {
+	kept := sh.ring[:0]
+	hand := 0
+	for i, sl := range sh.ring {
+		if sl == nil {
+			continue
+		}
+		if i < sh.hand {
+			hand++
+		}
+		kept = append(kept, sl)
+	}
+	// Zero the freed tail so evicted entries are collectable.
+	for i := len(kept); i < len(sh.ring); i++ {
+		sh.ring[i] = nil
+	}
+	sh.ring = kept
+	sh.hand = hand
+	sh.dead = 0
+}
+
+// Store is a sharded content-hash -> Entry map with approximate byte
+// accounting and an optional budget. All entries' dedup artifacts are
+// computed under the store's dedup Options; analyses that do not depend on
+// those options (scans, syntax) are options-agnostic.
+//
+// Eviction only ever forgets memoized verdicts — a later lookup recomputes
+// them from content — so results are byte-identical at any budget; only
+// the hit rate changes. The determinism tests pin this across unbounded,
+// tight, and effectively-zero budgets.
 type Store struct {
 	opt    dedup.Options
+	budget atomic.Int64 // total byte budget; <= 0 means unbounded
 	shards [storeShards]shard
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // prepKey reduces dopt to the fields cached dedup artifacts actually
@@ -107,14 +223,35 @@ func prepKey(dopt dedup.Options) dedup.Options {
 	return n
 }
 
-// NewStore builds an empty store for dopt.
+// NewStore builds an empty, unbounded store for dopt. Use SetBudget to
+// bound it.
 func NewStore(dopt dedup.Options) *Store {
 	s := &Store{opt: prepKey(dopt)}
 	for i := range s.shards {
-		s.shards[i].m = map[Key]*Entry{}
+		s.shards[i].m = map[Key]*slot{}
 	}
 	return s
 }
+
+// SetBudget bounds the store's approximate resident bytes; budget <= 0
+// removes the bound. A tighter budget takes effect immediately (resident
+// entries are swept down to fit) and on every subsequent insertion.
+func (s *Store) SetBudget(budget int64) {
+	s.budget.Store(budget)
+	if budget <= 0 {
+		return
+	}
+	per := budget / storeShards
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.evict(per, &s.evictions)
+		sh.mu.Unlock()
+	}
+}
+
+// Budget returns the current byte budget (<= 0 means unbounded).
+func (s *Store) Budget() int64 { return s.budget.Load() }
 
 // Options returns the reduced, normalized dedup options the store is
 // keyed by (Threshold is zeroed: cached artifacts do not depend on it).
@@ -125,15 +262,29 @@ func (s *Store) Options() dedup.Options { return s.opt }
 // relevant dedup parameters.
 func (s *Store) Compatible(dopt dedup.Options) bool { return s.opt == prepKey(dopt) }
 
-// Entry returns the entry for content, creating it on first sight.
+// Entry returns the entry for content, creating it on first sight. A hit
+// marks the slot referenced for the clock; a miss inserts into probation
+// and, when the store is over budget, sweeps the shard back under its
+// share. An evicted entry that is still referenced by an Extraction keeps
+// working as a standalone memo — eviction only severs future sharing.
 func (s *Store) Entry(content string) *Entry {
 	k := KeyOf(content)
 	sh := &s.shards[k[0]&(storeShards-1)]
 	sh.mu.Lock()
-	e, ok := sh.m[k]
-	if !ok {
+	sl, ok := sh.m[k]
+	var e *Entry
+	if ok {
+		sl.ref = true
+		e = sl.e
+	} else {
 		e = &Entry{}
-		sh.m[k] = e
+		sl = &slot{e: e, key: k, cost: entryCost(len(content))}
+		sh.m[k] = sl
+		sh.ring = append(sh.ring, sl)
+		sh.bytes += sl.cost
+		if b := s.budget.Load(); b > 0 {
+			sh.evict(b/storeShards, &s.evictions)
+		}
 	}
 	sh.mu.Unlock()
 	if ok {
@@ -156,15 +307,31 @@ func (s *Store) Len() int {
 	return n
 }
 
-// Stats reports lookup traffic.
+// Stats reports lookup traffic and residency.
 type Stats struct {
 	Hits, Misses int64
 	Entries      int
+	// Bytes is the approximate resident size (entryCost accounting).
+	Bytes int64
+	// Evictions counts entries dropped by the budget clock.
+	Evictions int64
 }
 
 // Stats returns a snapshot of the store's traffic counters.
 func (s *Store) Stats() Stats {
-	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Entries: s.Len()}
+	st := Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st.Entries += len(sh.m)
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return st
 }
 
 // sharedStores is the process-wide registry: one store per normalized dedup
@@ -190,8 +357,9 @@ func Shared(dopt dedup.Options) *Store {
 	return s
 }
 
-// ResetShared drops every process-wide store (tests and long-lived servers
-// that need to bound memory).
+// ResetShared drops every process-wide store (tests, or servers that want
+// a hard corpus boundary; for a standing memory bound prefer SetBudget on
+// the shared store, wired through curation.Options.CacheBudget).
 func ResetShared() {
 	sharedMu.Lock()
 	defer sharedMu.Unlock()

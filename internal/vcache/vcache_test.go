@@ -3,6 +3,7 @@ package vcache
 import (
 	"fmt"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 
@@ -99,6 +100,141 @@ func TestSharedRegistryKeyedByNormalizedOptions(t *testing.T) {
 	d := Shared(dedup.Options{Threshold: 0.90})
 	if d != a {
 		t.Fatal("threshold-only change produced a distinct shared store")
+	}
+}
+
+// contentForShard fabricates distinct module sources whose content hashes
+// land in one shard, so eviction behavior is deterministic in tests.
+func contentForShard(t *testing.T, shard byte, n int) []string {
+	t.Helper()
+	var out []string
+	for i := 0; len(out) < n; i++ {
+		src := fmt.Sprintf("module m%d; wire w%d; endmodule", i, i)
+		if KeyOf(src)[0]&(storeShards-1) == shard {
+			out = append(out, src)
+		}
+		if i > 1<<20 {
+			t.Fatal("could not fabricate shard-local contents")
+		}
+	}
+	return out
+}
+
+func TestBudgetBoundsResidency(t *testing.T) {
+	s := NewStore(dedup.Options{Seed: 1})
+	contents := contentForShard(t, 0, 40)
+	perEntry := entryCost(len(contents[0]))
+	// Budget for ~8 entries in shard 0 (the budget is split across shards).
+	s.SetBudget(int64(storeShards) * perEntry * 8)
+	for _, c := range contents {
+		e := s.Entry(c)
+		if e.SyntaxBad(c) {
+			t.Fatalf("valid module flagged bad: %q", c)
+		}
+	}
+	st := s.Stats()
+	if st.Entries > 10 {
+		t.Fatalf("budget not enforced: %d entries resident", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded under a tight budget")
+	}
+	if st.Bytes > s.Budget() {
+		t.Fatalf("resident bytes %d exceed budget %d", st.Bytes, s.Budget())
+	}
+	// Evicted contents must simply recompute — same verdicts, new entries.
+	for _, c := range contents {
+		if s.Entry(c).SyntaxBad(c) {
+			t.Fatalf("verdict changed after eviction for %q", c)
+		}
+	}
+}
+
+func TestZeroBudgetStoreStillCorrect(t *testing.T) {
+	s := NewStore(dedup.Options{Seed: 1})
+	s.SetBudget(1) // effectively zero: nothing can stay resident
+	for _, src := range []string{goodSrc, badSrc, protectedSrc} {
+		e := s.Entry(src)
+		if got, want := e.SyntaxBad(src), vlog.Check(src) != nil; got != want {
+			t.Errorf("SyntaxBad = %v, want %v", got, want)
+		}
+	}
+	if st := s.Stats(); st.Entries > 1 {
+		t.Fatalf("zero budget retained %d entries", st.Entries)
+	}
+}
+
+// The two-generation clock must keep a repeatedly re-referenced entry
+// resident while one-shot probationary entries wash through.
+func TestClockKeepsHotEntry(t *testing.T) {
+	s := NewStore(dedup.Options{Seed: 1})
+	contents := contentForShard(t, 0, 60)
+	hot, cold := contents[0], contents[1:]
+	perEntry := entryCost(len(hot))
+	s.SetBudget(int64(storeShards) * perEntry * 6)
+	hotEntry := s.Entry(hot)
+	for _, c := range cold {
+		s.Entry(c)
+		if s.Entry(hot) != hotEntry {
+			t.Fatal("hot entry evicted while being re-referenced every insert")
+		}
+	}
+}
+
+func TestSetBudgetTrimsImmediately(t *testing.T) {
+	s := NewStore(dedup.Options{Seed: 1})
+	contents := contentForShard(t, 0, 30)
+	for _, c := range contents {
+		s.Entry(c)
+	}
+	if got := s.Stats().Entries; got != 30 {
+		t.Fatalf("expected 30 resident entries, got %d", got)
+	}
+	s.SetBudget(int64(storeShards) * entryCost(len(contents[0])) * 4)
+	if got := s.Stats().Entries; got > 5 {
+		t.Fatalf("SetBudget did not trim: %d entries resident", got)
+	}
+}
+
+// Cached scan results are handed out as defensive copies: a caller that
+// sorts or appends must not corrupt the shared memo (run under -race in CI
+// with concurrent mutators).
+func TestScanResultsAreDefensiveCopies(t *testing.T) {
+	s := NewStore(dedup.Options{Seed: 1})
+	e := s.Entry(protectedSrc)
+
+	hits := e.BodyHits(protectedSrc)
+	scan := e.HeaderScan(protectedSrc)
+	if len(scan.Reasons) == 0 {
+		t.Fatal("protected source produced no reasons")
+	}
+	wantReasons := append([]string(nil), scan.Reasons...)
+	wantHits := append([]string(nil), hits...)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := e.HeaderScan(protectedSrc)
+			for i := range r.Reasons {
+				r.Reasons[i] = "CORRUPTED"
+			}
+			_ = append(r.Reasons, "extra")
+			h := e.BodyHits(protectedSrc)
+			sort.Sort(sort.Reverse(sort.StringSlice(h)))
+			for i := range h {
+				h[i] = "CORRUPTED"
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := e.HeaderScan(protectedSrc).Reasons; !reflect.DeepEqual(got, wantReasons) {
+		t.Fatalf("cached Reasons corrupted by a caller: %v", got)
+	}
+	if got := e.BodyHits(protectedSrc); !reflect.DeepEqual(got, wantHits) {
+		t.Fatalf("cached BodyHits corrupted by a caller: %v", got)
 	}
 }
 

@@ -515,11 +515,21 @@ func (l *Lexer) operator(p Pos) Token {
 
 // Tokenize lexes all of src, returning the token stream (without EOF).
 func Tokenize(src string) ([]Token, error) {
-	l := NewLexer(src)
 	// Verilog averages ~4 source bytes per token; sizing up front keeps the
 	// append loop from repeatedly growing (and copying) the token slice,
 	// which dominated lexing cost in the curation funnel's syntax filter.
-	toks := make([]Token, 0, len(src)/4+16)
+	toks, err := appendTokens(make([]Token, 0, len(src)/4+16), src)
+	if err != nil {
+		return nil, err
+	}
+	return toks, nil
+}
+
+// appendTokens lexes src into toks, returning the extended slice. Unlike
+// Tokenize it returns the (possibly grown) buffer even on error, so pooled
+// callers can recycle it.
+func appendTokens(toks []Token, src string) ([]Token, error) {
+	l := NewLexer(src)
 	for {
 		t := l.Next()
 		if t.Kind == EOF {
@@ -527,8 +537,5 @@ func Tokenize(src string) ([]Token, error) {
 		}
 		toks = append(toks, t)
 	}
-	if err := l.Err(); err != nil {
-		return nil, err
-	}
-	return toks, nil
+	return toks, l.Err()
 }

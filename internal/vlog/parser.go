@@ -2,6 +2,8 @@ package vlog
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Parser is a recursive-descent parser for the supported Verilog subset.
@@ -16,6 +18,10 @@ func ParseFile(src string) (*SourceFile, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseTokens(toks)
+}
+
+func parseTokens(toks []Token) (*SourceFile, error) {
 	p := &Parser{toks: toks}
 	f := &SourceFile{}
 	for !p.atEOF() {
@@ -31,11 +37,51 @@ func ParseFile(src string) (*SourceFile, error) {
 	return f, nil
 }
 
+// tokPool recycles token buffers for parse-and-discard checks. The AST holds
+// only strings sliced from the source, never the token slice, so a buffer
+// can be reused as soon as the parse returns.
+var tokPool = sync.Pool{New: func() any {
+	s := make([]Token, 0, 4096)
+	return &s
+}}
+
 // Check reports whether src parses; it is the curation pipeline's syntax
-// filter (the role Icarus Verilog plays in the paper).
+// filter (the role Icarus Verilog plays in the paper). The token buffer is
+// pooled: verdict-only callers do not pay a fresh token-slice allocation
+// per file.
 func Check(src string) error {
-	_, err := ParseFile(src)
+	bufp := tokPool.Get().(*[]Token)
+	toks, err := appendTokens((*bufp)[:0], src)
+	if err == nil {
+		_, err = parseTokens(toks)
+	}
+	*bufp = toks[:0]
+	tokPool.Put(bufp)
 	return err
+}
+
+// quickCheckOff gates the QuickCheck fast path in CheckFast (zero value =
+// enabled). Tests flip it to prove verdict equivalence with the pre-check
+// disabled.
+var quickCheckOff atomic.Bool
+
+// SetQuickCheck enables or disables the QuickCheck fast path taken by
+// CheckFast. It is enabled by default; disabling is meant for tests and
+// A/B measurement, since QuickCheck's good verdicts are definitive.
+func SetQuickCheck(enabled bool) { quickCheckOff.Store(!enabled) }
+
+// QuickCheckEnabled reports whether CheckFast may take the QuickCheck path.
+func QuickCheckEnabled() bool { return !quickCheckOff.Load() }
+
+// CheckFast is Check with the streaming pre-check in front: the common case
+// (ordinary well-formed RTL) is decided by QuickCheck's single allocation-
+// free pass, and only suspicious files pay for the full parse. The verdict
+// is always identical to Check's.
+func CheckFast(src string) error {
+	if QuickCheckEnabled() && QuickCheck(src) {
+		return nil
+	}
+	return Check(src)
 }
 
 func (p *Parser) atEOF() bool { return p.pos >= len(p.toks) }

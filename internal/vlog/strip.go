@@ -39,6 +39,7 @@ func StripComments(src string) string {
 			}
 		case c == '/' && i+1 < n && src[i+1] == '*':
 			i += 2
+			sawNewline := false
 			for i < n {
 				if src[i] == '*' && i+1 < n && src[i+1] == '/' {
 					i += 2
@@ -46,8 +47,16 @@ func StripComments(src string) string {
 				}
 				if src[i] == '\n' {
 					sb.WriteByte('\n')
+					sawNewline = true
 				}
 				i++
+			}
+			// A removed single-line block comment leaves one space so the
+			// neighbors cannot paste into one token: `wire/**/x` must strip
+			// to `wire x`, not `wirex` (comments are token separators, IEEE
+			// 1364 §3.4). Multi-line comments already leave their newlines.
+			if !sawNewline {
+				sb.WriteByte(' ')
 			}
 		default:
 			sb.WriteByte(c)
@@ -116,10 +125,11 @@ func Words(text string) []string {
 // FirstFraction returns approximately the first frac (0..1] of src measured
 // in words, capped at maxWords words. This mirrors the paper's prompt
 // construction: "the first 20% of a copyrighted code file, with a limit of
-// 64 words per prompt".
+// 64 words per prompt". The word count rounds half-up (a 9-word file at 20%
+// yields 2 words, not the 1 that truncation gave), matching §III-A.
 func FirstFraction(src string, frac float64, maxWords int) string {
 	ws := Words(src)
-	n := int(float64(len(ws)) * frac)
+	n := int(float64(len(ws))*frac + 0.5)
 	if n < 1 {
 		n = 1
 	}

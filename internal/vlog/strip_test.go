@@ -1,0 +1,114 @@
+package vlog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FirstFraction rounds half-up, pinned around the §III-A boundaries: the
+// paper takes "the first 20% of a copyrighted code file", and 20% of a
+// 9-word file is 1.8 words — two words, not truncation's one.
+func TestFirstFractionRounding(t *testing.T) {
+	mkWords := func(n int) string {
+		ws := make([]string, n)
+		for i := range ws {
+			ws[i] = "w"
+		}
+		return strings.Join(ws, " ")
+	}
+	cases := []struct {
+		words    int
+		frac     float64
+		maxWords int
+		want     int
+	}{
+		{1, 0.2, 64, 1},  // floor of one word
+		{2, 0.2, 64, 1},  // 0.4 rounds down, clamped up to 1
+		{3, 0.2, 64, 1},  // 0.6 -> 1
+		{7, 0.2, 64, 1},  // 1.4 -> 1
+		{8, 0.2, 64, 2},  // 1.6 -> 2
+		{9, 0.2, 64, 2},  // 1.8 -> 2 (truncation gave 1)
+		{10, 0.2, 64, 2}, // exact
+		{12, 0.2, 64, 2}, // 2.4 -> 2
+		{13, 0.2, 64, 3}, // 2.6 -> 3
+		{9, 0.5, 64, 5},  // 4.5 -> 5 (half rounds up)
+		{10, 1.0, 64, 10},
+		{1000, 0.2, 64, 64}, // word cap
+		{10, 0.2, 0, 2},     // maxWords 0 = uncapped
+		{3, 0.2, 1, 1},
+	}
+	for _, c := range cases {
+		out := FirstFraction(mkWords(c.words), c.frac, c.maxWords)
+		if got := len(Words(out)); got != c.want {
+			t.Errorf("FirstFraction(%d words, %v, cap %d) = %d words, want %d",
+				c.words, c.frac, c.maxWords, got, c.want)
+		}
+	}
+}
+
+// EOF and pasting edge cases for StripComments: unterminated constructs
+// must not panic or mangle surrounding text, and removing a block comment
+// must never splice the neighbors into a new comment token.
+func TestStripCommentsEdges(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"unterminated block", "wire x; /* dangling", "wire x;  "},
+		{"unterminated block newline", "a /* b\nc", "a \n"},
+		{"trailing star", "a /* b *", "a  "},
+		{"lone open", "/*", " "},
+		{"lone star slash", "*/", "*/"},
+		{"unterminated string", `x = "abc`, `x = "abc`},
+		{"string trailing escape", "\"a\\", "\"a\\"},
+		{"no token paste", "wire/**/x;", "wire x;"},
+		{"no token paste mid-ident", "as/* */sign", "as sign"},
+		{"slash block is line comment", "a//* x */b", "a"},
+		{"block keeps newlines", "a/* x\ny */b", "a\nb"},
+		{"line comment", "a // c\nb", "a \nb"},
+		{"empty", "", ""},
+	}
+	for _, c := range cases {
+		if got := StripComments(c.in); got != c.want {
+			t.Errorf("%s: StripComments(%q) = %q, want %q", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+// FuzzStripComments drives the comment stripper (and HeaderComment, which
+// shares its scanning idioms) through arbitrary inputs with the EOF edge
+// cases as seeds. Properties: never panics, never grows the input, and is
+// idempotent — stripping cannot manufacture new comments by token pasting.
+func FuzzStripComments(f *testing.F) {
+	seeds := []string{
+		"",
+		"module m; endmodule",
+		"/* unterminated",
+		"/* trailing star *",
+		"/*/",
+		"*/",
+		`"unterminated string`,
+		"\"trailing escape\\",
+		"a/" + "/**/" + "/b",
+		"/" + "/* x */" + "*",
+		"// line only",
+		"a /* b\nc */ d // e\nf",
+		`s = "// not /* a */ comment";`,
+		"`timescale 1ns/1ps\n/* hdr */ module m; endmodule",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	for _, s := range trickySeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		out := StripComments(src)
+		if len(out) > len(src) {
+			t.Fatalf("stripping grew the input: %d -> %d bytes", len(src), len(out))
+		}
+		if again := StripComments(out); again != out {
+			t.Fatalf("not idempotent:\nonce  %q\ntwice %q", out, again)
+		}
+		_ = HeaderComment(src) // must not panic on any input
+	})
+}
