@@ -1,0 +1,98 @@
+// Command freeset-serve runs the audit-as-a-service layer: the paper's
+// §III-A infringement check (plus the syntax filter and copyright screen)
+// exposed per candidate completion over HTTP, the way an online Verilog
+// generation pipeline consumes it.
+//
+// Endpoints: POST /audit, POST /syntax, POST /scan, POST /corpus,
+// GET /stats (see internal/serve).
+//
+// Usage:
+//
+//	freeset-serve [-addr :8844] [-corpus dir] [-protected 200] [-seed 1]
+//	              [-workers 0] [-queue 256] [-batch 32]
+//	              [-threshold 0.8] [-cache-budget 0]
+//
+// The served index starts from -corpus (a directory of .v/.vh files
+// indexed verbatim) and/or -protected (n simulated protected files,
+// deterministic in -seed); POST /corpus replaces it at runtime.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"freehw/internal/corpus"
+	"freehw/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("freeset-serve: ")
+	var (
+		addr      = flag.String("addr", ":8844", "listen address")
+		dir       = flag.String("corpus", "", "directory of .v/.vh files to serve as the initial protected corpus")
+		protected = flag.Int("protected", 0, "generate n simulated protected files into the initial corpus")
+		seed      = flag.Int64("seed", 1, "seed for -protected generation")
+		workers   = flag.Int("workers", 0, "scoring concurrency per batch (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 256, "audit queue depth before 429 backpressure")
+		batch     = flag.Int("batch", 32, "max audits coalesced into one snapshot pass")
+		threshold = flag.Float64("threshold", 0, "violation cosine threshold (0 = paper's 0.8)")
+		budget    = flag.Int64("cache-budget", 0, "verdict cache byte budget (0 = default 256 MiB, negative = unbounded)")
+	)
+	flag.Parse()
+
+	cfg := serve.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.QueueDepth = *queue
+	cfg.MaxBatch = *batch
+	if *threshold > 0 {
+		cfg.Threshold = *threshold
+	}
+	cfg.CacheBudget = *budget
+	s := serve.NewServer(cfg)
+	defer s.Close()
+
+	var names, texts []string
+	if *dir != "" {
+		err := filepath.WalkDir(*dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			if !strings.HasSuffix(path, ".v") && !strings.HasSuffix(path, ".vh") {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			rel, _ := filepath.Rel(*dir, path)
+			names = append(names, rel)
+			texts = append(texts, string(data))
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *protected > 0 {
+		for _, pf := range corpus.BuildProtectedCorpus(*seed, *protected) {
+			names = append(names, pf.Name)
+			texts = append(texts, pf.Source)
+		}
+	}
+	if len(texts) > 0 {
+		version, indexed := s.PublishDocuments(names, texts)
+		log.Printf("published initial corpus: %d documents (version %d)", indexed, version)
+	} else {
+		log.Printf("starting with an empty corpus; POST /corpus to publish one")
+	}
+
+	log.Printf("serving on %s (queue %d, batch %d, threshold %.2f)", *addr, cfg.QueueDepth, cfg.MaxBatch, cfg.Threshold)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

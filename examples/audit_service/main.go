@@ -1,0 +1,95 @@
+// Audit as a service: run the serving layer in-process, publish a
+// protected corpus, and audit candidate completions the way an online
+// generation pipeline would — one HTTP round-trip per candidate, with a
+// live corpus swap in between to show the RCU snapshot publish.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"freehw/internal/corpus"
+	"freehw/internal/serve"
+)
+
+func post[T any](base, path string, req any) T {
+	body, _ := json.Marshal(req)
+	r, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Body.Close()
+	var out T
+	if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+func main() {
+	log.SetFlags(0)
+	s := serve.NewServer(serve.DefaultConfig())
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, s.Handler())
+	base := "http://" + ln.Addr().String()
+
+	// Publish 50 simulated protected files as the reference corpus.
+	protected := corpus.BuildProtectedCorpus(7, 50)
+	var docs []serve.CorpusDocument
+	for _, pf := range protected {
+		docs = append(docs, serve.CorpusDocument{Name: pf.Name, Text: pf.Source})
+	}
+	cr := post[serve.CorpusResponse](base, "/corpus", serve.CorpusRequest{Documents: docs})
+	fmt.Printf("published corpus version %d with %d protected files\n\n", cr.Version, cr.Indexed)
+
+	// Candidate 1: a regurgitated protected body — the audit flags it.
+	leak := post[serve.AuditResponse](base, "/audit", serve.AuditRequest{Code: protected[3].Body})
+	fmt.Printf("regurgitated candidate: violation=%v best=%s score=%.3f\n", leak.Violation, leak.Best.Name, leak.Best.Score)
+
+	// Candidate 2: original code — clean.
+	clean := `module gray_counter(input clk, rst, output reg [3:0] g);
+  reg [3:0] bin;
+  always @(posedge clk) begin
+    if (rst) bin <= 0; else bin <= bin + 1;
+    g <= bin ^ (bin >> 1);
+  end
+endmodule`
+	ok := post[serve.AuditResponse](base, "/audit", serve.AuditRequest{Code: clean})
+	fmt.Printf("original candidate:     violation=%v (best score %.3f)\n\n", ok.Violation, score(ok))
+
+	// The other per-candidate checks a pipeline runs before accepting.
+	syn := post[serve.SyntaxResponse](base, "/syntax", serve.SyntaxRequest{Code: clean})
+	scan := post[serve.ScanResponse](base, "/scan", serve.ScanRequest{Code: protected[3].Source})
+	fmt.Printf("syntax(clean): ok=%v   scan(protected header): protected=%v reasons=%v\n\n", syn.OK, scan.Protected, scan.Reasons)
+
+	// Swap the corpus live: audits after the swap answer from version 2.
+	cr = post[serve.CorpusResponse](base, "/corpus", serve.CorpusRequest{Documents: docs[:10]})
+	after := post[serve.AuditResponse](base, "/audit", serve.AuditRequest{Code: protected[3].Body})
+	fmt.Printf("after swap to version %d (%d docs): violation=%v under corpus_version=%d\n\n",
+		cr.Version, cr.Indexed, after.Violation, after.CorpusVersion)
+
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats serve.StatsResponse
+	json.NewDecoder(resp.Body).Decode(&stats)
+	fmt.Printf("stats: %d audits (%d cached), %d violations, corpus v%d/%d docs, cache %d entries\n",
+		stats.Audits, stats.AuditCacheHits, stats.Violations, stats.CorpusVersion, stats.CorpusLen, stats.Cache.Entries)
+}
+
+func score(a serve.AuditResponse) float64 {
+	if a.Best == nil {
+		return 0
+	}
+	return a.Best.Score
+}

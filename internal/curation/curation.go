@@ -287,6 +287,27 @@ func (ex *Extraction) Files() []*ExtractedFile {
 	return out
 }
 
+// ProtectedFiles returns every extracted file the per-file copyright
+// screen flags (protected header or sensitive body content), in scrape
+// order, regardless of license gate or dedup outcome — the §III-A
+// reference corpus hiding inside an uploaded scrape. Scans fan out across
+// the extraction's workers and are memoized in its cache, so a funnel run
+// over the same extraction pays nothing extra.
+func (ex *Extraction) ProtectedFiles() []*ExtractedFile {
+	files := ex.Files()
+	flagged := par.Map(ex.workers, len(files), func(i int) bool {
+		f := files[i]
+		return f.HeaderScan().Protected || len(f.BodyHits()) > 0
+	})
+	var out []*ExtractedFile
+	for i, f := range files {
+		if flagged[i] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // fileVerdict is a stage-3 outcome.
 type fileVerdict int8
 

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkServeAudit measures end-to-end /audit throughput through the
+// handler (JSON decode, content-hash memo, micro-batch queue, snapshot
+// scoring, JSON encode) against a 500-document corpus. Queries rotate
+// through 4096 distinct candidates, so the steady state mixes index
+// passes with cross-request memo hits — the mix a generation pipeline
+// resampling candidates actually produces.
+func BenchmarkServeAudit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	names := make([]string, 500)
+	texts := make([]string, 500)
+	for i := range texts {
+		names[i] = fmt.Sprintf("d%d.v", i)
+		texts[i] = randVerilog(rng, i)
+	}
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 4096
+	cfg.CacheBudget = 64 << 20
+	s := NewServer(cfg)
+	defer s.Close()
+	s.PublishDocuments(names, texts)
+
+	const distinct = 4096
+	bodies := make([][]byte, distinct)
+	for i := range bodies {
+		q := randVerilog(rng, 10000+i)
+		bodies[i], _ = json.Marshal(AuditRequest{Code: q})
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rejected atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := rand.Int()
+		for pb.Next() {
+			i++
+			r := httptest.NewRequest(http.MethodPost, "/audit", bytes.NewReader(bodies[i%distinct]))
+			w := httptest.NewRecorder()
+			s.Handler().ServeHTTP(w, r)
+			if w.Code == http.StatusTooManyRequests {
+				rejected.Add(1)
+				continue
+			}
+			if w.Code != http.StatusOK {
+				b.Fatalf("audit status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "audits/s")
+	}
+}
+
+// BenchmarkServeAuditCold isolates the uncached path: every request is a
+// fresh candidate, so each one pays the full snapshot index pass.
+func BenchmarkServeAuditCold(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	names := make([]string, 500)
+	texts := make([]string, 500)
+	for i := range texts {
+		names[i] = fmt.Sprintf("d%d.v", i)
+		texts[i] = randVerilog(rng, i)
+	}
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 4096
+	cfg.CacheBudget = 64 << 20
+	s := NewServer(cfg)
+	defer s.Close()
+	s.PublishDocuments(names, texts)
+
+	queries := make([]string, b.N)
+	for i := range queries {
+		queries[i] = randVerilog(rng, 20000+i)
+	}
+	bodies := make([][]byte, b.N)
+	for i := range bodies {
+		bodies[i], _ = json.Marshal(AuditRequest{Code: queries[i]})
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest(http.MethodPost, "/audit", bytes.NewReader(bodies[i]))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("audit status %d", w.Code)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latRingSize bounds the latency sample window; a power of two keeps the
+// modulo cheap. 2048 recent audits is enough for stable p50/p99 under load
+// while keeping /stats snapshots O(window), not O(lifetime).
+const latRingSize = 2048
+
+// latRing records recent request durations for percentile reporting. The
+// ring overwrites oldest-first, so percentiles always describe the most
+// recent window rather than the whole process lifetime.
+type latRing struct {
+	mu  sync.Mutex
+	buf [latRingSize]int64 // nanoseconds
+	n   int64              // total recorded (ring index = n % size)
+}
+
+func (l *latRing) record(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.n%latRingSize] = int64(d)
+	l.n++
+	l.mu.Unlock()
+}
+
+// percentiles returns the p50 and p99 of the recorded window, in
+// milliseconds. Zero when nothing has been recorded.
+func (l *latRing) percentiles() (p50, p99 float64) {
+	l.mu.Lock()
+	n := l.n
+	if n > latRingSize {
+		n = latRingSize
+	}
+	window := make([]int64, n)
+	copy(window, l.buf[:n])
+	l.mu.Unlock()
+	if len(window) == 0 {
+		return 0, 0
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(window)-1))
+		return float64(window[i]) / float64(time.Millisecond)
+	}
+	return at(0.50), at(0.99)
+}
+
+// metrics holds the service counters surfaced by /stats.
+type metrics struct {
+	audits         atomic.Int64
+	auditCacheHits atomic.Int64
+	syntaxChecks   atomic.Int64
+	scans          atomic.Int64
+	corpusPosts    atomic.Int64
+	rejected       atomic.Int64
+	violations     atomic.Int64
+	batches        atomic.Int64
+	batchedJobs    atomic.Int64
+	lat            latRing
+}

@@ -1,0 +1,523 @@
+// Package serve exposes the curation engine's per-file analyses as an
+// online audit service — the check a Verilog generation pipeline needs per
+// candidate completion, not per batch job:
+//
+//	POST /audit  — §III-A infringement verdict (cosine vs the protected
+//	               corpus, violation at threshold 0.8)
+//	POST /syntax — curation syntax filter (streaming QuickCheck, full
+//	               parser fallback)
+//	POST /scan   — per-file copyright screen (header indicators + body
+//	               key-material needles)
+//	POST /corpus — upload + curate a corpus, atomically publish the index
+//	GET  /stats  — traffic, latency percentiles, cache counters
+//
+// The serving core is an immutable similarity.Snapshot swapped RCU-style
+// through an atomic pointer: /corpus builds the next index off to the
+// side, seals it, and publishes it in one pointer store, so in-flight
+// audits keep answering against whichever snapshot they loaded and never
+// observe a half-built index. Audit requests funnel through a bounded
+// queue into a micro-batching dispatcher (one snapshot load and one
+// deduplicated index pass per batch); when the queue is full the service
+// sheds load with 429 instead of stacking goroutines. Verdicts are
+// memoized across requests in a shared vcache.Store keyed by content
+// hash — and, for audits, by the snapshot version they were computed
+// under — so resampled candidates cost a hash lookup.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"freehw/internal/curation"
+	"freehw/internal/gitsim"
+	"freehw/internal/similarity"
+	"freehw/internal/vcache"
+	"freehw/internal/vlog"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers bounds scoring concurrency inside a batch (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds pending audits before the service sheds load with
+	// 429 (0 = 256).
+	QueueDepth int
+	// MaxBatch caps how many queued audits one dispatcher pass coalesces
+	// into a single snapshot pass (0 = 32).
+	MaxBatch int
+	// MaxBodyBytes caps request bodies (0 = 8 MiB).
+	MaxBodyBytes int64
+	// Threshold is the violation threshold (0 = the paper's 0.8).
+	Threshold float64
+	// Curation configures /corpus funnel runs (dedup parameters key the
+	// verdict cache). The zero value works; DefaultConfig uses the paper's
+	// FreeSet options.
+	Curation curation.Options
+	// CacheBudget bounds the verdict cache's resident bytes (segmented-
+	// LRU eviction, see vcache.SetBudget). Every distinct audited/
+	// scanned content inserts an entry, so a long-lived server must be
+	// bounded: 0 selects the 256 MiB default, negative means unbounded.
+	CacheBudget int64
+}
+
+// DefaultConfig returns production-ish defaults with the paper's curation
+// options and violation threshold.
+func DefaultConfig() Config {
+	return Config{
+		QueueDepth: 256,
+		MaxBatch:   32,
+		Threshold:  similarity.DefaultThreshold,
+		Curation:   curation.FreeSetOptions(),
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = similarity.DefaultThreshold
+	}
+	if c.CacheBudget == 0 {
+		c.CacheBudget = 256 << 20
+	}
+}
+
+// corpusState is one published index generation. Audits read whichever
+// state they load; /corpus swaps the pointer to the next generation.
+type corpusState struct {
+	snap    *similarity.Snapshot
+	version uint64
+}
+
+// auditJob is one queued audit.
+type auditJob struct {
+	text  string
+	k     int
+	entry *vcache.Entry
+	done  chan auditResult
+}
+
+// auditResult carries the verdict plus the snapshot generation that
+// produced it.
+type auditResult struct {
+	best    similarity.Match
+	matches []similarity.Match
+	version uint64
+	length  int
+}
+
+// Server is the audit service. Create with NewServer, serve via Handler,
+// release the dispatcher with Close.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	store *vcache.Store
+
+	state atomic.Pointer[corpusState]
+	pubMu sync.Mutex // serializes index builds/publishes
+
+	queue chan *auditJob
+	stop  chan struct{}
+	once  sync.Once
+
+	start time.Time
+	m     metrics
+
+	// batchGate, when set (tests), runs at the start of every dispatcher
+	// batch — it lets the backpressure test hold the dispatcher mid-batch
+	// deterministically.
+	batchGate func()
+}
+
+// NewServer builds the service and starts its dispatcher.
+func NewServer(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:   cfg,
+		store: vcache.NewStore(cfg.Curation.Dedup),
+		queue: make(chan *auditJob, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+		start: time.Now(),
+	}
+	if cfg.CacheBudget > 0 {
+		s.store.SetBudget(cfg.CacheBudget)
+	}
+	s.state.Store(&corpusState{snap: similarity.SealCorpus(nil, nil, 1)})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/audit", s.handleAudit)
+	s.mux.HandleFunc("/syntax", s.handleSyntax)
+	s.mux.HandleFunc("/scan", s.handleScan)
+	s.mux.HandleFunc("/corpus", s.handleCorpus)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	go s.dispatch()
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the dispatcher. Queued audits get 503.
+func (s *Server) Close() { s.once.Do(func() { close(s.stop) }) }
+
+// current returns the live index generation.
+func (s *Server) current() *corpusState { return s.state.Load() }
+
+// PublishDocuments replaces the served index with the given documents and
+// returns the new generation. The index builds off to the side — audits
+// keep answering against the old snapshot — and publishes atomically.
+func (s *Server) PublishDocuments(names, texts []string) (version uint64, indexed int) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	snap := similarity.SealCorpus(names, texts, s.cfg.Workers)
+	version = s.current().version + 1
+	s.state.Store(&corpusState{snap: snap, version: version})
+	return version, snap.Len()
+}
+
+// dispatch is the micro-batching loop: it blocks for the first queued
+// audit, drains whatever else is already pending (up to MaxBatch), and
+// scores the whole batch against one snapshot load.
+func (s *Server) dispatch() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case job := <-s.queue:
+			batch := []*auditJob{job}
+		drain:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case next := <-s.queue:
+					batch = append(batch, next)
+				default:
+					break drain
+				}
+			}
+			s.runBatch(batch)
+		}
+	}
+}
+
+// runBatch scores one batch against the current snapshot. Best-only jobs
+// share a single deduplicated BestBatch pass; top-k jobs fan out over the
+// same snapshot. Every verdict lands in the content-hash memo under the
+// snapshot version that produced it.
+func (s *Server) runBatch(batch []*auditJob) {
+	if s.batchGate != nil {
+		s.batchGate()
+	}
+	st := s.current()
+	s.m.batches.Add(1)
+	s.m.batchedJobs.Add(int64(len(batch)))
+
+	var bestJobs []*auditJob
+	var texts []string
+	var topkJobs []*auditJob
+	for _, j := range batch {
+		if j.k > 1 {
+			topkJobs = append(topkJobs, j)
+		} else {
+			bestJobs = append(bestJobs, j)
+			texts = append(texts, j.text)
+		}
+	}
+	if len(bestJobs) > 0 {
+		matches := st.snap.BestBatch(s.cfg.Workers, texts)
+		for i, j := range bestJobs {
+			if j.entry != nil {
+				j.entry.StoreBestMatch(st.version, matches[i])
+			}
+			j.done <- auditResult{best: matches[i], version: st.version, length: st.snap.Len()}
+		}
+	}
+	for _, j := range topkJobs {
+		// Clamp client-controlled k: TopK pre-allocates its heap at
+		// capacity k, and nothing beyond the corpus size can match anyway.
+		k := j.k
+		if n := st.snap.Len(); k > n {
+			k = n
+		}
+		ms := st.snap.TopK(j.text, k)
+		res := auditResult{matches: ms, version: st.version, length: st.snap.Len()}
+		if len(ms) > 0 {
+			res.best = ms[0]
+		} else {
+			res.best = similarity.Match{Index: -1}
+		}
+		if j.entry != nil {
+			j.entry.StoreBestMatch(st.version, res.best)
+		}
+		j.done <- res
+	}
+}
+
+// decode reads a JSON body under the configured size cap. It replies on
+// failure and reports whether the handler should continue.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, out any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(out); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{Error: "request body too large"})
+		} else {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error()})
+		}
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func post(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
+		return false
+	}
+	return true
+}
+
+func matchJSON(m similarity.Match) *AuditMatch {
+	if m.Index < 0 {
+		return nil
+	}
+	return &AuditMatch{Name: m.Name, Index: m.Index, Score: m.Score}
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	var req AuditRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	startT := time.Now()
+	s.m.audits.Add(1)
+	threshold := req.Threshold
+	if threshold <= 0 {
+		threshold = s.cfg.Threshold
+	}
+	entry := s.store.Entry(req.Code)
+
+	// Cross-request memo: same content under the live snapshot generation
+	// answers without touching the queue or the index.
+	if req.TopK <= 1 {
+		st := s.current()
+		if m, ok := entry.CachedBestMatch(st.version); ok {
+			s.m.auditCacheHits.Add(1)
+			s.respondAudit(w, req, auditResult{best: m, version: st.version, length: st.snap.Len()}, threshold, true)
+			s.m.lat.record(time.Since(startT))
+			return
+		}
+	}
+
+	job := &auditJob{text: req.Code, k: req.TopK, entry: entry, done: make(chan auditResult, 1)}
+	select {
+	case s.queue <- job:
+	default:
+		// Queue full: shed load now instead of stacking latency.
+		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "audit queue full"})
+		return
+	}
+	select {
+	case res := <-job.done:
+		s.respondAudit(w, req, res, threshold, false)
+		s.m.lat.record(time.Since(startT))
+	case <-r.Context().Done():
+		// Client gone; the dispatcher's buffered send still completes.
+	case <-s.stop:
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server shutting down"})
+	}
+}
+
+func (s *Server) respondAudit(w http.ResponseWriter, req AuditRequest, res auditResult, threshold float64, cached bool) {
+	resp := AuditResponse{
+		Best:          matchJSON(res.best),
+		Violation:     res.best.Index >= 0 && res.best.Score >= threshold,
+		Threshold:     threshold,
+		CorpusVersion: res.version,
+		CorpusLen:     res.length,
+		Cached:        cached,
+	}
+	if resp.Violation {
+		s.m.violations.Add(1)
+	}
+	for _, m := range res.matches {
+		resp.Matches = append(resp.Matches, AuditMatch{Name: m.Name, Index: m.Index, Score: m.Score})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSyntax(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	var req SyntaxRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.m.syntaxChecks.Add(1)
+	resp := SyntaxResponse{OK: !s.store.Entry(req.Code).SyntaxBad(req.Code)}
+	if !resp.OK {
+		// The memo stores only the verdict; re-derive the message on the
+		// rare bad path (QuickCheck routes it to the full parser anyway).
+		if err := vlog.CheckFast(req.Code); err != nil {
+			resp.Error = err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	var req ScanRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.m.scans.Add(1)
+	entry := s.store.Entry(req.Code)
+	hdr := entry.HeaderScan(req.Code)
+	hits := entry.BodyHits(req.Code)
+	writeJSON(w, http.StatusOK, ScanResponse{
+		Protected: hdr.Protected || len(hits) > 0,
+		Reasons:   hdr.Reasons,
+		Company:   hdr.Company,
+		BodyHits:  hits,
+	})
+}
+
+func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	var req CorpusRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	mode := req.Index
+	if mode == "" {
+		mode = "protected"
+	}
+	if mode != "protected" && mode != "curated" && mode != "all" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: `index must be "protected", "curated", or "all"`})
+		return
+	}
+	if len(req.Documents) == 0 && len(req.Repos) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "no documents or repos"})
+		return
+	}
+	s.m.corpusPosts.Add(1)
+
+	var names, texts []string
+	for _, d := range req.Documents {
+		names = append(names, d.Name)
+		texts = append(texts, d.Text)
+	}
+	resp := CorpusResponse{Index: mode}
+	if len(req.Repos) > 0 {
+		repos := make([]gitsim.RepoData, len(req.Repos))
+		for i, rr := range req.Repos {
+			repos[i] = gitsim.RepoData{Meta: gitsim.RepoMeta{FullName: rr.Name, SPDX: rr.SPDX}}
+			for _, f := range rr.Files {
+				repos[i].Files = append(repos[i].Files, gitsim.RepoFile{Path: f.Path, Content: f.Content})
+			}
+		}
+		opt := s.cfg.Curation
+		ex := curation.ExtractWithCache(repos, opt.Dedup, opt.Workers, s.store)
+		res := curation.RunExtracted(ex, opt)
+		resp.Funnel = &FunnelCounts{
+			ReposSeen:        res.ReposSeen,
+			ReposLicensed:    res.ReposLicensed,
+			TotalFiles:       res.TotalFiles,
+			AfterLicense:     res.AfterLicense,
+			AfterDedup:       res.AfterDedup,
+			CopyrightRemoved: res.CopyrightRemoved,
+			SyntaxRemoved:    res.SyntaxRemoved,
+			FinalFiles:       res.FinalFiles,
+		}
+		switch mode {
+		case "curated":
+			for _, f := range res.Files {
+				names = append(names, f.Key())
+				texts = append(texts, f.Content)
+			}
+		case "all":
+			for _, f := range ex.Files() {
+				rec := f.Record()
+				names = append(names, rec.Key())
+				texts = append(texts, rec.Content)
+			}
+		default: // protected
+			for _, f := range ex.ProtectedFiles() {
+				rec := f.Record()
+				names = append(names, rec.Key())
+				texts = append(texts, rec.Content)
+			}
+		}
+	}
+
+	version, indexed := s.PublishDocuments(names, texts)
+	resp.Version = int64(version)
+	resp.Indexed = indexed
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET only"})
+		return
+	}
+	st := s.current()
+	cs := s.store.Stats()
+	p50, p99 := s.m.lat.percentiles()
+	uptime := time.Since(s.start).Seconds()
+	total := s.m.audits.Load() + s.m.syntaxChecks.Load() + s.m.scans.Load() + s.m.corpusPosts.Load()
+	var qps float64
+	if uptime > 0 {
+		qps = float64(total) / uptime
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds:  uptime,
+		CorpusVersion:  st.version,
+		CorpusLen:      st.snap.Len(),
+		Audits:         s.m.audits.Load(),
+		AuditCacheHits: s.m.auditCacheHits.Load(),
+		SyntaxChecks:   s.m.syntaxChecks.Load(),
+		Scans:          s.m.scans.Load(),
+		CorpusPosts:    s.m.corpusPosts.Load(),
+		Rejected:       s.m.rejected.Load(),
+		Violations:     s.m.violations.Load(),
+		Batches:        s.m.batches.Load(),
+		BatchedAudits:  s.m.batchedJobs.Load(),
+		QPS:            qps,
+		AuditP50Ms:     p50,
+		AuditP99Ms:     p99,
+		Cache: CacheStats{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Entries:   cs.Entries,
+			Bytes:     cs.Bytes,
+			Evictions: cs.Evictions,
+		},
+	})
+}

@@ -1,0 +1,152 @@
+package serve
+
+// Wire types for the audit service. Everything is plain JSON so any
+// generation pipeline (AutoVCoder/VFlow-style samplers, CI gates, editor
+// plugins) can call the service without a client library.
+
+// AuditRequest asks for the §III-A infringement verdict on one candidate
+// completion.
+type AuditRequest struct {
+	// Code is the candidate Verilog to audit.
+	Code string `json:"code"`
+	// TopK, when > 1, returns the k closest corpus matches instead of
+	// just the best one.
+	TopK int `json:"top_k,omitempty"`
+	// Threshold overrides the server's violation threshold for this
+	// request when > 0 (paper default: 0.8).
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// AuditMatch is one corpus match.
+type AuditMatch struct {
+	Name  string  `json:"name"`
+	Index int     `json:"index"`
+	Score float64 `json:"score"`
+}
+
+// AuditResponse is the verdict. Best is absent when nothing in the corpus
+// shares a term with the candidate (or the corpus is empty).
+type AuditResponse struct {
+	Best          *AuditMatch  `json:"best,omitempty"`
+	Matches       []AuditMatch `json:"matches,omitempty"`
+	Violation     bool         `json:"violation"`
+	Threshold     float64      `json:"threshold"`
+	CorpusVersion uint64       `json:"corpus_version"`
+	CorpusLen     int          `json:"corpus_len"`
+	// Cached marks a verdict served from the cross-request memo (same
+	// content hash, same corpus version) without touching the index.
+	Cached bool `json:"cached"`
+}
+
+// SyntaxRequest asks for the curation syntax-filter verdict.
+type SyntaxRequest struct {
+	Code string `json:"code"`
+}
+
+// SyntaxResponse reports the vlog verdict: the streaming QuickCheck
+// decides well-formed files, the full parser everything suspicious.
+type SyntaxResponse struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// ScanRequest asks for the per-file copyright screen.
+type ScanRequest struct {
+	Code string `json:"code"`
+}
+
+// ScanResponse reports the header/body copyright scan.
+type ScanResponse struct {
+	Protected bool     `json:"protected"`
+	Reasons   []string `json:"reasons,omitempty"`
+	Company   string   `json:"company,omitempty"`
+	BodyHits  []string `json:"body_hits,omitempty"`
+}
+
+// CorpusDocument is one pre-vetted protected document, indexed as-is.
+type CorpusDocument struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+}
+
+// CorpusFile is one file of an uploaded repository.
+type CorpusFile struct {
+	Path    string `json:"path"`
+	Content string `json:"content"`
+}
+
+// CorpusRepo is one uploaded repository, run through the curation funnel.
+type CorpusRepo struct {
+	Name  string       `json:"name"`
+	SPDX  string       `json:"spdx,omitempty"`
+	Files []CorpusFile `json:"files"`
+}
+
+// CorpusRequest replaces the served index. Documents are indexed verbatim;
+// Repos run through the curation funnel first, and Index selects which of
+// their files join the published corpus:
+//
+//   - "protected" (default): files the copyright screen flags — the
+//     §III-A reference corpus hiding inside the upload
+//   - "curated": the FreeSet funnel output (license gate, dedup,
+//     copyright screen, syntax check)
+//   - "all": every extracted Verilog file
+type CorpusRequest struct {
+	Index     string           `json:"index,omitempty"`
+	Documents []CorpusDocument `json:"documents,omitempty"`
+	Repos     []CorpusRepo     `json:"repos,omitempty"`
+}
+
+// FunnelCounts mirrors the curation funnel stages for uploaded repos.
+type FunnelCounts struct {
+	ReposSeen        int `json:"repos_seen"`
+	ReposLicensed    int `json:"repos_licensed"`
+	TotalFiles       int `json:"total_files"`
+	AfterLicense     int `json:"after_license"`
+	AfterDedup       int `json:"after_dedup"`
+	CopyrightRemoved int `json:"copyright_removed"`
+	SyntaxRemoved    int `json:"syntax_removed"`
+	FinalFiles       int `json:"final_files"`
+}
+
+// CorpusResponse reports the published index.
+type CorpusResponse struct {
+	Version int64         `json:"version"`
+	Indexed int           `json:"indexed"`
+	Index   string        `json:"index"`
+	Funnel  *FunnelCounts `json:"funnel,omitempty"`
+}
+
+// CacheStats mirrors the shared verdict cache counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Evictions int64 `json:"evictions"`
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	UptimeSeconds  float64    `json:"uptime_s"`
+	CorpusVersion  uint64     `json:"corpus_version"`
+	CorpusLen      int        `json:"corpus_len"`
+	Audits         int64      `json:"audits"`
+	AuditCacheHits int64      `json:"audit_cache_hits"`
+	SyntaxChecks   int64      `json:"syntax_checks"`
+	Scans          int64      `json:"scans"`
+	CorpusPosts    int64      `json:"corpus_posts"`
+	Rejected       int64      `json:"rejected"`
+	Violations     int64      `json:"violations"`
+	Batches        int64      `json:"batches"`
+	BatchedAudits  int64      `json:"batched_audits"`
+	QPS            float64    `json:"qps"`
+	AuditP50Ms     float64    `json:"audit_p50_ms"`
+	AuditP99Ms     float64    `json:"audit_p99_ms"`
+	Cache          CacheStats `json:"cache"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -55,8 +55,13 @@ type Prompt struct {
 // prompt. Files are taken in deterministic round-robin order until
 // NumPrompts prompts exist.
 func BuildPrompts(names, texts []string, cfg BenchmarkConfig) []Prompt {
-	var prompts []Prompt
+	var eligible []Prompt
 	for i := range texts {
+		// Cycling only matters when the corpus is short; once NumPrompts
+		// files qualify, later files can never appear in the output.
+		if cfg.NumPrompts > 0 && len(eligible) >= cfg.NumPrompts {
+			break
+		}
 		stripped := vlog.StripComments(texts[i])
 		if len(vlog.Words(stripped)) < 8 {
 			continue // too short to probe
@@ -65,13 +70,17 @@ func BuildPrompts(names, texts []string, cfg BenchmarkConfig) []Prompt {
 		if i < len(names) {
 			name = names[i]
 		}
-		prompts = append(prompts, Prompt{
+		eligible = append(eligible, Prompt{
 			SourceName: name,
 			Text:       vlog.FirstFraction(stripped, cfg.PromptFraction, cfg.MaxPromptWords),
 		})
-		if len(prompts) >= cfg.NumPrompts {
-			break
-		}
+	}
+	if len(eligible) == 0 || cfg.NumPrompts <= 0 {
+		return nil
+	}
+	prompts := make([]Prompt, 0, cfg.NumPrompts)
+	for i := 0; len(prompts) < cfg.NumPrompts; i++ {
+		prompts = append(prompts, eligible[i%len(eligible)])
 	}
 	return prompts
 }

@@ -100,14 +100,22 @@ func TestIndexTopKMatchesBruteForce(t *testing.T) {
 			brute[i] = Cosine(qv, NewVector(text))
 		}
 		sort.Sort(sort.Reverse(sort.Float64Slice(brute)))
+		// Zero-cosine documents are not matches: TopK must truncate
+		// rather than pad with arbitrary corpus entries.
+		positive := 0
+		for _, s := range brute {
+			if s > 0 {
+				positive++
+			}
+		}
 		for _, k := range []int{1, 3, n, n + 5} {
 			ms := corpus.TopK(query, k)
 			wantLen := k
-			if wantLen > n {
-				wantLen = n
+			if wantLen > positive {
+				wantLen = positive
 			}
 			if len(ms) != wantLen {
-				t.Fatalf("k=%d: got %d matches", k, len(ms))
+				t.Fatalf("k=%d: got %d matches, want %d", k, len(ms), wantLen)
 			}
 			for i, m := range ms {
 				if math.Abs(m.Score-brute[i]) > 1e-9 {
@@ -166,7 +174,8 @@ func TestIndexDegenerateCases(t *testing.T) {
 	if m := c.Best(""); m.Index != -1 || m.Score != 0 {
 		t.Fatalf("empty query best = %+v", m)
 	}
-	if ms := c.TopK("", 2); len(ms) != 1 || ms[0].Score != 0 {
+	// An empty query matches nothing; it must not surface score-0 entries.
+	if ms := c.TopK("", 2); len(ms) != 0 {
 		t.Fatalf("empty query topk = %+v", ms)
 	}
 	// A corpus containing an empty document must never match it.

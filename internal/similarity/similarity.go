@@ -16,6 +16,7 @@ import (
 	"container/heap"
 	"math"
 	"strings"
+	"unicode/utf8"
 
 	"freehw/internal/par"
 )
@@ -32,7 +33,11 @@ type Vector struct {
 
 // Tokenize splits code into comparison terms: identifiers/keywords, numbers,
 // and operator glyphs. Whitespace and formatting differences vanish, so
-// reformatted copies still match.
+// reformatted copies still match. Non-ASCII runes (comments, exotic
+// identifiers) are emitted whole, one term per rune — splitting them into
+// bytes would make every multi-byte script share continuation-byte terms
+// and spuriously correlate unrelated files. Invalid UTF-8 bytes stay
+// single-byte terms.
 func Tokenize(text string) []string {
 	var out []string
 	i := 0
@@ -51,9 +56,18 @@ func Tokenize(text string) []string {
 				i++
 			}
 			out = append(out, strings.ToLower(text[start:i]))
-		default:
-			out = append(out, string(c))
+		case c < utf8.RuneSelf:
+			out = append(out, text[i:i+1])
 			i++
+		default:
+			r, size := utf8.DecodeRuneInString(text[i:])
+			if r == utf8.RuneError && size <= 1 {
+				out = append(out, text[i:i+1]) // invalid byte, kept verbatim
+				i++
+				break
+			}
+			out = append(out, strings.ToLower(text[i:i+size]))
+			i += size
 		}
 	}
 	return out
@@ -123,11 +137,14 @@ type posting struct {
 	w   float64
 }
 
-// Corpus is an indexed collection of protected documents.
+// Corpus is an indexed collection of protected documents. A Corpus under
+// construction is single-writer: Add must not race with reads. Seal it
+// into a Snapshot for concurrent serving.
 type Corpus struct {
 	names    []string
 	termIDs  map[string]int32
 	postings [][]posting
+	sealed   bool
 }
 
 // NewCorpus builds a corpus; names and texts run in parallel. See
@@ -167,6 +184,9 @@ func (c *Corpus) Add(name, text string) {
 }
 
 func (c *Corpus) addCounts(name string, counts map[string]float64, order []string) {
+	if c.sealed {
+		panic("similarity: Add on a sealed Corpus")
+	}
 	id := int32(len(c.names))
 	c.names = append(c.names, name)
 	norm := normOf(counts)
@@ -257,16 +277,22 @@ func (h *matchHeap) Pop() any {
 
 // TopK returns the k closest matches, best first (score descending, index
 // ascending on ties), using a bounded heap instead of sorting every score.
+// Only documents that share at least one term with the query qualify: a
+// zero cosine is "no match", so the result holds min(k, matching docs)
+// entries rather than padding with arbitrary low-index corpus files.
 func (c *Corpus) TopK(text string, k int) []Match {
 	if k <= 0 {
 		return nil
 	}
 	acc, qnorm := c.score(text)
+	if acc == nil {
+		return nil
+	}
 	h := make(matchHeap, 0, k)
 	for i := range c.names {
-		var s float64
-		if acc != nil {
-			s = acc[i] / qnorm
+		s := acc[i] / qnorm
+		if s == 0 {
+			continue
 		}
 		m := Match{Name: c.names[i], Index: i, Score: s}
 		if len(h) < k {

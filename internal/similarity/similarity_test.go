@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"unicode/utf8"
 )
 
 func TestCosineIdentical(t *testing.T) {
@@ -74,8 +75,9 @@ func TestCorpusBest(t *testing.T) {
 
 func TestTopKOrdering(t *testing.T) {
 	corpus := NewCorpus(nil, []string{"a b c d", "a b x y", "p q r s"})
+	// "p q r s" shares no term with the query, so only two docs match.
 	ms := corpus.TopK("a b c d", 3)
-	if len(ms) != 3 {
+	if len(ms) != 2 {
 		t.Fatalf("got %d matches", len(ms))
 	}
 	for i := 1; i < len(ms); i++ {
@@ -85,6 +87,63 @@ func TestTopKOrdering(t *testing.T) {
 	}
 	if ms[0].Index != 0 {
 		t.Fatalf("wrong best: %+v", ms[0])
+	}
+}
+
+func TestTokenizeNonASCIIRunes(t *testing.T) {
+	toks := Tokenize("assign y = a; // 加法器")
+	for _, tok := range toks {
+		if !utf8.ValidString(tok) {
+			t.Fatalf("tokenizer split a rune into bytes: %q in %q", tok, toks)
+		}
+	}
+	found := false
+	for _, tok := range toks {
+		if tok == "加" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("multi-byte rune not emitted as a term: %q", toks)
+	}
+	// Two comments over disjoint rune sets must not correlate. The old
+	// per-byte tokenizer shared UTF-8 continuation bytes between them and
+	// reported a spuriously high cosine.
+	a := NewVector("// 加法器模块选择")
+	b := NewVector("// 乗算回路設計図")
+	// Both start with "//", so strip the shared ASCII prefix influence by
+	// checking the score stays far below the violation threshold.
+	if got := Cosine(a, b); got >= 0.5 {
+		t.Fatalf("disjoint non-ASCII comments correlate: cosine = %v", got)
+	}
+	// Invalid UTF-8 must not panic and must keep distinct bytes distinct.
+	bad := Tokenize("\xff\xfe\xff")
+	if len(bad) != 3 || bad[0] != "\xff" || bad[1] != "\xfe" {
+		t.Fatalf("invalid UTF-8 tokens = %q", bad)
+	}
+}
+
+func TestTopKNoZeroPadding(t *testing.T) {
+	corpus := NewCorpus(
+		[]string{"a", "b", "c", "d"},
+		[]string{"alpha beta gamma", "alpha delta", "p q r s", "t u v w"})
+	// Only two documents share any term with the query; k=4 must not pad
+	// the result with score-0 entries for "c" and "d".
+	ms := corpus.TopK("alpha beta", 4)
+	if len(ms) != 2 {
+		t.Fatalf("want 2 matches, got %+v", ms)
+	}
+	for _, m := range ms {
+		if m.Score == 0 {
+			t.Fatalf("zero-score entry reported as match: %+v", m)
+		}
+	}
+	if ms[0].Name != "a" || ms[1].Name != "b" {
+		t.Fatalf("wrong matches: %+v", ms)
+	}
+	// A query sharing nothing with the corpus matches nothing.
+	if ms := corpus.TopK("zz yy xx", 3); len(ms) != 0 {
+		t.Fatalf("disjoint query matched: %+v", ms)
 	}
 }
 
@@ -118,6 +177,41 @@ endmodule`
 		if n := len(strings.Fields(p.Text)); n > cfg.MaxPromptWords {
 			t.Fatalf("prompt too long: %d words", n)
 		}
+	}
+}
+
+// BuildPrompts promises round-robin cycling: a corpus smaller than
+// NumPrompts must still yield exactly NumPrompts prompts (the paper's 100),
+// repeating files in deterministic order, not silently fewer.
+func TestBuildPromptsShortCorpusCycles(t *testing.T) {
+	texts := []string{
+		"module a(input x, output y); assign y = x & x | x; endmodule",
+		"module b(input p, output q); assign q = p ^ p ^ p; endmodule",
+	}
+	names := []string{"a.v", "b.v"}
+	cfg := DefaultBenchmarkConfig()
+	cfg.NumPrompts = 5
+	prompts := BuildPrompts(names, texts, cfg)
+	if len(prompts) != 5 {
+		t.Fatalf("want 5 prompts from 2 files, got %d", len(prompts))
+	}
+	order := []string{"a.v", "b.v", "a.v", "b.v", "a.v"}
+	for i, p := range prompts {
+		if p.SourceName != order[i] {
+			t.Fatalf("prompt %d from %s, want %s", i, p.SourceName, order[i])
+		}
+	}
+	// Cycled prompts are exact repeats of their first occurrence.
+	if prompts[0].Text != prompts[2].Text || prompts[1].Text != prompts[3].Text {
+		t.Fatal("cycled prompts differ from first pass")
+	}
+	// Degenerate inputs stay well-defined.
+	if got := BuildPrompts(nil, nil, cfg); got != nil {
+		t.Fatalf("no eligible files should yield nil, got %+v", got)
+	}
+	cfg.NumPrompts = 0
+	if got := BuildPrompts(names, texts, cfg); got != nil {
+		t.Fatalf("NumPrompts=0 should yield nil, got %+v", got)
 	}
 }
 

@@ -1,0 +1,71 @@
+package similarity
+
+import "freehw/internal/par"
+
+// Snapshot is an immutable, sealed view of a Corpus, safe for any number
+// of concurrent readers. It is the unit the serving layer swaps RCU-style:
+// build a Corpus off to the side, Seal it, publish the Snapshot through an
+// atomic pointer, and in-flight queries keep answering against whichever
+// snapshot they loaded — never a half-built index.
+type Snapshot struct {
+	c *Corpus
+}
+
+// Seal freezes the corpus and returns its immutable read view. Sealing
+// transfers ownership: any later Add on the underlying Corpus panics, so a
+// writer cannot silently mutate an index that concurrent readers hold.
+func (c *Corpus) Seal() *Snapshot {
+	c.sealed = true
+	return &Snapshot{c: c}
+}
+
+// SealCorpus builds and seals a corpus in one step (see NewCorpusWorkers).
+func SealCorpus(names, texts []string, workers int) *Snapshot {
+	return NewCorpusWorkers(names, texts, workers).Seal()
+}
+
+// Len returns the number of indexed documents.
+func (s *Snapshot) Len() int { return s.c.Len() }
+
+// Name returns the name of document i.
+func (s *Snapshot) Name(i int) string { return s.c.names[i] }
+
+// Best returns the closest corpus document to the query text; identical to
+// Corpus.Best on the sealed corpus.
+func (s *Snapshot) Best(text string) Match { return s.c.Best(text) }
+
+// TopK returns the k closest matches, best first; identical to
+// Corpus.TopK on the sealed corpus.
+func (s *Snapshot) TopK(text string, k int) []Match { return s.c.TopK(text, k) }
+
+// BestBatch scores a batch of queries in one pass over the snapshot:
+// identical texts are deduplicated — generation pipelines resample the
+// same candidate, and every duplicate shares one index walk — and the
+// distinct queries fan out across at most workers goroutines (<= 0 means
+// GOMAXPROCS). Each query runs the exact Best accumulator walk, so
+// results are byte-identical to calling Best per text, in input order.
+func (s *Snapshot) BestBatch(workers int, texts []string) []Match {
+	if len(texts) == 0 {
+		return nil
+	}
+	slot := make([]int, len(texts))
+	index := make(map[string]int, len(texts))
+	var distinct []string
+	for i, t := range texts {
+		j, ok := index[t]
+		if !ok {
+			j = len(distinct)
+			index[t] = j
+			distinct = append(distinct, t)
+		}
+		slot[i] = j
+	}
+	scored := par.Map(workers, len(distinct), func(i int) Match {
+		return s.c.Best(distinct[i])
+	})
+	out := make([]Match, len(texts))
+	for i := range texts {
+		out[i] = scored[slot[i]]
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package similarity
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSealedCorpusRejectsAdd(t *testing.T) {
+	c := NewCorpus([]string{"a"}, []string{"alpha beta"})
+	snap := c.Seal()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add on a sealed corpus should panic")
+		}
+	}()
+	_ = snap
+	c.Add("b", "gamma delta")
+}
+
+// Snapshot reads must return exactly what the underlying corpus returns.
+func TestSnapshotMatchesCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 30
+	names := make([]string, n)
+	texts := make([]string, n)
+	for i := range texts {
+		names[i] = fmt.Sprintf("d%d", i)
+		texts[i] = randDoc(rng, 40, 30+rng.Intn(80))
+	}
+	c := NewCorpus(names, texts)
+	// Score queries before sealing: sealing must not change any verdict.
+	queries := make([]string, 10)
+	wantBest := make([]Match, len(queries))
+	wantTopK := make([][]Match, len(queries))
+	for q := range queries {
+		queries[q] = randDoc(rng, 60, 10+rng.Intn(50))
+		wantBest[q] = c.Best(queries[q])
+		wantTopK[q] = c.TopK(queries[q], 5)
+	}
+	snap := c.Seal()
+	if snap.Len() != n || snap.Name(3) != "d3" {
+		t.Fatalf("snapshot shape: len=%d name3=%q", snap.Len(), snap.Name(3))
+	}
+	for q, query := range queries {
+		if got := snap.Best(query); got != wantBest[q] {
+			t.Fatalf("query %d: snapshot best %+v != corpus best %+v", q, got, wantBest[q])
+		}
+		got := snap.TopK(query, 5)
+		if len(got) != len(wantTopK[q]) {
+			t.Fatalf("query %d: topk len %d != %d", q, len(got), len(wantTopK[q]))
+		}
+		for i := range got {
+			if got[i] != wantTopK[q][i] {
+				t.Fatalf("query %d rank %d: %+v != %+v", q, i, got[i], wantTopK[q][i])
+			}
+		}
+	}
+}
+
+// BestBatch must be byte-identical to per-query Best, including duplicate
+// and empty texts, at any worker count.
+func TestBestBatchMatchesBest(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 25
+	texts := make([]string, n)
+	names := make([]string, n)
+	for i := range texts {
+		names[i] = fmt.Sprintf("d%d", i)
+		texts[i] = randDoc(rng, 30, 20+rng.Intn(60))
+	}
+	snap := SealCorpus(names, texts, 0)
+	queries := []string{}
+	for q := 0; q < 20; q++ {
+		queries = append(queries, randDoc(rng, 50, 5+rng.Intn(40)))
+	}
+	queries = append(queries, "", queries[0], queries[3], queries[3])
+	want := make([]Match, len(queries))
+	for i, q := range queries {
+		want[i] = snap.Best(q)
+	}
+	for _, workers := range []int{1, 2, 7, 0} {
+		got := snap.BestBatch(workers, queries)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: len %d != %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d query %d: %+v != %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+	if snap.BestBatch(0, nil) != nil {
+		t.Fatal("empty batch should be nil")
+	}
+}
+
+// A snapshot must serve concurrent readers without races (run with -race).
+func TestSnapshotConcurrentReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	texts := make([]string, 20)
+	for i := range texts {
+		texts[i] = randDoc(rng, 30, 40)
+	}
+	snap := SealCorpus(nil, texts, 0)
+	want := snap.Best(texts[4])
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := snap.Best(texts[4]); got != want {
+					panic(fmt.Sprintf("concurrent read diverged: %+v != %+v", got, want))
+				}
+				snap.TopK(texts[(i*7)%len(texts)], 3)
+				snap.BestBatch(2, texts[:5])
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -27,6 +27,7 @@ import (
 
 	"freehw/internal/dedup"
 	"freehw/internal/license"
+	"freehw/internal/similarity"
 	"freehw/internal/vlog"
 )
 
@@ -50,6 +51,16 @@ type Entry struct {
 
 	synOnce sync.Once
 	synBad  bool
+
+	// Audit best-match memo. Unlike the analyses above, an audit verdict
+	// depends on the corpus index as well as the content, so the memo is
+	// keyed by the snapshot version it was computed under: publishing a
+	// new corpus invalidates it, and a stale in-flight batch can never
+	// clobber a verdict computed against a newer snapshot.
+	bmMu  sync.Mutex
+	bmVer uint64
+	bmOK  bool
+	bm    similarity.Match
 }
 
 // NewEntry returns a standalone entry (per-file memoization without a
@@ -94,6 +105,32 @@ func (e *Entry) BodyHits(content string) []string {
 func (e *Entry) SyntaxBad(content string) bool {
 	e.synOnce.Do(func() { e.synBad = vlog.CheckFast(content) != nil })
 	return e.synBad
+}
+
+// CachedBestMatch returns the memoized best corpus match for this content
+// under snapshot version ver, if one was stored. A memo from any other
+// version misses: the verdict is a function of (content, index), and only
+// the version identifies the index.
+func (e *Entry) CachedBestMatch(ver uint64) (similarity.Match, bool) {
+	e.bmMu.Lock()
+	defer e.bmMu.Unlock()
+	if e.bmOK && e.bmVer == ver {
+		return e.bm, true
+	}
+	return similarity.Match{}, false
+}
+
+// StoreBestMatch records the best-match verdict computed under snapshot
+// version ver. Writes from snapshots older than the resident memo are
+// dropped, so a slow batch finishing after a corpus swap cannot roll the
+// entry back to a stale index's verdict.
+func (e *Entry) StoreBestMatch(ver uint64, m similarity.Match) {
+	e.bmMu.Lock()
+	defer e.bmMu.Unlock()
+	if e.bmOK && e.bmVer > ver {
+		return
+	}
+	e.bmVer, e.bm, e.bmOK = ver, m, true
 }
 
 // storeShards is the lock-stripe count; a power of two so shard selection

@@ -9,6 +9,7 @@ import (
 
 	"freehw/internal/dedup"
 	"freehw/internal/license"
+	"freehw/internal/similarity"
 	"freehw/internal/vlog"
 )
 
@@ -251,5 +252,34 @@ func TestStoreCompatible(t *testing.T) {
 	}
 	if s.Compatible(dedup.Options{Seed: 1, ShingleK: 9}) {
 		t.Fatal("different shingle size accepted")
+	}
+}
+
+func TestBestMatchMemoVersioning(t *testing.T) {
+	e := NewEntry()
+	if _, ok := e.CachedBestMatch(1); ok {
+		t.Fatal("empty memo reported a hit")
+	}
+	m1 := similarity.Match{Name: "a.v", Index: 3, Score: 0.91}
+	e.StoreBestMatch(1, m1)
+	if got, ok := e.CachedBestMatch(1); !ok || got != m1 {
+		t.Fatalf("memo miss after store: %+v %v", got, ok)
+	}
+	// A new snapshot version invalidates the memo.
+	if _, ok := e.CachedBestMatch(2); ok {
+		t.Fatal("stale verdict served for a newer snapshot")
+	}
+	m2 := similarity.Match{Name: "b.v", Index: 0, Score: 0.42}
+	e.StoreBestMatch(2, m2)
+	if got, ok := e.CachedBestMatch(2); !ok || got != m2 {
+		t.Fatalf("memo miss after upgrade: %+v %v", got, ok)
+	}
+	// A slow batch from the old snapshot must not roll the memo back.
+	e.StoreBestMatch(1, m1)
+	if got, ok := e.CachedBestMatch(2); !ok || got != m2 {
+		t.Fatalf("stale write clobbered newer verdict: %+v %v", got, ok)
+	}
+	if _, ok := e.CachedBestMatch(1); ok {
+		t.Fatal("dropped stale write still visible")
 	}
 }
