@@ -1,10 +1,12 @@
 // Command freeset-serve runs the audit-as-a-service layer: the paper's
-// §III-A infringement check (plus the syntax filter and copyright screen)
-// exposed per candidate completion over HTTP, the way an online Verilog
+// §III-A infringement check (plus the full curation stage pipeline)
+// exposed over a versioned HTTP surface, the way an online Verilog
 // generation pipeline consumes it.
 //
-// Endpoints: POST /audit, POST /syntax, POST /scan, POST /corpus,
-// GET /stats (see internal/serve).
+// Endpoints: POST /v1/audit, /v1/audit/batch, /v1/filter, /v1/syntax,
+// /v1/scan, /v1/corpus (JSON or streaming NDJSON), GET /v1/stats; the
+// unversioned legacy paths are byte-identical aliases (see
+// internal/serve and the README's /v1 API reference).
 //
 // Usage:
 //

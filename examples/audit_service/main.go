@@ -1,6 +1,7 @@
 // Audit as a service: run the serving layer in-process, publish a
-// protected corpus, and audit candidate completions the way an online
-// generation pipeline would — one HTTP round-trip per candidate, with a
+// protected corpus, and audit candidate completions over the /v1 surface
+// the way an online generation pipeline would — per candidate, as a
+// batch, and as a per-request stage composition (/v1/filter) — with a
 // live corpus swap in between to show the RCU snapshot publish.
 package main
 
@@ -47,11 +48,11 @@ func main() {
 	for _, pf := range protected {
 		docs = append(docs, serve.CorpusDocument{Name: pf.Name, Text: pf.Source})
 	}
-	cr := post[serve.CorpusResponse](base, "/corpus", serve.CorpusRequest{Documents: docs})
+	cr := post[serve.CorpusResponse](base, "/v1/corpus", serve.CorpusRequest{Documents: docs})
 	fmt.Printf("published corpus version %d with %d protected files\n\n", cr.Version, cr.Indexed)
 
 	// Candidate 1: a regurgitated protected body — the audit flags it.
-	leak := post[serve.AuditResponse](base, "/audit", serve.AuditRequest{Code: protected[3].Body})
+	leak := post[serve.AuditResponse](base, "/v1/audit", serve.AuditRequest{Code: protected[3].Body})
 	fmt.Printf("regurgitated candidate: violation=%v best=%s score=%.3f\n", leak.Violation, leak.Best.Name, leak.Best.Score)
 
 	// Candidate 2: original code — clean.
@@ -62,21 +63,47 @@ func main() {
     g <= bin ^ (bin >> 1);
   end
 endmodule`
-	ok := post[serve.AuditResponse](base, "/audit", serve.AuditRequest{Code: clean})
+	ok := post[serve.AuditResponse](base, "/v1/audit", serve.AuditRequest{Code: clean})
 	fmt.Printf("original candidate:     violation=%v (best score %.3f)\n\n", ok.Violation, score(ok))
 
 	// The other per-candidate checks a pipeline runs before accepting.
-	syn := post[serve.SyntaxResponse](base, "/syntax", serve.SyntaxRequest{Code: clean})
-	scan := post[serve.ScanResponse](base, "/scan", serve.ScanRequest{Code: protected[3].Source})
+	syn := post[serve.SyntaxResponse](base, "/v1/syntax", serve.SyntaxRequest{Code: clean})
+	scan := post[serve.ScanResponse](base, "/v1/scan", serve.ScanRequest{Code: protected[3].Source})
 	fmt.Printf("syntax(clean): ok=%v   scan(protected header): protected=%v reasons=%v\n\n", syn.OK, scan.Protected, scan.Reasons)
 
+	// An n-best list audits as one batch: one request, one deduplicated
+	// index pass, per-candidate verdicts in order.
+	batch := post[serve.AuditBatchResponse](base, "/v1/audit/batch", serve.AuditBatchRequest{
+		Candidates: []serve.AuditBatchCandidate{
+			{Key: "sample-0", Code: protected[3].Body},
+			{Key: "sample-1", Code: clean},
+			{Key: "sample-2", Code: protected[3].Body}, // duplicate shares the pass
+		},
+	})
+	fmt.Printf("batch audit: %d candidates, %d violations (corpus v%d)\n",
+		len(batch.Results), batch.Violations, batch.CorpusVersion)
+
+	// Any stage subset composes per request; verdict envelopes name the
+	// rejecting stage with machine-readable reasons.
+	filter := post[serve.FilterResponse](base, "/v1/filter", serve.FilterRequest{
+		Stages: []string{"copyright", "syntax"},
+		Candidates: []serve.FilterCandidate{
+			{Key: "header.v", Code: protected[3].Source},
+			{Key: "clean.v", Code: clean},
+		},
+	})
+	for _, v := range filter.Verdicts {
+		fmt.Printf("filter %-9s accept=%-5v stage=%q reasons=%v\n", v.Key+":", v.Accept, v.Stage, v.Reasons)
+	}
+	fmt.Println()
+
 	// Swap the corpus live: audits after the swap answer from version 2.
-	cr = post[serve.CorpusResponse](base, "/corpus", serve.CorpusRequest{Documents: docs[:10]})
-	after := post[serve.AuditResponse](base, "/audit", serve.AuditRequest{Code: protected[3].Body})
+	cr = post[serve.CorpusResponse](base, "/v1/corpus", serve.CorpusRequest{Documents: docs[:10]})
+	after := post[serve.AuditResponse](base, "/v1/audit", serve.AuditRequest{Code: protected[3].Body})
 	fmt.Printf("after swap to version %d (%d docs): violation=%v under corpus_version=%d\n\n",
 		cr.Version, cr.Indexed, after.Violation, after.CorpusVersion)
 
-	resp, err := http.Get(base + "/stats")
+	resp, err := http.Get(base + "/v1/stats")
 	if err != nil {
 		log.Fatal(err)
 	}

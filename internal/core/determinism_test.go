@@ -208,7 +208,10 @@ func TestSharedExtractionMatchesStandaloneRuns(t *testing.T) {
 		{Mask: curation.StageMask{SkipCopyright: true}, Dedup: dopt},
 		{Mask: curation.StageMask{SkipDedup: true}},
 	} {
-		shared := curation.RunExtracted(ex, opt)
+		shared, err := curation.RunExtracted(ex, opt)
+		if err != nil {
+			t.Fatalf("mask %+v: %v", opt.Mask, err)
+		}
 		standalone := curation.Run(e.Repos, opt)
 		if !reflect.DeepEqual(shared.Keys(), standalone.Keys()) {
 			t.Fatalf("mask %+v: kept files diverged", opt.Mask)

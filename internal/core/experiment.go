@@ -152,7 +152,12 @@ func New(cfg Config) (*Experiment, error) {
 		opt := funnelOpts[i]
 		opt.Workers = innerWorkers
 		opt.Shards = cfg.LSHShards
-		return curation.RunExtracted(ex, opt)
+		res, err := curation.RunExtracted(ex, opt)
+		if err != nil {
+			// The options carry no cache overrides, so this cannot happen.
+			panic("core: " + err.Error())
+		}
+		return res
 	})
 	e.FreeSet, e.VeriGenLike, e.DirtyLicensed = funnels[0], funnels[1], funnels[2]
 

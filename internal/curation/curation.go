@@ -17,6 +17,7 @@
 package curation
 
 import (
+	"errors"
 	"strings"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"freehw/internal/gitsim"
 	"freehw/internal/license"
 	"freehw/internal/par"
+	"freehw/internal/pipeline"
 	"freehw/internal/vcache"
 )
 
@@ -39,11 +41,33 @@ type FileRecord struct {
 func (f FileRecord) Key() string { return f.Repo + "/" + f.Path }
 
 // StageMask disables individual funnel stages (ablation A1 in DESIGN.md).
+// It is sugar for composing a subset of the pipeline's paper stages; see
+// Stages.
 type StageMask struct {
 	SkipLicense   bool
 	SkipDedup     bool
 	SkipCopyright bool
 	SkipSyntax    bool
+}
+
+// Stages composes the funnel's pipeline stages for a mask: the paper's
+// four stages in Figure 1 order, minus the skipped ones. dopt and shards
+// configure the dedup stage (see Options.Shards).
+func (m StageMask) Stages(dopt dedup.Options, shards int) []pipeline.Stage {
+	var stages []pipeline.Stage
+	if !m.SkipLicense {
+		stages = append(stages, pipeline.License())
+	}
+	if !m.SkipDedup {
+		stages = append(stages, pipeline.Dedup(dopt, shards))
+	}
+	if !m.SkipCopyright {
+		stages = append(stages, pipeline.Copyright())
+	}
+	if !m.SkipSyntax {
+		stages = append(stages, pipeline.Syntax())
+	}
+	return stages
 }
 
 // Options configures a curation run.
@@ -61,22 +85,25 @@ type Options struct {
 	// core). Any shard count produces the same Result.
 	Shards int
 	// Cache overrides the verdict cache Run extracts through; nil selects
-	// the process-wide vcache.Shared store for the dedup options. Only
-	// Run consults it: an Extraction's cache is fixed at Extract time, so
-	// RunExtracted ignores this field (pass the store to ExtractWithCache
+	// the process-wide vcache.Shared store for the dedup options. An
+	// Extraction's cache is fixed at Extract time, so RunExtracted cannot
+	// honor a different store: it errors when Cache is set to anything but
+	// the Extraction's own cache (pass the store to ExtractWithCache
 	// instead).
 	Cache *vcache.Store
 	// NoCache disables cross-run verdict caching entirely (per-extraction
-	// memoization still applies). Ignored when Cache is set, and — like
-	// Cache — only honored by Run, not RunExtracted.
+	// memoization still applies). Ignored when Cache is set. RunExtracted
+	// errors when NoCache is set but the Extraction was built with a
+	// store — the caching decision was made at Extract time.
 	NoCache bool
 	// CacheBudget bounds the verdict cache's approximate resident bytes
 	// (vcache segmented-LRU eviction); 0 leaves the store's current budget
-	// untouched, negative removes any bound. Applied by Run to whichever
-	// store it resolves (opt.Cache or the process-wide shared store), so a
-	// long-lived server curating many disjoint corpora stops growing
-	// without bound. Results are byte-identical at any budget; only cache
-	// hit rates change.
+	// untouched, negative removes any bound. Run and RunExtracted both
+	// apply it to the resolved store (opt.Cache, the process-wide shared
+	// store, or the Extraction's cache), so a long-lived server curating
+	// many disjoint corpora stops growing without bound; with caching
+	// disabled there is nothing to bound and the field is a no-op. Results
+	// are byte-identical at any budget; only cache hit rates change.
 	CacheBudget int64
 }
 
@@ -194,10 +221,6 @@ func (f *ExtractedFile) SyntaxBad() bool {
 	return f.entry.SyntaxBad(f.rec.Content)
 }
 
-func (f *ExtractedFile) prepared(p *dedup.Preparer) dedup.Prepared {
-	return f.entry.Prepared(f.rec.Content, p)
-}
-
 type extractedRepo struct {
 	createdAt time.Time
 	licensed  bool
@@ -209,7 +232,6 @@ type extractedRepo struct {
 type Extraction struct {
 	repos    []extractedRepo
 	dedupOpt dedup.Options
-	prep     *dedup.Preparer
 	workers  int
 	cache    *vcache.Store
 }
@@ -235,12 +257,8 @@ func ExtractWithCache(repos []gitsim.RepoData, dopt dedup.Options, workers int, 
 	if store != nil && !store.Compatible(dopt) {
 		store = vcache.NewStore(dopt)
 	}
-	// The preparer signs serially: prepared() is always called from an
-	// already-workers-wide per-file fan-out, so nesting SignParallel here
-	// would multiply the concurrency budget to workers².
 	ex := &Extraction{
 		dedupOpt: dopt,
-		prep:     dedup.NewPreparer(dopt),
 		workers:  workers,
 		cache:    store,
 	}
@@ -308,26 +326,42 @@ func (ex *Extraction) ProtectedFiles() []*ExtractedFile {
 	return out
 }
 
-// fileVerdict is a stage-3 outcome.
-type fileVerdict int8
+// validateFor rejects option combinations an Extraction cannot honor: the
+// verdict cache is fixed at Extract time, so a conflicting Cache/NoCache
+// request would otherwise be silently ignored (the pre-PR-5 footgun).
+func (opt *Options) validateFor(ex *Extraction) error {
+	if opt.Cache != nil && opt.Cache != ex.cache {
+		return errors.New("curation: Options.Cache differs from the Extraction's cache, which is fixed at Extract time (pass the store to ExtractWithCache)")
+	}
+	if opt.NoCache && opt.Cache == nil && ex.cache != nil {
+		return errors.New("curation: Options.NoCache set but the Extraction was built with a verdict cache (pass a nil store to ExtractWithCache)")
+	}
+	return nil
+}
 
-const (
-	verdictKeep fileVerdict = iota
-	verdictCopyright
-	verdictSyntax
-)
-
-// RunExtracted executes the funnel over an Extraction. The Extraction's
-// dedup parameters are authoritative (opt.Dedup is ignored); all other
-// Options apply. Calls may run concurrently over the same Extraction.
-func RunExtracted(ex *Extraction, opt Options) *Result {
+// RunExtracted executes the funnel over an Extraction as a pipeline of the
+// paper's stages (opt.Mask selecting the subset; see StageMask.Stages).
+// The Extraction's dedup parameters are authoritative (opt.Dedup is
+// ignored); all other Options apply. Cache/NoCache must agree with the
+// Extraction's own cache (fixed at Extract time) or RunExtracted errors
+// instead of silently ignoring them; a nonzero CacheBudget is applied to
+// the Extraction's cache. Calls may run concurrently over the same
+// Extraction.
+func RunExtracted(ex *Extraction, opt Options) (*Result, error) {
+	if err := opt.validateFor(ex); err != nil {
+		return nil, err
+	}
+	if opt.CacheBudget != 0 && ex.cache != nil {
+		ex.cache.SetBudget(max(opt.CacheBudget, 0))
+	}
 	workers := opt.Workers
 	if workers == 0 {
 		workers = ex.workers
 	}
 	res := &Result{}
 
-	// Stage 0/1: year filter, repository license gate.
+	// Stage 0: year filter plus repo/file accounting; everything surviving
+	// the year filter becomes a pipeline candidate.
 	var pool []*ExtractedFile
 	for i := range ex.repos {
 		r := &ex.repos[i]
@@ -338,75 +372,57 @@ func RunExtracted(ex *Extraction, opt Options) *Result {
 		if r.licensed {
 			res.ReposLicensed++
 		}
-		for _, f := range r.files {
-			res.TotalFiles++
-			if opt.Mask.SkipLicense || f.licensed {
-				pool = append(pool, f)
-			}
+		pool = append(pool, r.files...)
+	}
+	res.TotalFiles = len(pool)
+
+	// Stages 1..4 execute as one pipeline; the memo entries are the
+	// Extraction's, so every per-content analysis is shared across funnel
+	// variants and (with a store) across runs. The dedup stage's own
+	// Preparer computes artifacts identical to the Extraction's (same
+	// options), so whichever fills an entry first wins harmlessly.
+	cands := make([]*pipeline.Candidate, len(pool))
+	for i, f := range pool {
+		cands[i] = &pipeline.Candidate{
+			Key:      f.rec.Key(),
+			Content:  f.rec.Content,
+			Licensed: f.licensed,
+			Entry:    f.entry,
 		}
 	}
-	res.AfterLicense = len(pool)
+	rep := pipeline.Execute(workers, opt.Mask.Stages(ex.dedupOpt, opt.Shards), cands)
 
-	// Stage 2: de-duplication. Shingle + MinHash + band hashes compute in
-	// parallel (cached by content hash across runs); the sharded LSH index
-	// then ingests the pool in order through its deterministic wave
-	// insertion, so the first-seen document is always the one retained at
-	// any shard/worker count.
-	if !opt.Mask.SkipDedup {
-		par.ForEach(workers, len(pool), func(i int) {
-			pool[i].prepared(ex.prep)
-		})
-		keys := make([]string, len(pool))
-		preps := make([]dedup.Prepared, len(pool))
-		for i, f := range pool {
-			keys[i] = f.rec.Key()
-			preps[i] = f.prepared(ex.prep)
-		}
-		idx := dedup.NewShardedIndex(ex.dedupOpt, opt.Shards, workers)
-		results := idx.AddAll(keys, preps)
-		var unique []*ExtractedFile
-		for i, f := range pool {
-			if results[i].Unique {
-				unique = append(unique, f)
-			}
-		}
-		pool = unique
+	// Funnel counts derive from the stage timings (candidates in/kept),
+	// byte-identical to the pre-pipeline accounting.
+	res.AfterLicense = res.TotalFiles
+	if t, ok := rep.Timing(pipeline.StageLicense); ok {
+		res.AfterLicense = t.Kept
 	}
-	res.AfterDedup = len(pool)
+	res.AfterDedup = res.AfterLicense
+	if t, ok := rep.Timing(pipeline.StageDedup); ok {
+		res.AfterDedup = t.Kept
+	}
 
-	// Stage 3: per-file copyright screen + syntax check, verdicts computed
-	// in parallel and aggregated in order.
-	verdicts := par.Map(workers, len(pool), func(i int) fileVerdict {
-		f := pool[i]
-		if !opt.Mask.SkipCopyright {
-			if f.HeaderScan().Protected || len(f.BodyHits()) > 0 {
-				return verdictCopyright
-			}
-		}
-		if !opt.Mask.SkipSyntax && f.SyntaxBad() {
-			return verdictSyntax
-		}
-		return verdictKeep
-	})
 	var final []FileRecord
 	for i, f := range pool {
-		switch verdicts[i] {
-		case verdictCopyright:
+		v := rep.Verdicts[i]
+		switch {
+		case v.Accept:
+			final = append(final, f.rec)
+			res.Bytes += int64(len(f.rec.Content))
+		case v.Stage == pipeline.StageCopyright:
 			res.CopyrightRemoved++
 			scan := f.HeaderScan()
 			res.CopyrightFindings = append(res.CopyrightFindings, CopyrightFinding{
 				Key: f.rec.Key(), Reasons: scan.Reasons, Company: scan.Company, SensitiveHits: f.BodyHits(),
 			})
-		case verdictSyntax:
+		case v.Stage == pipeline.StageSyntax:
 			res.SyntaxRemoved++
-		default:
-			final = append(final, f.rec)
-			res.Bytes += int64(len(f.rec.Content))
 		}
 	}
 	res.Files = final
 	res.FinalFiles = len(final)
-	return res
+	return res, nil
 }
 
 // Run executes the funnel over scraped repositories. The verdict cache is
@@ -421,7 +437,18 @@ func Run(repos []gitsim.RepoData, opt Options) *Result {
 	if store != nil && opt.CacheBudget != 0 {
 		store.SetBudget(max(opt.CacheBudget, 0))
 	}
-	return RunExtracted(ExtractWithCache(repos, opt.Dedup, opt.Workers, store), opt)
+	ex := ExtractWithCache(repos, opt.Dedup, opt.Workers, store)
+	// The cache knobs are fully resolved into the Extraction at this point
+	// (including ExtractWithCache's documented replacement of a store built
+	// for different dedup parameters), so clear them rather than asking
+	// RunExtracted to re-validate fields it no longer needs to honor.
+	opt.Cache, opt.NoCache, opt.CacheBudget = nil, false, 0
+	res, err := RunExtracted(ex, opt)
+	if err != nil {
+		// Unreachable: the cleared options cannot conflict.
+		panic("curation: " + err.Error())
+	}
+	return res
 }
 
 // FreeSetOptions returns the full-funnel paper defaults.

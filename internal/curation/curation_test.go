@@ -8,8 +8,10 @@ import (
 	"time"
 
 	"freehw/internal/corpus"
+	"freehw/internal/dedup"
 	"freehw/internal/gitsim"
 	"freehw/internal/license"
+	"freehw/internal/vcache"
 	"freehw/internal/vlog"
 )
 
@@ -212,6 +214,92 @@ func TestTableIRendering(t *testing.T) {
 		if strings.Contains(l, "RTLCoder") && strings.Contains(l, "Yes") && strings.HasSuffix(strings.TrimSpace(l), "Yes") {
 			t.Errorf("RTLCoder must not have license check: %s", l)
 		}
+	}
+}
+
+// RunExtracted must honor or explicitly reject every Cache/NoCache/
+// CacheBudget combination instead of silently ignoring fields (the
+// pre-PR-5 footgun): the cache is fixed at Extract time, so conflicting
+// overrides error, agreeing ones run, and budgets apply to the
+// extraction's own store.
+func TestRunExtractedCacheOptionEnforcement(t *testing.T) {
+	_, repos := scrapeWorld(t, 0.02)
+	dopt := FreeSetOptions().Dedup
+	store := vcache.NewStore(dopt)
+	other := vcache.NewStore(dopt)
+	cached := ExtractWithCache(repos, dopt, 2, store)
+	uncached := ExtractWithCache(repos, dopt, 2, nil)
+
+	cases := []struct {
+		name    string
+		ex      *Extraction
+		opt     Options
+		wantErr bool
+	}{
+		{"zero options", cached, Options{}, false},
+		{"matching cache", cached, Options{Cache: store}, false},
+		{"conflicting cache", cached, Options{Cache: other}, true},
+		{"cache set on uncached extraction", uncached, Options{Cache: other}, true},
+		{"nocache on cached extraction", cached, Options{NoCache: true}, true},
+		{"nocache on uncached extraction", uncached, Options{NoCache: true}, false},
+		// Cache wins over NoCache (documented), so the pair is consistent.
+		{"matching cache plus nocache", cached, Options{Cache: store, NoCache: true}, false},
+		{"budget on cached extraction", cached, Options{CacheBudget: 1 << 20}, false},
+		{"budget on uncached extraction", uncached, Options{CacheBudget: 1 << 20}, false},
+		{"unbounding budget", cached, Options{CacheBudget: -1}, false},
+	}
+	for _, tc := range cases {
+		res, err := RunExtracted(tc.ex, tc.opt)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: expected error, got result %+v", tc.name, res)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+			continue
+		}
+		if res.FinalFiles == 0 {
+			t.Errorf("%s: empty result", tc.name)
+		}
+	}
+	// Budgets actually land on the extraction's store.
+	if _, err := RunExtracted(cached, Options{CacheBudget: 123 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Budget(); got != 123<<10 {
+		t.Fatalf("budget not applied: %d", got)
+	}
+	if _, err := RunExtracted(cached, Options{CacheBudget: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Budget(); got != 0 {
+		t.Fatalf("negative budget must unbound: %d", got)
+	}
+	// Run resolves the cache knobs itself and must keep accepting every
+	// combination it accepted before the enforcement landed — including a
+	// store built for different dedup parameters, which ExtractWithCache
+	// documents it replaces (pre-PR-5 behavior, must not panic).
+	incompatible := vcache.NewStore(dedup.Options{Threshold: 0.85, Seed: 99, ShingleK: 3})
+	if res := Run(repos, Options{Cache: incompatible, Dedup: dopt}); res.FinalFiles == 0 {
+		t.Fatal("Run with an incompatible cache returned an empty result")
+	}
+	if res := Run(repos, Options{NoCache: true, Dedup: dopt, CacheBudget: 1 << 20}); res.FinalFiles == 0 {
+		t.Fatal("Run with NoCache+CacheBudget returned an empty result")
+	}
+
+	// Results are identical across the accepted combinations.
+	base, err := RunExtracted(cached, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaNil, err := RunExtracted(uncached, Options{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Files) != len(viaNil.Files) || base.FinalFiles != viaNil.FinalFiles {
+		t.Fatalf("cached vs uncached results diverged: %d vs %d", base.FinalFiles, viaNil.FinalFiles)
 	}
 }
 

@@ -50,16 +50,66 @@ func (l *latRing) percentiles() (p50, p99 float64) {
 	return at(0.50), at(0.99)
 }
 
+// rateWindowSecs is the qps reporting window: /stats advertises recent
+// throughput, not a lifetime average that a traffic lull can never move.
+const rateWindowSecs = 60
+
+// rateWindow counts requests in per-second buckets over a sliding window.
+// The ring holds a few spare seconds beyond the window so a bucket is
+// never read and overwritten for the same instant at the boundary.
+type rateWindow struct {
+	mu      sync.Mutex
+	buckets [rateWindowSecs + 4]struct{ sec, n int64 }
+}
+
+// tick records one request at now.
+func (rw *rateWindow) tick(now time.Time) {
+	sec := now.Unix()
+	i := sec % int64(len(rw.buckets))
+	rw.mu.Lock()
+	if rw.buckets[i].sec != sec {
+		rw.buckets[i].sec, rw.buckets[i].n = sec, 0
+	}
+	rw.buckets[i].n++
+	rw.mu.Unlock()
+}
+
+// rate returns requests/second over the window ending at now. While uptime
+// is shorter than the window the divisor shrinks with it (floored at one
+// second), so a fresh server reports its actual early rate instead of a
+// number diluted by seconds it has not lived.
+func (rw *rateWindow) rate(now time.Time, uptime float64) float64 {
+	sec := now.Unix()
+	var total int64
+	rw.mu.Lock()
+	for _, b := range rw.buckets {
+		if b.sec > sec-rateWindowSecs && b.sec <= sec {
+			total += b.n
+		}
+	}
+	rw.mu.Unlock()
+	window := float64(rateWindowSecs)
+	if uptime < window {
+		window = uptime
+	}
+	if window < 1 {
+		window = 1
+	}
+	return float64(total) / window
+}
+
 // metrics holds the service counters surfaced by /stats.
 type metrics struct {
 	audits         atomic.Int64
 	auditCacheHits atomic.Int64
 	syntaxChecks   atomic.Int64
 	scans          atomic.Int64
+	filters        atomic.Int64
 	corpusPosts    atomic.Int64
 	rejected       atomic.Int64
 	violations     atomic.Int64
 	batches        atomic.Int64
 	batchedJobs    atomic.Int64
 	lat            latRing
+	rate           rateWindow
 }

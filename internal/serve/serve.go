@@ -1,24 +1,39 @@
-// Package serve exposes the curation engine's per-file analyses as an
-// online audit service — the check a Verilog generation pipeline needs per
-// candidate completion, not per batch job:
+// Package serve exposes the curation pipeline as an online audit service —
+// the same internal/pipeline stages the offline funnel runs, behind a
+// versioned HTTP surface:
 //
-//	POST /audit  — §III-A infringement verdict (cosine vs the protected
-//	               corpus, violation at threshold 0.8)
-//	POST /syntax — curation syntax filter (streaming QuickCheck, full
-//	               parser fallback)
-//	POST /scan   — per-file copyright screen (header indicators + body
-//	               key-material needles)
-//	POST /corpus — upload + curate a corpus, atomically publish the index
-//	GET  /stats  — traffic, latency percentiles, cache counters
+//	POST /v1/audit       — §III-A infringement verdict for one candidate
+//	                       (cosine vs the protected corpus, violation at
+//	                       threshold 0.8)
+//	POST /v1/audit/batch — many candidates in one deduplicated BestBatch
+//	                       index pass
+//	POST /v1/filter      — run any stage subset (license, dedup,
+//	                       copyright, syntax, similarity) over a candidate
+//	                       batch; returns pipeline Verdict envelopes
+//	POST /v1/syntax      — curation syntax filter (streaming QuickCheck,
+//	                       full parser fallback)
+//	POST /v1/scan        — per-file copyright screen (header indicators +
+//	                       body key-material needles)
+//	POST /v1/corpus      — upload + curate a corpus (JSON or streaming
+//	                       NDJSON), build the next index outside the
+//	                       publish lock, publish atomically
+//	GET  /v1/stats       — traffic (sliding-window qps, queue depth),
+//	                       latency percentiles, cache counters
+//
+// The legacy unversioned paths (/audit, /syntax, /scan, /corpus, /stats)
+// are aliases of the same handlers and return byte-identical bodies. All
+// non-2xx replies share one structured JSON error envelope (ErrorResponse)
+// — including the mux-level 404 and the 429 + Retry-After shed response.
 //
 // The serving core is an immutable similarity.Snapshot swapped RCU-style
-// through an atomic pointer: /corpus builds the next index off to the
-// side, seals it, and publishes it in one pointer store, so in-flight
-// audits keep answering against whichever snapshot they loaded and never
-// observe a half-built index. Audit requests funnel through a bounded
-// queue into a micro-batching dispatcher (one snapshot load and one
-// deduplicated index pass per batch); when the queue is full the service
-// sheds load with 429 instead of stacking goroutines. Verdicts are
+// through an atomic pointer: corpus uploads build the next index off to
+// the side — outside the publish lock, so a huge upload never delays a
+// concurrent publish — seal it, and publish it in one pointer store, so
+// in-flight audits keep answering against whichever snapshot they loaded
+// and never observe a half-built index. Audit requests funnel through a
+// bounded queue into a micro-batching dispatcher (one snapshot load and
+// one deduplicated index pass per batch); when the queue is full the
+// service sheds load with 429 instead of stacking goroutines. Verdicts are
 // memoized across requests in a shared vcache.Store keyed by content
 // hash — and, for audits, by the snapshot version they were computed
 // under — so resampled candidates cost a hash lookup.
@@ -27,13 +42,18 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"freehw/internal/curation"
 	"freehw/internal/gitsim"
+	"freehw/internal/license"
+	"freehw/internal/pipeline"
 	"freehw/internal/similarity"
 	"freehw/internal/vcache"
 	"freehw/internal/vlog"
@@ -62,6 +82,15 @@ type Config struct {
 	// scanned content inserts an entry, so a long-lived server must be
 	// bounded: 0 selects the 256 MiB default, negative means unbounded.
 	CacheBudget int64
+	// MaxBatchCandidates caps candidates per /v1/audit/batch or
+	// /v1/filter request (0 = 4096); larger batches get 413.
+	MaxBatchCandidates int
+	// MaxInflightBulk bounds concurrently executing bulk requests
+	// (/v1/audit/batch and /v1/filter). Beyond it the service sheds load
+	// with 429 + Retry-After, mirroring the single-audit queue: bulk
+	// requests are strictly more expensive, so they must not be the one
+	// path with unbounded concurrency (0 = 4).
+	MaxInflightBulk int
 }
 
 // DefaultConfig returns production-ish defaults with the paper's curation
@@ -90,6 +119,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.CacheBudget == 0 {
 		c.CacheBudget = 256 << 20
+	}
+	if c.MaxBatchCandidates <= 0 {
+		c.MaxBatchCandidates = 4096
+	}
+	if c.MaxInflightBulk <= 0 {
+		c.MaxInflightBulk = 4
 	}
 }
 
@@ -128,6 +163,7 @@ type Server struct {
 	pubMu sync.Mutex // serializes index builds/publishes
 
 	queue chan *auditJob
+	bulk  chan struct{} // bulkhead: in-flight /v1/audit/batch + /v1/filter slots
 	stop  chan struct{}
 	once  sync.Once
 
@@ -138,6 +174,10 @@ type Server struct {
 	// batch — it lets the backpressure test hold the dispatcher mid-batch
 	// deterministically.
 	batchGate func()
+	// buildGate, when set (tests), runs after a corpus build completes but
+	// before the publish lock is taken — it lets the concurrency test hold
+	// one slow upload there and prove other publishes proceed.
+	buildGate func()
 }
 
 // NewServer builds the service and starts its dispatcher.
@@ -147,6 +187,7 @@ func NewServer(cfg Config) *Server {
 		cfg:   cfg,
 		store: vcache.NewStore(cfg.Curation.Dedup),
 		queue: make(chan *auditJob, cfg.QueueDepth),
+		bulk:  make(chan struct{}, cfg.MaxInflightBulk),
 		stop:  make(chan struct{}),
 		start: time.Now(),
 	}
@@ -155,11 +196,30 @@ func NewServer(cfg Config) *Server {
 	}
 	s.state.Store(&corpusState{snap: similarity.SealCorpus(nil, nil, 1)})
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/audit", s.handleAudit)
-	s.mux.HandleFunc("/syntax", s.handleSyntax)
-	s.mux.HandleFunc("/scan", s.handleScan)
-	s.mux.HandleFunc("/corpus", s.handleCorpus)
-	s.mux.HandleFunc("/stats", s.handleStats)
+	// The /v1 surface is canonical; the unversioned paths are aliases of
+	// the same handlers, so legacy and v1 bodies are byte-identical.
+	for _, p := range []string{"/audit", "/v1/audit"} {
+		s.mux.HandleFunc(p, s.handleAudit)
+	}
+	s.mux.HandleFunc("/v1/audit/batch", s.handleAuditBatch)
+	s.mux.HandleFunc("/v1/filter", s.handleFilter)
+	for _, p := range []string{"/syntax", "/v1/syntax"} {
+		s.mux.HandleFunc(p, s.handleSyntax)
+	}
+	for _, p := range []string{"/scan", "/v1/scan"} {
+		s.mux.HandleFunc(p, s.handleScan)
+	}
+	for _, p := range []string{"/corpus", "/v1/corpus"} {
+		s.mux.HandleFunc(p, s.handleCorpus)
+	}
+	for _, p := range []string{"/stats", "/v1/stats"} {
+		s.mux.HandleFunc(p, s.handleStats)
+	}
+	// Unknown paths get the structured envelope, not net/http's plain-text
+	// 404 page.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, "not_found", "no such endpoint: "+r.URL.Path)
+	})
 	go s.dispatch()
 	return s
 }
@@ -175,11 +235,24 @@ func (s *Server) current() *corpusState { return s.state.Load() }
 
 // PublishDocuments replaces the served index with the given documents and
 // returns the new generation. The index builds off to the side — audits
-// keep answering against the old snapshot — and publishes atomically.
+// keep answering against the old snapshot, and the publish lock is NOT
+// held during the build, so a huge upload never delays a concurrent
+// publish — then publishes atomically. Concurrent publishes are ordered by
+// whoever reaches the swap first (last writer wins, versions strictly
+// increasing).
 func (s *Server) PublishDocuments(names, texts []string) (version uint64, indexed int) {
+	snap := similarity.SealCorpus(names, texts, s.cfg.Workers)
+	if s.buildGate != nil {
+		s.buildGate()
+	}
+	return s.publish(snap)
+}
+
+// publish installs a sealed snapshot as the next generation. Only the
+// version bump and pointer store happen under the lock.
+func (s *Server) publish(snap *similarity.Snapshot) (version uint64, indexed int) {
 	s.pubMu.Lock()
 	defer s.pubMu.Unlock()
-	snap := similarity.SealCorpus(names, texts, s.cfg.Workers)
 	version = s.current().version + 1
 	s.state.Store(&corpusState{snap: snap, version: version})
 	return version, snap.Len()
@@ -269,9 +342,9 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, out any) bool {
 	if err := json.NewDecoder(r.Body).Decode(out); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{Error: "request body too large"})
+			writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large", "request body too large")
 		} else {
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error()})
+			writeErr(w, http.StatusBadRequest, "bad_json", "bad request: "+err.Error())
 		}
 		return false
 	}
@@ -284,12 +357,44 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeErr emits the uniform structured error envelope: a stable
+// snake_case code plus a human-readable message.
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorDetail{Code: code, Message: msg}})
+}
+
 func post(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
+		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return false
 	}
 	return true
+}
+
+// admitBulk gates a bulk request (batch audit, filter) through the size
+// cap and the in-flight bulkhead, replying and returning nil when the
+// request is rejected. The caller must invoke the returned release.
+func (s *Server) admitBulk(w http.ResponseWriter, candidates int) (release func()) {
+	if candidates == 0 {
+		writeErr(w, http.StatusBadRequest, "empty_batch", "no candidates")
+		return nil
+	}
+	if candidates > s.cfg.MaxBatchCandidates {
+		writeErr(w, http.StatusRequestEntityTooLarge, "batch_too_large",
+			"batch of "+strconv.Itoa(candidates)+" exceeds the "+strconv.Itoa(s.cfg.MaxBatchCandidates)+"-candidate limit")
+		return nil
+	}
+	select {
+	case s.bulk <- struct{}{}:
+		return func() { <-s.bulk }
+	default:
+		// Bulkhead full: bulk work is strictly more expensive than a
+		// single audit, so it sheds exactly like the audit queue does.
+		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "bulk_full", "too many in-flight bulk requests")
+		return nil
+	}
 }
 
 func matchJSON(m similarity.Match) *AuditMatch {
@@ -309,6 +414,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	}
 	startT := time.Now()
 	s.m.audits.Add(1)
+	s.m.rate.tick(startT)
 	threshold := req.Threshold
 	if threshold <= 0 {
 		threshold = s.cfg.Threshold
@@ -334,7 +440,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		// Queue full: shed load now instead of stacking latency.
 		s.m.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "audit queue full"})
+		writeErr(w, http.StatusTooManyRequests, "queue_full", "audit queue full")
 		return
 	}
 	select {
@@ -344,7 +450,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		// Client gone; the dispatcher's buffered send still completes.
 	case <-s.stop:
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server shutting down"})
+		writeErr(w, http.StatusServiceUnavailable, "shutting_down", "server shutting down")
 	}
 }
 
@@ -366,6 +472,169 @@ func (s *Server) respondAudit(w http.ResponseWriter, req AuditRequest, res audit
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleAuditBatch audits a whole candidate batch against one snapshot
+// load: memo hits answer immediately, the misses share a single
+// deduplicated BestBatch index pass. This is the bulk face of /v1/audit —
+// same verdicts, amortized cost.
+func (s *Server) handleAuditBatch(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	var req AuditBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	release := s.admitBulk(w, len(req.Candidates))
+	if release == nil {
+		return
+	}
+	defer release()
+	startT := time.Now()
+	s.m.audits.Add(int64(len(req.Candidates)))
+	s.m.rate.tick(startT)
+	threshold := req.Threshold
+	if threshold <= 0 {
+		threshold = s.cfg.Threshold
+	}
+
+	st := s.current()
+	entries := make([]*vcache.Entry, len(req.Candidates))
+	matches := make([]similarity.Match, len(req.Candidates))
+	cached := make([]bool, len(req.Candidates))
+	var missIdx []int
+	var missTexts []string
+	for i, c := range req.Candidates {
+		entries[i] = s.store.Entry(c.Code)
+		if m, ok := entries[i].CachedBestMatch(st.version); ok {
+			s.m.auditCacheHits.Add(1)
+			matches[i], cached[i] = m, true
+		} else {
+			missIdx = append(missIdx, i)
+			missTexts = append(missTexts, c.Code)
+		}
+	}
+	if len(missTexts) > 0 {
+		s.m.batches.Add(1)
+		s.m.batchedJobs.Add(int64(len(missTexts)))
+		for j, m := range st.snap.BestBatch(s.cfg.Workers, missTexts) {
+			i := missIdx[j]
+			matches[i] = m
+			entries[i].StoreBestMatch(st.version, m)
+		}
+	}
+
+	resp := AuditBatchResponse{
+		Results:       make([]AuditBatchResult, len(req.Candidates)),
+		Threshold:     threshold,
+		CorpusVersion: st.version,
+		CorpusLen:     st.snap.Len(),
+	}
+	arena := make([]AuditMatch, len(req.Candidates)) // one alloc for all Best pointers
+	for i, c := range req.Candidates {
+		violation := matches[i].Index >= 0 && matches[i].Score >= threshold
+		if violation {
+			s.m.violations.Add(1)
+			resp.Violations++
+		}
+		var best *AuditMatch
+		if m := matches[i]; m.Index >= 0 {
+			arena[i] = AuditMatch{Name: m.Name, Index: m.Index, Score: m.Score}
+			best = &arena[i]
+		}
+		resp.Results[i] = AuditBatchResult{
+			Key:       c.Key,
+			Best:      best,
+			Violation: violation,
+			Cached:    cached[i],
+		}
+	}
+	// Batch wall time is deliberately NOT fed into the audit latency ring:
+	// audit_p50/p99_ms describe single /v1/audit requests, and one sample
+	// per N-candidate batch would corrupt those percentiles (filter
+	// requests likewise stay out).
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// stagesFor resolves wire stage names to pipeline stages. An empty list
+// selects the paper's four-stage funnel; "similarity" audits against the
+// given snapshot at the request's threshold.
+func (s *Server) stagesFor(names []string, st *corpusState, threshold float64) ([]pipeline.Stage, error) {
+	if len(names) == 0 {
+		names = []string{pipeline.StageLicense, pipeline.StageDedup, pipeline.StageCopyright, pipeline.StageSyntax}
+	}
+	stages := make([]pipeline.Stage, 0, len(names))
+	for _, n := range names {
+		switch n {
+		case pipeline.StageLicense:
+			stages = append(stages, pipeline.License())
+		case pipeline.StageDedup:
+			stages = append(stages, pipeline.Dedup(s.cfg.Curation.Dedup, s.cfg.Curation.Shards))
+		case pipeline.StageCopyright:
+			stages = append(stages, pipeline.Copyright())
+		case pipeline.StageSyntax:
+			stages = append(stages, pipeline.Syntax())
+		case pipeline.StageSimilarity:
+			stages = append(stages, pipeline.Similarity(st.snap, threshold))
+		default:
+			return nil, errors.New("unknown stage: " + n)
+		}
+	}
+	return stages, nil
+}
+
+// handleFilter runs an arbitrary stage subset over a candidate batch —
+// the offline curation funnel as a per-request composition, returning the
+// pipeline's Verdict envelopes verbatim.
+func (s *Server) handleFilter(w http.ResponseWriter, r *http.Request) {
+	if !post(w, r) {
+		return
+	}
+	var req FilterRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	release := s.admitBulk(w, len(req.Candidates))
+	if release == nil {
+		return
+	}
+	defer release()
+	threshold := req.Threshold
+	if threshold <= 0 {
+		threshold = s.cfg.Threshold
+	}
+	st := s.current()
+	stages, err := s.stagesFor(req.Stages, st, threshold)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_stage", err.Error())
+		return
+	}
+	s.m.filters.Add(1)
+	s.m.rate.tick(time.Now())
+
+	cands := make([]*pipeline.Candidate, len(req.Candidates))
+	for i, c := range req.Candidates {
+		cands[i] = &pipeline.Candidate{
+			Key:      c.Key,
+			Content:  c.Code,
+			Licensed: c.Licensed || license.Accepted(license.ClassifySPDX(c.SPDX)),
+			Entry:    s.store.Entry(c.Code),
+		}
+	}
+	rep := pipeline.Execute(s.cfg.Workers, stages, cands)
+	resp := FilterResponse{
+		Verdicts:      rep.Verdicts,
+		Stages:        make([]FilterStageStat, len(rep.Stages)),
+		CorpusVersion: st.version,
+	}
+	for i, t := range rep.Stages {
+		resp.Stages[i] = FilterStageStat{Stage: t.Stage, In: t.In, Kept: t.Kept}
+		if req.Timings {
+			resp.Stages[i].DurationUS = t.Duration.Microseconds()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleSyntax(w http.ResponseWriter, r *http.Request) {
 	if !post(w, r) {
 		return
@@ -375,7 +644,11 @@ func (s *Server) handleSyntax(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.syntaxChecks.Add(1)
-	resp := SyntaxResponse{OK: !s.store.Entry(req.Code).SyntaxBad(req.Code)}
+	s.m.rate.tick(time.Now())
+	// The syntax stage is the same value the offline funnel composes; its
+	// verdict memoizes in the server's store.
+	out := pipeline.Syntax().Evaluate(&pipeline.Candidate{Content: req.Code, Entry: s.store.Entry(req.Code)})
+	resp := SyntaxResponse{OK: !out.Reject}
 	if !resp.OK {
 		// The memo stores only the verdict; re-derive the message on the
 		// rare bad path (QuickCheck routes it to the full parser anyway).
@@ -395,6 +668,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.scans.Add(1)
+	s.m.rate.tick(time.Now())
 	entry := s.store.Entry(req.Code)
 	hdr := entry.HeaderScan(req.Code)
 	hits := entry.BodyHits(req.Code)
@@ -406,12 +680,22 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleCorpus serves /corpus and /v1/corpus — one handler, so the two
+// paths behave byte-identically. A JSON body carries one CorpusRequest; a
+// streaming NDJSON body (Content-Type application/x-ndjson, index mode
+// via the ?index= query parameter) carries one document or repo per line
+// — the shape a crawler pipes without buffering the whole upload in the
+// client. Either way the next index builds outside the publish lock.
 func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	if !post(w, r) {
 		return
 	}
 	var req CorpusRequest
-	if !s.decode(w, r, &req) {
+	if strings.Contains(r.Header.Get("Content-Type"), "ndjson") {
+		if !s.decodeNDJSON(w, r, &req) {
+			return
+		}
+	} else if !s.decode(w, r, &req) {
 		return
 	}
 	mode := req.Index
@@ -419,14 +703,15 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		mode = "protected"
 	}
 	if mode != "protected" && mode != "curated" && mode != "all" {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: `index must be "protected", "curated", or "all"`})
+		writeErr(w, http.StatusBadRequest, "bad_index", `index must be "protected", "curated", or "all"`)
 		return
 	}
 	if len(req.Documents) == 0 && len(req.Repos) == 0 {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "no documents or repos"})
+		writeErr(w, http.StatusBadRequest, "empty_corpus", "no documents or repos")
 		return
 	}
 	s.m.corpusPosts.Add(1)
+	s.m.rate.tick(time.Now())
 
 	var names, texts []string
 	for _, d := range req.Documents {
@@ -443,8 +728,16 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		opt := s.cfg.Curation
+		// The server owns its verdict store; funnel runs always read
+		// through it, so any client-facing cache knobs in cfg.Curation are
+		// overridden here rather than conflicting with the extraction.
+		opt.Cache, opt.NoCache, opt.CacheBudget = s.store, false, 0
 		ex := curation.ExtractWithCache(repos, opt.Dedup, opt.Workers, s.store)
-		res := curation.RunExtracted(ex, opt)
+		res, err := curation.RunExtracted(ex, opt)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "internal", "curation: "+err.Error())
+			return
+		}
 		resp.Funnel = &FunnelCounts{
 			ReposSeen:        res.ReposSeen,
 			ReposLicensed:    res.ReposLicensed,
@@ -482,20 +775,51 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// decodeNDJSON reads a streaming newline-delimited corpus upload into req:
+// each line is one CorpusLine (a document or a repo), decoded
+// incrementally under the body-size cap; the index mode comes from the
+// ?index= query parameter. It replies on failure and reports whether the
+// handler should continue.
+func (s *Server) decodeNDJSON(w http.ResponseWriter, r *http.Request, req *CorpusRequest) bool {
+	req.Index = r.URL.Query().Get("index")
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	for line := 1; ; line++ {
+		var l CorpusLine
+		err := dec.Decode(&l)
+		if err == io.EOF {
+			return true
+		}
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large", "request body too large")
+			} else {
+				writeErr(w, http.StatusBadRequest, "bad_json", "bad NDJSON record "+strconv.Itoa(line)+": "+err.Error())
+			}
+			return false
+		}
+		switch {
+		case l.Repo != nil:
+			req.Repos = append(req.Repos, *l.Repo)
+		case l.Name != "" || l.Text != "":
+			req.Documents = append(req.Documents, CorpusDocument{Name: l.Name, Text: l.Text})
+		default:
+			writeErr(w, http.StatusBadRequest, "bad_record", "NDJSON record "+strconv.Itoa(line)+" has neither document fields nor a repo")
+			return false
+		}
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET only"})
+		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
 	st := s.current()
 	cs := s.store.Stats()
 	p50, p99 := s.m.lat.percentiles()
-	uptime := time.Since(s.start).Seconds()
-	total := s.m.audits.Load() + s.m.syntaxChecks.Load() + s.m.scans.Load() + s.m.corpusPosts.Load()
-	var qps float64
-	if uptime > 0 {
-		qps = float64(total) / uptime
-	}
+	now := time.Now()
+	uptime := now.Sub(s.start).Seconds()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds:  uptime,
 		CorpusVersion:  st.version,
@@ -504,12 +828,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AuditCacheHits: s.m.auditCacheHits.Load(),
 		SyntaxChecks:   s.m.syntaxChecks.Load(),
 		Scans:          s.m.scans.Load(),
+		Filters:        s.m.filters.Load(),
 		CorpusPosts:    s.m.corpusPosts.Load(),
 		Rejected:       s.m.rejected.Load(),
 		Violations:     s.m.violations.Load(),
 		Batches:        s.m.batches.Load(),
 		BatchedAudits:  s.m.batchedJobs.Load(),
-		QPS:            qps,
+		QPS:            s.m.rate.rate(now, uptime),
+		QueueDepth:     len(s.queue),
 		AuditP50Ms:     p50,
 		AuditP99Ms:     p99,
 		Cache: CacheStats{

@@ -1,8 +1,15 @@
 package serve
 
+import "freehw/internal/pipeline"
+
 // Wire types for the audit service. Everything is plain JSON so any
 // generation pipeline (AutoVCoder/VFlow-style samplers, CI gates, editor
 // plugins) can call the service without a client library.
+//
+// The versioned surface lives under /v1 (/v1/audit, /v1/audit/batch,
+// /v1/filter, /v1/corpus, /v1/syntax, /v1/scan, /v1/stats); the legacy
+// unversioned paths are thin aliases of the same handlers and return
+// byte-identical bodies.
 
 // AuditRequest asks for the §III-A infringement verdict on one candidate
 // completion.
@@ -126,27 +133,128 @@ type CacheStats struct {
 	Evictions int64 `json:"evictions"`
 }
 
-// StatsResponse is the /stats payload.
+// StatsResponse is the /stats and /v1/stats payload.
 type StatsResponse struct {
-	UptimeSeconds  float64    `json:"uptime_s"`
-	CorpusVersion  uint64     `json:"corpus_version"`
-	CorpusLen      int        `json:"corpus_len"`
-	Audits         int64      `json:"audits"`
-	AuditCacheHits int64      `json:"audit_cache_hits"`
-	SyntaxChecks   int64      `json:"syntax_checks"`
-	Scans          int64      `json:"scans"`
-	CorpusPosts    int64      `json:"corpus_posts"`
-	Rejected       int64      `json:"rejected"`
-	Violations     int64      `json:"violations"`
-	Batches        int64      `json:"batches"`
-	BatchedAudits  int64      `json:"batched_audits"`
-	QPS            float64    `json:"qps"`
-	AuditP50Ms     float64    `json:"audit_p50_ms"`
-	AuditP99Ms     float64    `json:"audit_p99_ms"`
-	Cache          CacheStats `json:"cache"`
+	UptimeSeconds  float64 `json:"uptime_s"`
+	CorpusVersion  uint64  `json:"corpus_version"`
+	CorpusLen      int     `json:"corpus_len"`
+	Audits         int64   `json:"audits"`
+	AuditCacheHits int64   `json:"audit_cache_hits"`
+	SyntaxChecks   int64   `json:"syntax_checks"`
+	Scans          int64   `json:"scans"`
+	Filters        int64   `json:"filters"`
+	CorpusPosts    int64   `json:"corpus_posts"`
+	Rejected       int64   `json:"rejected"`
+	Violations     int64   `json:"violations"`
+	Batches        int64   `json:"batches"`
+	BatchedAudits  int64   `json:"batched_audits"`
+	// QPS is request throughput over a sliding 60-second window (shorter
+	// while uptime is below 60s), not a lifetime average.
+	QPS float64 `json:"qps"`
+	// QueueDepth is the current number of audits waiting in the
+	// micro-batching queue.
+	QueueDepth int        `json:"queue_depth"`
+	AuditP50Ms float64    `json:"audit_p50_ms"`
+	AuditP99Ms float64    `json:"audit_p99_ms"`
+	Cache      CacheStats `json:"cache"`
 }
 
-// ErrorResponse is the body of every non-2xx reply.
+// ErrorDetail is the machine-readable error payload: a stable snake_case
+// code for programs plus a human-readable message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the uniform structured envelope of every non-2xx reply,
+// on legacy and /v1 paths alike (including the mux-level 404 and the 429 +
+// Retry-After shed response).
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error ErrorDetail `json:"error"`
+}
+
+// AuditBatchCandidate is one candidate of a batch audit. Key is echoed
+// back so clients can correlate results; it does not affect the verdict.
+type AuditBatchCandidate struct {
+	Key  string `json:"key,omitempty"`
+	Code string `json:"code"`
+}
+
+// AuditBatchRequest audits many candidates in one request: the whole batch
+// shares a single snapshot load and one deduplicated BestBatch index pass,
+// so screening a RAG corpus or a sampler's n-best list costs far less than
+// n separate /v1/audit calls.
+type AuditBatchRequest struct {
+	Candidates []AuditBatchCandidate `json:"candidates"`
+	// Threshold overrides the server's violation threshold when > 0.
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// AuditBatchResult is one candidate's verdict within a batch.
+type AuditBatchResult struct {
+	Key       string      `json:"key,omitempty"`
+	Best      *AuditMatch `json:"best,omitempty"`
+	Violation bool        `json:"violation"`
+	Cached    bool        `json:"cached"`
+}
+
+// AuditBatchResponse reports the batch verdicts, in request order, all
+// computed against one corpus snapshot.
+type AuditBatchResponse struct {
+	Results       []AuditBatchResult `json:"results"`
+	Violations    int                `json:"violations"`
+	Threshold     float64            `json:"threshold"`
+	CorpusVersion uint64             `json:"corpus_version"`
+	CorpusLen     int                `json:"corpus_len"`
+}
+
+// FilterCandidate is one candidate of a /v1/filter run. Licensed (or an
+// accepted SPDX id) feeds the license stage; bare candidates fail it.
+type FilterCandidate struct {
+	Key      string `json:"key,omitempty"`
+	Code     string `json:"code"`
+	SPDX     string `json:"spdx,omitempty"`
+	Licensed bool   `json:"licensed,omitempty"`
+}
+
+// FilterRequest runs any stage subset over a candidate batch — the
+// offline curation funnel as an online, per-request composition. Stages
+// execute in the order given; an empty list selects the paper's four
+// stages ("license", "dedup", "copyright", "syntax"). "similarity" adds
+// the §III-A infringement check against the served corpus snapshot.
+type FilterRequest struct {
+	Stages     []string          `json:"stages,omitempty"`
+	Candidates []FilterCandidate `json:"candidates"`
+	// Threshold overrides the similarity stage's violation threshold.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Timings includes per-stage wall-clock durations in the response
+	// (off by default so responses are deterministic for fixtures).
+	Timings bool `json:"timings,omitempty"`
+}
+
+// FilterStageStat reports one executed stage: the funnel shape plus,
+// when requested, wall time.
+type FilterStageStat struct {
+	Stage      string `json:"stage"`
+	In         int    `json:"in"`
+	Kept       int    `json:"kept"`
+	DurationUS int64  `json:"duration_us,omitempty"`
+}
+
+// FilterResponse carries the pipeline's verdict envelopes verbatim — the
+// same object the offline curation funnel computes.
+type FilterResponse struct {
+	Verdicts []pipeline.Verdict `json:"verdicts"`
+	Stages   []FilterStageStat  `json:"stages"`
+	// CorpusVersion identifies the snapshot a similarity stage consulted
+	// (the live version when the stage was not requested).
+	CorpusVersion uint64 `json:"corpus_version"`
+}
+
+// CorpusLine is one NDJSON line of a streaming /v1/corpus upload: either a
+// verbatim document (name/text) or a repository to run through the funnel.
+type CorpusLine struct {
+	Name string      `json:"name,omitempty"`
+	Text string      `json:"text,omitempty"`
+	Repo *CorpusRepo `json:"repo,omitempty"`
 }

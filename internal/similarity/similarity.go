@@ -15,6 +15,7 @@ package similarity
 import (
 	"container/heap"
 	"math"
+	"slices"
 	"strings"
 	"unicode/utf8"
 
@@ -31,15 +32,11 @@ type Vector struct {
 	norm  float64
 }
 
-// Tokenize splits code into comparison terms: identifiers/keywords, numbers,
-// and operator glyphs. Whitespace and formatting differences vanish, so
-// reformatted copies still match. Non-ASCII runes (comments, exotic
-// identifiers) are emitted whole, one term per rune — splitting them into
-// bytes would make every multi-byte script share continuation-byte terms
-// and spuriously correlate unrelated files. Invalid UTF-8 bytes stay
-// single-byte terms.
-func Tokenize(text string) []string {
-	var out []string
+// tokens streams Tokenize's terms to fn without materializing the slice —
+// the zero-allocation core the query path iterates (substrings share the
+// input's backing array; ToLower only allocates when a token actually
+// carries upper case).
+func tokens(text string, fn func(string)) {
 	i := 0
 	n := len(text)
 	isWord := func(c byte) bool {
@@ -55,21 +52,33 @@ func Tokenize(text string) []string {
 			for i < n && isWord(text[i]) {
 				i++
 			}
-			out = append(out, strings.ToLower(text[start:i]))
+			fn(strings.ToLower(text[start:i]))
 		case c < utf8.RuneSelf:
-			out = append(out, text[i:i+1])
+			fn(text[i : i+1])
 			i++
 		default:
 			r, size := utf8.DecodeRuneInString(text[i:])
 			if r == utf8.RuneError && size <= 1 {
-				out = append(out, text[i:i+1]) // invalid byte, kept verbatim
+				fn(text[i : i+1]) // invalid byte, kept verbatim
 				i++
 				break
 			}
-			out = append(out, strings.ToLower(text[i:i+size]))
+			fn(strings.ToLower(text[i : i+size]))
 			i += size
 		}
 	}
+}
+
+// Tokenize splits code into comparison terms: identifiers/keywords, numbers,
+// and operator glyphs. Whitespace and formatting differences vanish, so
+// reformatted copies still match. Non-ASCII runes (comments, exotic
+// identifiers) are emitted whole, one term per rune — splitting them into
+// bytes would make every multi-byte script share continuation-byte terms
+// and spuriously correlate unrelated files. Invalid UTF-8 bytes stay
+// single-byte terms.
+func Tokenize(text string) []string {
+	var out []string
+	tokens(text, func(t string) { out = append(out, t) })
 	return out
 }
 
@@ -129,21 +138,31 @@ func Cosine(a, b Vector) float64 {
 	return dot / (a.norm * b.norm)
 }
 
-// posting is one document's weight for one term: tf(term, doc) divided by
-// the document norm, so a dot product against raw query counts needs only
-// the query norm at the end.
-type posting struct {
-	doc int32
-	w   float64
+// postingList holds one term's postings as parallel arrays — documents and
+// tf(term, doc)/norm(doc) weights — so the accumulator walk streams 12
+// packed bytes per posting instead of a padded 16-byte struct, and a dot
+// product against raw query counts needs only the query norm at the end.
+type postingList struct {
+	docs []int32
+	ws   []float64
 }
 
-// Corpus is an indexed collection of protected documents. A Corpus under
-// construction is single-writer: Add must not race with reads. Seal it
-// into a Snapshot for concurrent serving.
+func (pl *postingList) add(doc int32, w float64) {
+	pl.docs = append(pl.docs, doc)
+	pl.ws = append(pl.ws, w)
+}
+
+// Corpus is an indexed collection of protected documents. Unigram terms
+// are interned as int32 postings ids; bigrams are keyed by the pair of
+// their unigram ids, so neither indexing nor querying ever materializes a
+// concatenated bigram string — the dominant cost of the pre-PR-5 query
+// path. A Corpus under construction is single-writer: Add must not race
+// with reads. Seal it into a Snapshot for concurrent serving.
 type Corpus struct {
 	names    []string
-	termIDs  map[string]int32
-	postings [][]posting
+	termIDs  map[string]int32 // unigram term -> postings id
+	pairIDs  map[uint64]int32 // unigram id pair -> bigram postings id
+	postings []postingList    // unigrams and bigrams share one id space
 	sealed   bool
 }
 
@@ -154,53 +173,94 @@ func NewCorpus(names, texts []string) *Corpus {
 }
 
 // NewCorpusWorkers builds a corpus with bounded concurrency (workers <= 0
-// means GOMAXPROCS). Per-document term counting fans out; index insertion
-// stays sequential in document order, so the built index is identical
-// regardless of worker count.
+// means GOMAXPROCS). Per-document tokenization fans out; dictionary
+// interning and index insertion stay sequential in document order, so the
+// built index is identical regardless of worker count.
 func NewCorpusWorkers(names, texts []string, workers int) *Corpus {
-	c := &Corpus{termIDs: map[string]int32{}}
-	type prepped struct {
-		counts map[string]float64
-		order  []string
-	}
-	preps := par.Map(workers, len(texts), func(i int) prepped {
-		counts, order := termCounts(texts[i])
-		return prepped{counts: counts, order: order}
+	c := &Corpus{termIDs: map[string]int32{}, pairIDs: map[uint64]int32{}}
+	tokLists := par.Map(workers, len(texts), func(i int) []string {
+		return Tokenize(texts[i])
 	})
-	for i, p := range preps {
+	for i, toks := range tokLists {
 		name := ""
 		if i < len(names) {
 			name = names[i]
 		}
-		c.addCounts(name, p.counts, p.order)
+		c.addToks(name, toks)
+		tokLists[i] = nil // release each document's tokens as it lands
 	}
 	return c
 }
 
 // Add appends one document to the index.
 func (c *Corpus) Add(name, text string) {
-	counts, order := termCounts(text)
-	c.addCounts(name, counts, order)
+	c.addToks(name, Tokenize(text))
 }
 
-func (c *Corpus) addCounts(name string, counts map[string]float64, order []string) {
+// uniID interns a unigram term, assigning the next postings id on first
+// sight.
+func (c *Corpus) uniID(t string) int32 {
+	id, ok := c.termIDs[t]
+	if !ok {
+		id = int32(len(c.postings))
+		c.termIDs[t] = id
+		c.postings = append(c.postings, postingList{})
+	}
+	return id
+}
+
+// pairKey packs two unigram ids into the bigram dictionary key.
+func pairKey(a, b int32) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// pairID interns a bigram by its unigram id pair.
+func (c *Corpus) pairID(a, b int32) int32 {
+	k := pairKey(a, b)
+	id, ok := c.pairIDs[k]
+	if !ok {
+		id = int32(len(c.postings))
+		c.pairIDs[k] = id
+		c.postings = append(c.postings, postingList{})
+	}
+	return id
+}
+
+func (c *Corpus) addToks(name string, toks []string) {
 	if c.sealed {
 		panic("similarity: Add on a sealed Corpus")
 	}
-	id := int32(len(c.names))
+	doc := int32(len(c.names))
 	c.names = append(c.names, name)
-	norm := normOf(counts)
-	if norm == 0 {
+	if len(toks) == 0 {
 		return // empty document: no postings, unreachable by any query
 	}
-	for _, t := range order {
-		tid, ok := c.termIDs[t]
-		if !ok {
-			tid = int32(len(c.postings))
-			c.termIDs[t] = tid
-			c.postings = append(c.postings, nil)
+	tids := make([]int32, len(toks))
+	for i, t := range toks {
+		tids[i] = c.uniID(t)
+	}
+	counts := make(map[int32]float64, 2*len(toks))
+	order := make([]int32, 0, 2*len(toks))
+	bump := func(id int32) {
+		if _, ok := counts[id]; !ok {
+			order = append(order, id)
 		}
-		c.postings[tid] = append(c.postings[tid], posting{doc: id, w: counts[t] / norm})
+		counts[id]++
+	}
+	for i, id := range tids {
+		bump(id)
+		if i+1 < len(tids) {
+			bump(c.pairID(id, tids[i+1]))
+		}
+	}
+	// Counts are integers, so the norm is exact regardless of sum order.
+	var sum float64
+	for _, v := range counts {
+		sum += v * v
+	}
+	norm := math.Sqrt(sum)
+	for _, id := range order {
+		c.postings[id].add(doc, counts[id]/norm)
 	}
 }
 
@@ -214,25 +274,107 @@ type Match struct {
 	Score float64
 }
 
-// score accumulates per-document dot products for the query's terms. Only
-// documents sharing at least one term with the query are touched; the
-// returned accumulator holds dot(query, doc)/norm(doc), so dividing by the
-// query norm yields cosine. qnorm is 0 for empty queries.
+// unknownBase is the first effective id assigned to query tokens absent
+// from the corpus dictionary (corpus ids are int32, so they stay below).
+const unknownBase = uint64(1) << 31
+
+// A resolved query term packs a postings id (upper 32 bits) and its
+// integer query count (lower 32 bits) into one uint64, so the term list
+// sorts by id with slices.Sort — no interface or closure per comparison.
+func qtermID(qt uint64) int32   { return int32(qt >> 32) }
+func qtermW(qt uint64) float64  { return float64(uint32(qt)) }
+func packQterm(id int32, w float64) uint64 {
+	return uint64(uint32(id))<<32 | uint64(uint32(w))
+}
+
+// resolveQuery streams a query's tokens and resolves them against the
+// index in one pass: the returned terms are the query's corpus-known
+// unigrams and bigrams with their counts, sorted by postings id — the
+// canonical accumulation order every scoring path shares, which is what
+// keeps Best, TopK, and BestBatch byte-identical to each other. qnorm is
+// the norm over ALL query terms, corpus-known or not. A token the corpus
+// has never seen cannot appear in any corpus bigram either, so its
+// bigrams are skipped without a lookup.
+func (c *Corpus) resolveQuery(text string) (qts []uint64, qnorm float64) {
+	// Emit one key per unigram and bigram occurrence, then sort and
+	// run-length count — cheaper than a hash map at query term counts.
+	// Unigram keys are the effective id (< 2^32, dictionary id or interned
+	// unknown), bigram keys pack the pair shifted into the upper half
+	// (>= 2^32), so the two ranges cannot collide.
+	var unknown map[string]uint64
+	keys := make([]uint64, 0, 512)
+	prev, seen := uint64(0), false
+	tokens(text, func(t string) {
+		var e uint64
+		if id, ok := c.termIDs[t]; ok {
+			e = uint64(id)
+		} else {
+			if unknown == nil {
+				unknown = make(map[string]uint64)
+			}
+			lid, have := unknown[t]
+			if !have {
+				lid = unknownBase + uint64(len(unknown))
+				unknown[t] = lid
+			}
+			e = lid
+		}
+		keys = append(keys, e)
+		if seen {
+			keys = append(keys, (prev+1)<<32|e)
+		}
+		prev, seen = e, true
+	})
+	if !seen {
+		return nil, 0
+	}
+	slices.Sort(keys)
+	var sum float64
+	qts = make([]uint64, 0, 128)
+	for i := 0; i < len(keys); {
+		j := i + 1
+		for j < len(keys) && keys[j] == keys[i] {
+			j++
+		}
+		v := float64(j - i)
+		sum += v * v // integer counts: exact in any order
+		k := keys[i]
+		i = j
+		switch {
+		case k < unknownBase: // corpus-known unigram
+			qts = append(qts, packQterm(int32(k), v))
+		case k < 1<<32: // unknown unigram
+		default: // bigram
+			a, b := (k>>32)-1, k&0xffffffff
+			if a < unknownBase && b < unknownBase {
+				if id, ok := c.pairIDs[a<<32|b]; ok {
+					qts = append(qts, packQterm(id, v))
+				}
+			}
+		}
+	}
+	slices.Sort(qts)
+	return qts, math.Sqrt(sum)
+}
+
+// score accumulates per-document dot products for the query's terms, in
+// ascending postings-id order. Only documents sharing at least one term
+// with the query are touched; the returned accumulator holds
+// dot(query, doc)/norm(doc), so dividing by the query norm yields cosine.
+// qnorm is 0 for empty queries.
 func (c *Corpus) score(text string) (acc []float64, qnorm float64) {
-	counts, order := termCounts(text)
-	qnorm = normOf(counts)
+	qts, qnorm := c.resolveQuery(text)
 	if qnorm == 0 || len(c.names) == 0 {
 		return nil, qnorm
 	}
 	acc = make([]float64, len(c.names))
-	for _, t := range order {
-		tid, ok := c.termIDs[t]
-		if !ok {
-			continue
-		}
-		qw := counts[t]
-		for _, p := range c.postings[tid] {
-			acc[p.doc] += qw * p.w
+	for _, qt := range qts {
+		w := qtermW(qt)
+		pl := &c.postings[qtermID(qt)]
+		docs := pl.docs
+		ws := pl.ws[:len(docs)] // one bound, checks eliminated below
+		for k, doc := range docs {
+			acc[doc] += w * ws[k]
 		}
 	}
 	return acc, qnorm

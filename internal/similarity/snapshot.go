@@ -40,10 +40,11 @@ func (s *Snapshot) TopK(text string, k int) []Match { return s.c.TopK(text, k) }
 
 // BestBatch scores a batch of queries in one pass over the snapshot:
 // identical texts are deduplicated — generation pipelines resample the
-// same candidate, and every duplicate shares one index walk — and the
+// same candidate, and every duplicate shares one scoring — and the
 // distinct queries fan out across at most workers goroutines (<= 0 means
-// GOMAXPROCS). Each query runs the exact Best accumulator walk, so
-// results are byte-identical to calling Best per text, in input order.
+// GOMAXPROCS). Each query resolves against the dictionary once and runs
+// the exact Best accumulator walk, so results are byte-identical to
+// calling Best per text, in input order.
 func (s *Snapshot) BestBatch(workers int, texts []string) []Match {
 	if len(texts) == 0 {
 		return nil
