@@ -4,31 +4,43 @@
 // generation pipeline consumes it.
 //
 // Endpoints: POST /v1/audit, /v1/audit/batch, /v1/filter, /v1/syntax,
-// /v1/scan, /v1/corpus (JSON or streaming NDJSON), GET /v1/stats; the
-// unversioned legacy paths are byte-identical aliases (see
-// internal/serve and the README's /v1 API reference).
+// /v1/scan, /v1/corpus (JSON or streaming NDJSON; ?version=N rolls back),
+// GET /v1/stats, /v1/healthz, /v1/readyz; the unversioned legacy paths
+// are byte-identical aliases (see internal/serve and the README's /v1 API
+// reference and Operations section).
 //
 // Usage:
 //
 //	freeset-serve [-addr :8844] [-corpus dir] [-protected 200] [-seed 1]
 //	              [-workers 0] [-queue 256] [-batch 32]
 //	              [-threshold 0.8] [-cache-budget 0]
+//	              [-data-dir dir] [-retain 3] [-shutdown-grace 15s]
 //
-// The served index starts from -corpus (a directory of .v/.vh files
-// indexed verbatim) and/or -protected (n simulated protected files,
-// deterministic in -seed); POST /corpus replaces it at runtime.
+// With -data-dir the served corpus is durable: every publish is saved
+// crash-safely before it serves, and a restart replays the newest good
+// version (warm restart). The served index otherwise starts from -corpus
+// (a directory of .v/.vh files indexed verbatim) and/or -protected (n
+// simulated protected files, deterministic in -seed); POST /corpus
+// replaces it at runtime. SIGINT/SIGTERM drains gracefully: readiness
+// flips to 503, in-flight audits complete, then the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"freehw/internal/corpus"
 	"freehw/internal/serve"
+	"freehw/internal/snapstore"
 )
 
 func main() {
@@ -44,6 +56,9 @@ func main() {
 		batch     = flag.Int("batch", 32, "max audits coalesced into one snapshot pass")
 		threshold = flag.Float64("threshold", 0, "violation cosine threshold (0 = paper's 0.8)")
 		budget    = flag.Int64("cache-budget", 0, "verdict cache byte budget (0 = default 256 MiB, negative = unbounded)")
+		dataDir   = flag.String("data-dir", "", "directory for durable corpus snapshots (empty = in-memory only)")
+		retain    = flag.Int("retain", 3, "snapshot versions kept on disk for rollback (<= 0 keeps all)")
+		grace     = flag.Duration("shutdown-grace", 15*time.Second, "graceful-shutdown drain budget after SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -55,9 +70,32 @@ func main() {
 		cfg.Threshold = *threshold
 	}
 	cfg.CacheBudget = *budget
+	if *dataDir != "" {
+		st, err := snapstore.Open(*dataDir, *retain)
+		if err != nil {
+			log.Fatalf("open snapshot store: %v", err)
+		}
+		cfg.Store = st
+	}
 	s := serve.NewServer(cfg)
 	defer s.Close()
+	if rep := s.Replay(); cfg.Store != nil {
+		if rep.Err != nil {
+			log.Printf("snapshot replay: store error, starting empty: %v", rep.Err)
+		}
+		if len(rep.Skipped) > 0 {
+			log.Printf("snapshot replay: skipped corrupt version(s) %v", rep.Skipped)
+		}
+		if rep.Version > 0 {
+			log.Printf("warm restart: replayed corpus version %d (%d documents) from %s", rep.Version, rep.Docs, *dataDir)
+		} else {
+			log.Printf("no usable snapshot in %s; starting empty", *dataDir)
+		}
+	}
 
+	// Seed an initial corpus only when the store did not already hand us a
+	// newer one — republishing the seed on every boot would bump the
+	// version and shadow operator uploads after each restart.
 	var names, texts []string
 	if *dir != "" {
 		err := filepath.WalkDir(*dir, func(path string, d os.DirEntry, err error) error {
@@ -86,15 +124,60 @@ func main() {
 			texts = append(texts, pf.Source)
 		}
 	}
-	if len(texts) > 0 {
-		version, indexed := s.PublishDocuments(names, texts)
+	switch {
+	case len(texts) > 0 && s.Replay().Version > 0:
+		log.Printf("ignoring -corpus/-protected seed: replayed snapshot version %d takes precedence", s.Replay().Version)
+	case len(texts) > 0:
+		version, indexed, err := s.PublishDocuments(names, texts)
+		if err != nil {
+			log.Fatalf("publish initial corpus: %v", err)
+		}
 		log.Printf("published initial corpus: %d documents (version %d)", indexed, version)
-	} else {
+	case s.Replay().Version == 0:
 		log.Printf("starting with an empty corpus; POST /corpus to publish one")
 	}
 
-	log.Printf("serving on %s (queue %d, batch %d, threshold %.2f)", *addr, cfg.QueueDepth, cfg.MaxBatch, cfg.Threshold)
-	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
-		log.Fatal(err)
+	// A configured http.Server instead of the bare ListenAndServe default:
+	// header/read/write/idle timeouts bound how long a slow or stalled
+	// client can pin a connection, and Shutdown gives SIGINT/SIGTERM a
+	// drain path instead of dropping in-flight audits on the floor.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s (queue %d, batch %d, threshold %.2f, shutdown grace %s)",
+		*addr, cfg.QueueDepth, cfg.MaxBatch, cfg.Threshold, *grace)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal during drain kills immediately via default handling
+
+	// Graceful drain: readiness 503s first so load balancers stop routing,
+	// then the listener closes and every in-flight request — including
+	// audits waiting on the dispatcher — completes before exit.
+	log.Printf("shutdown signal received; draining (grace %s)", *grace)
+	s.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := s.Quiesce(shutdownCtx); err != nil {
+		log.Printf("audit queue drain: %v", err)
+	}
+	s.Close()
+	log.Printf("drained; exiting")
 }

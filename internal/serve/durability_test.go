@@ -1,0 +1,551 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"freehw/internal/failpoint"
+	"freehw/internal/similarity"
+	"freehw/internal/snapstore"
+)
+
+// durableServer builds a server persisting into dir.
+func durableServer(t *testing.T, dir string) *Server {
+	t.Helper()
+	st, err := snapstore.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Store = st
+	s := NewServer(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func docSet(seed int64, n int) (names, texts []string) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		names = append(names, fmt.Sprintf("s%d_d%d.v", seed, i))
+		texts = append(texts, randVerilog(rng, int(seed)*1000+i))
+	}
+	return names, texts
+}
+
+// auditBest returns the served best match for one candidate.
+func auditBest(t *testing.T, s *Server, code string) (similarity.Match, uint64) {
+	t.Helper()
+	var resp AuditResponse
+	if got := postJSON(t, s.Handler(), "/v1/audit", AuditRequest{Code: code}, &resp); got != http.StatusOK {
+		t.Fatalf("audit = %d", got)
+	}
+	m := similarity.Match{Index: -1}
+	if resp.Best != nil {
+		m = similarity.Match{Name: resp.Best.Name, Index: resp.Best.Index, Score: resp.Best.Score}
+	}
+	return m, resp.CorpusVersion
+}
+
+// A restarted server must serve the persisted corpus at the persisted
+// version with verdicts byte-identical to both the pre-crash server and
+// the offline scorer.
+func TestWarmRestartServesIdenticalVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	names1, texts1 := docSet(1, 20)
+	names2, texts2 := docSet(2, 25)
+	offline := similarity.NewCorpus(names2, texts2)
+	queries := append(append([]string(nil), texts2[:5]...), "module fresh(); endmodule")
+
+	s := durableServer(t, dir)
+	if _, _, err := s.PublishDocuments(names1, texts1); err != nil {
+		t.Fatal(err)
+	}
+	var cr CorpusResponse
+	var docs []CorpusDocument
+	for i := range texts2 {
+		docs = append(docs, CorpusDocument{Name: names2[i], Text: texts2[i]})
+	}
+	if got := postJSON(t, s.Handler(), "/v1/corpus", CorpusRequest{Index: "all", Documents: docs}, &cr); got != http.StatusOK {
+		t.Fatalf("publish = %d", got)
+	}
+	if cr.Version != 2 || !cr.Persisted {
+		t.Fatalf("publish response = %+v", cr)
+	}
+	before := make([]similarity.Match, len(queries))
+	for i, q := range queries {
+		m, v := auditBest(t, s, q)
+		if v != 2 {
+			t.Fatalf("pre-restart version = %d", v)
+		}
+		before[i] = m
+	}
+	s.Close()
+
+	// "Restart": a brand-new server over the same directory.
+	s2 := durableServer(t, dir)
+	rep := s2.Replay()
+	if rep.Version != 2 || rep.Docs != len(texts2) || rep.Err != nil || len(rep.Skipped) != 0 {
+		t.Fatalf("replay = %+v", rep)
+	}
+	for i, q := range queries {
+		m, v := auditBest(t, s2, q)
+		if v != 2 {
+			t.Fatalf("post-restart version = %d", v)
+		}
+		if m != before[i] {
+			t.Fatalf("query %d: recovered verdict %+v != pre-crash %+v", i, m, before[i])
+		}
+		if want := offline.Best(q); m != want {
+			t.Fatalf("query %d: recovered verdict %+v != offline %+v", i, m, want)
+		}
+	}
+	// Version numbering resumes, not resets.
+	if v, _, err := s2.PublishDocuments(names1, texts1); err != nil || v != 3 {
+		t.Fatalf("post-restart publish = v%d err %v", v, err)
+	}
+}
+
+// Crash a live /v1/corpus publish at every registered persistence
+// failpoint. The serving process must keep answering from the old
+// snapshot (the publish fails with 500, nothing half-swaps), and a
+// restarted server must recover either the old or the new version —
+// whichever the crash left durable — with byte-identical verdicts.
+func TestServeKillAndRecoverEveryFailpoint(t *testing.T) {
+	names1, texts1 := docSet(3, 15)
+	names2, texts2 := docSet(4, 18)
+	offline1 := similarity.NewCorpus(names1, texts1)
+	offline2 := similarity.NewCorpus(names2, texts2)
+	queries := append(append([]string(nil), texts1[:4]...), texts2[:4]...)
+
+	var points []string
+	for _, p := range failpoint.List() {
+		if strings.HasPrefix(p, "snapstore/") || p == FPBeforeSwap {
+			points = append(points, p)
+		}
+	}
+	if len(points) < 8 {
+		t.Fatalf("persistence failpoints missing from registry: %v", points)
+	}
+
+	for _, fp := range points {
+		t.Run(fp, func(t *testing.T) {
+			defer failpoint.DisableAll()
+			dir := t.TempDir()
+			s := durableServer(t, dir)
+			if _, _, err := s.PublishDocuments(names1, texts1); err != nil {
+				t.Fatal(err)
+			}
+
+			failpoint.EnableError(fp)
+			var docs []CorpusDocument
+			for i := range texts2 {
+				docs = append(docs, CorpusDocument{Name: names2[i], Text: texts2[i]})
+			}
+			if got := postJSON(t, s.Handler(), "/v1/corpus", CorpusRequest{Index: "all", Documents: docs}, nil); got != http.StatusInternalServerError {
+				t.Fatalf("crashed publish = %d, want 500", got)
+			}
+			failpoint.DisableAll()
+
+			// The live server never swapped: verdicts still come from v1,
+			// byte-identical to offline scoring of corpus 1.
+			for _, q := range queries {
+				m, v := auditBest(t, s, q)
+				if v != 1 {
+					t.Fatalf("live version after crashed publish = %d", v)
+				}
+				if want := offline1.Best(q); m != want {
+					t.Fatalf("live verdict %+v != offline v1 %+v", m, want)
+				}
+			}
+			s.Close()
+
+			// Restart from disk.
+			s2 := durableServer(t, dir)
+			rep := s2.Replay()
+			var wantCorpus *similarity.Corpus
+			switch rep.Version {
+			case 1:
+				wantCorpus = offline1
+			case 2:
+				// Crash after the snapshot file was durable: at-least-once
+				// publish means the new version legitimately recovers.
+				wantCorpus = offline2
+			default:
+				t.Fatalf("recovered impossible version %d (replay %+v)", rep.Version, rep)
+			}
+			if len(rep.Skipped) != 0 {
+				t.Fatalf("recovery skipped versions %v — crash left a half-valid file", rep.Skipped)
+			}
+			for _, q := range queries {
+				m, v := auditBest(t, s2, q)
+				if v != rep.Version {
+					t.Fatalf("recovered version = %d, replay said %d", v, rep.Version)
+				}
+				if want := wantCorpus.Best(q); m != want {
+					t.Fatalf("recovered verdict %+v != offline %+v", m, want)
+				}
+			}
+		})
+	}
+}
+
+// Bit-flip the newest on-disk snapshot: the restarted server must detect
+// the corruption by checksum and serve the previous good version.
+func TestRestartSkipsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	names1, texts1 := docSet(5, 12)
+	names2, texts2 := docSet(6, 14)
+	offline1 := similarity.NewCorpus(names1, texts1)
+
+	s := durableServer(t, dir)
+	if _, _, err := s.PublishDocuments(names1, texts1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.PublishDocuments(names2, texts2); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	corruptNewestSnapshot(t, dir)
+
+	s2 := durableServer(t, dir)
+	rep := s2.Replay()
+	if rep.Version != 1 || len(rep.Skipped) != 1 || rep.Skipped[0] != 2 {
+		t.Fatalf("replay after corruption = %+v, want v1 with [2] skipped", rep)
+	}
+	for _, q := range texts1[:4] {
+		m, v := auditBest(t, s2, q)
+		if v != 1 {
+			t.Fatalf("version = %d", v)
+		}
+		if want := offline1.Best(q); m != want {
+			t.Fatalf("verdict %+v != offline %+v", m, want)
+		}
+	}
+}
+
+// POST /v1/corpus?version=N republishes a retained version as a new
+// generation; bogus versions answer with structured errors.
+func TestRollbackRepublish(t *testing.T) {
+	dir := t.TempDir()
+	names1, texts1 := docSet(7, 10)
+	names2, texts2 := docSet(8, 11)
+	offline1 := similarity.NewCorpus(names1, texts1)
+
+	s := durableServer(t, dir)
+	if _, _, err := s.PublishDocuments(names1, texts1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.PublishDocuments(names2, texts2); err != nil {
+		t.Fatal(err)
+	}
+
+	var cr CorpusResponse
+	if got := postJSON(t, s.Handler(), "/v1/corpus?version=1", struct{}{}, &cr); got != http.StatusOK {
+		t.Fatalf("rollback = %d", got)
+	}
+	if cr.Version != 3 || cr.RolledBackFrom != 1 || cr.Index != "rollback" || cr.Indexed != len(texts1) {
+		t.Fatalf("rollback response = %+v", cr)
+	}
+	// Rolled-back generation serves corpus 1's verdicts at version 3.
+	for _, q := range texts1[:3] {
+		m, v := auditBest(t, s, q)
+		if v != 3 {
+			t.Fatalf("post-rollback version = %d", v)
+		}
+		if want := offline1.Best(q); m != want {
+			t.Fatalf("post-rollback verdict %+v != offline v1 %+v", m, want)
+		}
+	}
+	// The rollback is itself durable: a restart replays it.
+	s.Close()
+	s2 := durableServer(t, dir)
+	if rep := s2.Replay(); rep.Version != 3 {
+		t.Fatalf("replayed rollback version = %d", rep.Version)
+	}
+
+	if got := postJSON(t, s2.Handler(), "/v1/corpus?version=99", struct{}{}, nil); got != http.StatusNotFound {
+		t.Fatalf("rollback to missing version = %d, want 404", got)
+	}
+	if got := postJSON(t, s2.Handler(), "/v1/corpus?version=x", struct{}{}, nil); got != http.StatusBadRequest {
+		t.Fatalf("rollback to garbage version = %d, want 400", got)
+	}
+
+	// Without a store, rollback is a structured 400, not a surprise.
+	plain := NewServer(DefaultConfig())
+	defer plain.Close()
+	if got := postJSON(t, plain.Handler(), "/v1/corpus?version=1", struct{}{}, nil); got != http.StatusBadRequest {
+		t.Fatalf("storeless rollback = %d, want 400", got)
+	}
+}
+
+// corruptNewestSnapshot flips one payload byte in the highest-version
+// snapshot file.
+func corruptNewestSnapshot(t *testing.T, dir string) {
+	t.Helper()
+	st, err := snapstore.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions, err := st.Versions()
+	if err != nil || len(versions) == 0 {
+		t.Fatalf("versions = %v err %v", versions, err)
+	}
+	path := st.Path(versions[len(versions)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthzReadyz(t *testing.T) {
+	s := durableServer(t, t.TempDir())
+	get := func(path string) (int, string) {
+		r := httptest.NewRequest(http.MethodGet, path, nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		return w.Code, w.Body.String()
+	}
+	if code, body := get("/v1/healthz"); code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("healthz = %d %s", code, body)
+	}
+	if code, body := get("/v1/readyz"); code != http.StatusOK || !strings.Contains(body, `"ready":true`) {
+		t.Fatalf("readyz = %d %s", code, body)
+	}
+
+	// Before replay completes the server reports not ready.
+	s.ready.Store(false)
+	if code, body := get("/v1/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "not_ready") {
+		t.Fatalf("cold readyz = %d %s", code, body)
+	}
+	s.ready.Store(true)
+
+	// Draining flips readiness off while health stays up.
+	s.Drain()
+	if code, body := get("/v1/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("draining readyz = %d %s", code, body)
+	}
+	if code, _ := get("/v1/healthz"); code != http.StatusOK {
+		t.Fatalf("draining healthz = %d", code)
+	}
+
+	// Wrong methods get the structured 405.
+	r := httptest.NewRequest(http.MethodPost, "/v1/healthz", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST healthz = %d", w.Code)
+	}
+}
+
+// The 429 shed response derives Retry-After from live queue depth and
+// carries it in the envelope body as well as the header.
+func TestRetryAfterFromQueueDepth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 4
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	s := NewServer(cfg)
+	defer s.Close()
+	s.batchGate = func() {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+	if _, _, err := s.PublishDocuments([]string{"d"}, []string{"module d(input x, output y); assign y = x; endmodule"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	held := 1 + cfg.QueueDepth // one mid-batch + a full queue
+	for i := 0; i < held; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			postJSON(t, s.Handler(), "/v1/audit", AuditRequest{Code: fmt.Sprintf("module q%d(); endmodule", i)}, nil)
+		}(i)
+		if i == 0 {
+			<-entered
+		} else {
+			for len(s.queue) < i {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+
+	// Queue full: depth 4 of 4 → 1 + 4*4/4 = 5 seconds.
+	body, _ := json.Marshal(AuditRequest{Code: "module shed(); endmodule"})
+	r := httptest.NewRequest(http.MethodPost, "/v1/audit", strings.NewReader(string(body)))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("shed = %d", w.Code)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.RetryAfterSeconds != 5 {
+		t.Fatalf("retry_after_s = %d, want 5 (full queue)", er.Error.RetryAfterSeconds)
+	}
+	if got := w.Header().Get("Retry-After"); got != strconv.Itoa(er.Error.RetryAfterSeconds) {
+		t.Fatalf("Retry-After header %q != body %d", got, er.Error.RetryAfterSeconds)
+	}
+	close(release)
+	wg.Wait()
+
+	// With the queue drained, the hint relaxes back to the 1s floor.
+	s.batchGate = nil
+	for len(s.queue) != 0 || s.busy.Load() != 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("idle retryAfterSeconds = %d, want 1", got)
+	}
+}
+
+// Graceful shutdown over a real listener: every audit accepted before the
+// drain began completes with 200 — none dropped — and the server exits
+// cleanly afterwards.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 64
+	s := NewServer(cfg)
+	defer s.Close()
+	entered := make(chan struct{}, 64)
+	release := make(chan struct{})
+	s.batchGate = func() {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+	if _, _, err := s.PublishDocuments([]string{"d"}, []string{"module d(input x, output y); assign y = x; endmodule"}); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	const inflight = 8
+	codes := make([]int, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(AuditRequest{Code: fmt.Sprintf("module g%d(); endmodule", i)})
+			resp, err := http.Post(base+"/v1/audit", "application/json", strings.NewReader(string(body)))
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	// Wait until the server has accepted all of them (handler increments
+	// the audit counter before enqueueing) and the dispatcher is held.
+	<-entered
+	for s.m.audits.Load() < inflight {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Begin the drain while every request is still in flight.
+	s.Drain()
+	shutdownDone := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- httpSrv.Shutdown(ctx) }()
+	time.Sleep(10 * time.Millisecond) // listener now refusing new work
+	close(release)                    // dispatcher resumes; queue drains
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("http shutdown: %v", err)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("in-flight audit %d finished with %d during graceful shutdown", i, code)
+		}
+	}
+	if err := s.Quiesce(ctx); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	s.Close()
+}
+
+// A panicking handler answers with the structured 500 envelope instead of
+// a severed connection.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	h := recoverMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}))
+	r := httptest.NewRequest(http.MethodGet, "/v1/audit", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d", w.Code)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Code != "internal" {
+		t.Fatalf("panic envelope = %s (err %v)", w.Body.String(), err)
+	}
+
+	// net/http's own abort sentinel must pass through untouched.
+	aborts := recoverMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("ErrAbortHandler swallowed")
+		}
+	}()
+	aborts.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+}
+
+// An injected fault after bulkhead admission must release the slot: the
+// next bulk request still gets in.
+func TestBulkFaultReleasesBulkhead(t *testing.T) {
+	defer failpoint.DisableAll()
+	cfg := DefaultConfig()
+	cfg.MaxInflightBulk = 1
+	s := NewServer(cfg)
+	defer s.Close()
+	if _, _, err := s.PublishDocuments([]string{"d"}, []string{"module d(input x, output y); assign y = x; endmodule"}); err != nil {
+		t.Fatal(err)
+	}
+	req := AuditBatchRequest{Candidates: []AuditBatchCandidate{{Code: "module b(); endmodule"}}}
+
+	failpoint.EnableError(FPBulkAdmit)
+	if got := postJSON(t, s.Handler(), "/v1/audit/batch", req, nil); got != http.StatusInternalServerError {
+		t.Fatalf("injected bulk = %d", got)
+	}
+	failpoint.DisableAll()
+	if got := postJSON(t, s.Handler(), "/v1/audit/batch", req, nil); got != http.StatusOK {
+		t.Fatalf("bulk after injected fault = %d — bulkhead slot leaked", got)
+	}
+}

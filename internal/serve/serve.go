@@ -24,6 +24,15 @@
 // are aliases of the same handlers and return byte-identical bodies. All
 // non-2xx replies share one structured JSON error envelope (ErrorResponse)
 // — including the mux-level 404 and the 429 + Retry-After shed response.
+// GET /v1/healthz reports liveness; GET /v1/readyz reports readiness
+// (200 only after snapshot replay completes and before draining starts).
+//
+// With Config.Store set the service is durable: every publish is saved
+// through internal/snapstore — crash-safely, before the new snapshot
+// starts serving — and NewServer replays the last good version on boot,
+// so a restart resumes serving the same corpus at the same version with
+// byte-identical verdicts. POST /v1/corpus?version=N republishes a
+// retained historical version (point-in-time rollback).
 //
 // The serving core is an immutable similarity.Snapshot swapped RCU-style
 // through an atomic pointer: corpus uploads build the next index off to
@@ -40,10 +49,13 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -51,12 +63,28 @@ import (
 	"time"
 
 	"freehw/internal/curation"
+	"freehw/internal/failpoint"
 	"freehw/internal/gitsim"
 	"freehw/internal/license"
 	"freehw/internal/pipeline"
 	"freehw/internal/similarity"
+	"freehw/internal/snapstore"
 	"freehw/internal/vcache"
 	"freehw/internal/vlog"
+)
+
+// Failpoints of the serving layer's crash-relevant boundaries, recovery-
+// tested alongside the snapstore write path.
+var (
+	// FPBeforeSwap fires after a publish is durable on disk but before the
+	// snapshot pointer swap: a crash here loses the response, not the data
+	// — the restarted server replays the saved version.
+	FPBeforeSwap = failpoint.Register("serve/before-swap")
+	// FPEnqueue fires before an audit enters the bounded queue.
+	FPEnqueue = failpoint.Register("serve/enqueue")
+	// FPBulkAdmit fires after a bulk request claims its bulkhead slot; an
+	// injected fault must still release the slot.
+	FPBulkAdmit = failpoint.Register("serve/bulk-admit")
 )
 
 // Config tunes the service.
@@ -91,6 +119,12 @@ type Config struct {
 	// requests are strictly more expensive, so they must not be the one
 	// path with unbounded concurrency (0 = 4).
 	MaxInflightBulk int
+	// Store, when set, makes the served corpus durable: every publish is
+	// persisted crash-safely before it starts serving, NewServer replays
+	// the newest good version on boot, and /v1/corpus?version= can roll
+	// back to any retained version. Nil keeps the PR 4 in-memory-only
+	// behavior.
+	Store *snapstore.Store
 }
 
 // DefaultConfig returns production-ish defaults with the paper's curation
@@ -152,12 +186,27 @@ type auditResult struct {
 	length  int
 }
 
+// ReplayInfo reports what NewServer recovered from the snapshot store.
+type ReplayInfo struct {
+	// Version is the corpus generation recovered from disk (0 = none).
+	Version uint64
+	// Docs is the recovered snapshot's document count.
+	Docs int
+	// Skipped lists on-disk versions that failed checksum validation and
+	// were passed over in favor of an older good one.
+	Skipped []uint64
+	// Err is a non-recoverable store error (the server still starts, with
+	// an empty corpus).
+	Err error
+}
+
 // Server is the audit service. Create with NewServer, serve via Handler,
 // release the dispatcher with Close.
 type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	store *vcache.Store
+	snaps *snapstore.Store
 
 	state atomic.Pointer[corpusState]
 	pubMu sync.Mutex // serializes index builds/publishes
@@ -166,6 +215,15 @@ type Server struct {
 	bulk  chan struct{} // bulkhead: in-flight /v1/audit/batch + /v1/filter slots
 	stop  chan struct{}
 	once  sync.Once
+
+	// ready flips on once boot-time snapshot replay completes; draining
+	// flips on when shutdown begins. /v1/readyz is 200 only in between,
+	// so load balancers neither route to a cold index nor to a server
+	// about to exit.
+	ready    atomic.Bool
+	draining atomic.Bool
+	busy     atomic.Int64 // audits currently inside a dispatcher batch
+	replay   ReplayInfo
 
 	start time.Time
 	m     metrics
@@ -180,12 +238,17 @@ type Server struct {
 	buildGate func()
 }
 
-// NewServer builds the service and starts its dispatcher.
+// NewServer builds the service and starts its dispatcher. With a
+// configured snapshot store it replays the newest good on-disk version
+// before returning, so the first request already sees the warm index; a
+// corrupt or empty store degrades to an empty corpus (inspect Replay),
+// never a failed boot.
 func NewServer(cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
 		cfg:   cfg,
 		store: vcache.NewStore(cfg.Curation.Dedup),
+		snaps: cfg.Store,
 		queue: make(chan *auditJob, cfg.QueueDepth),
 		bulk:  make(chan struct{}, cfg.MaxInflightBulk),
 		stop:  make(chan struct{}),
@@ -195,6 +258,15 @@ func NewServer(cfg Config) *Server {
 		s.store.SetBudget(cfg.CacheBudget)
 	}
 	s.state.Store(&corpusState{snap: similarity.SealCorpus(nil, nil, 1)})
+	if s.snaps != nil {
+		snap, version, skipped, err := s.snaps.LoadLatest()
+		s.replay = ReplayInfo{Skipped: skipped, Err: err}
+		if snap != nil {
+			s.replay.Version, s.replay.Docs = version, snap.Len()
+			s.state.Store(&corpusState{snap: snap, version: version})
+		}
+	}
+	s.ready.Store(true)
 	s.mux = http.NewServeMux()
 	// The /v1 surface is canonical; the unversioned paths are aliases of
 	// the same handlers, so legacy and v1 bodies are byte-identical.
@@ -215,6 +287,8 @@ func NewServer(cfg Config) *Server {
 	for _, p := range []string{"/stats", "/v1/stats"} {
 		s.mux.HandleFunc(p, s.handleStats)
 	}
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	// Unknown paths get the structured envelope, not net/http's plain-text
 	// 404 page.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -224,11 +298,63 @@ func NewServer(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler, wrapped in panic recovery:
+// a panicking handler answers with the structured 500 envelope instead of
+// a severed connection, and the goroutine's stack is logged rather than
+// lost.
+func (s *Server) Handler() http.Handler { return recoverMiddleware(s.mux) }
+
+// recoverMiddleware converts a handler panic into the uniform 500
+// envelope. http.ErrAbortHandler passes through — that is net/http's own
+// deliberate abort signal, not a bug to report.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			log.Printf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			// Best-effort: if the handler already wrote a status line this
+			// header write is a no-op on the wire.
+			writeErr(w, http.StatusInternalServerError, "internal", "internal server error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
 
 // Close stops the dispatcher. Queued audits get 503.
 func (s *Server) Close() { s.once.Do(func() { close(s.stop) }) }
+
+// Drain marks the server as shutting down: /v1/readyz flips to 503 so
+// load balancers stop routing here, while in-flight and already-accepted
+// work keeps completing. Call it when shutdown begins, before the HTTP
+// listener closes.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Quiesce blocks until the audit queue is empty and no dispatcher batch
+// is in flight — every accepted audit has its verdict — or ctx expires.
+// The graceful-shutdown sequence is: Drain, stop the HTTP listener
+// (http.Server.Shutdown), Quiesce, Close.
+func (s *Server) Quiesce(ctx context.Context) error {
+	for {
+		if len(s.queue) == 0 && s.busy.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Replay reports what boot-time snapshot recovery found (zero value when
+// no store is configured).
+func (s *Server) Replay() ReplayInfo { return s.replay }
 
 // current returns the live index generation.
 func (s *Server) current() *corpusState { return s.state.Load() }
@@ -239,8 +365,10 @@ func (s *Server) current() *corpusState { return s.state.Load() }
 // held during the build, so a huge upload never delays a concurrent
 // publish — then publishes atomically. Concurrent publishes are ordered by
 // whoever reaches the swap first (last writer wins, versions strictly
-// increasing).
-func (s *Server) PublishDocuments(names, texts []string) (version uint64, indexed int) {
+// increasing). With a snapshot store, the new version is durable on disk
+// before it serves its first audit; a persist failure keeps the previous
+// snapshot serving and returns the error.
+func (s *Server) PublishDocuments(names, texts []string) (version uint64, indexed int, err error) {
 	snap := similarity.SealCorpus(names, texts, s.cfg.Workers)
 	if s.buildGate != nil {
 		s.buildGate()
@@ -249,13 +377,25 @@ func (s *Server) PublishDocuments(names, texts []string) (version uint64, indexe
 }
 
 // publish installs a sealed snapshot as the next generation. Only the
-// version bump and pointer store happen under the lock.
-func (s *Server) publish(snap *similarity.Snapshot) (version uint64, indexed int) {
+// version bump, the durability write, and the pointer store happen under
+// the lock — persistence must be ordered by version, and the swap must
+// not outrun the disk: a version never serves before it is durable.
+func (s *Server) publish(snap *similarity.Snapshot) (version uint64, indexed int, err error) {
 	s.pubMu.Lock()
 	defer s.pubMu.Unlock()
 	version = s.current().version + 1
+	if s.snaps != nil {
+		if err := s.snaps.Save(version, snap); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := failpoint.Inject(FPBeforeSwap); err != nil {
+		// Crash between durability and swap: the version is on disk and
+		// will be replayed on restart, but this process never served it.
+		return 0, 0, err
+	}
 	s.state.Store(&corpusState{snap: snap, version: version})
-	return version, snap.Len()
+	return version, snap.Len(), nil
 }
 
 // dispatch is the micro-batching loop: it blocks for the first queued
@@ -267,6 +407,7 @@ func (s *Server) dispatch() {
 		case <-s.stop:
 			return
 		case job := <-s.queue:
+			s.busy.Add(1)
 			batch := []*auditJob{job}
 		drain:
 			for len(batch) < s.cfg.MaxBatch {
@@ -278,6 +419,7 @@ func (s *Server) dispatch() {
 				}
 			}
 			s.runBatch(batch)
+			s.busy.Add(-1)
 		}
 	}
 }
@@ -363,6 +505,27 @@ func writeErr(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: ErrorDetail{Code: code, Message: msg}})
 }
 
+// retryAfterSeconds derives the shed backoff hint from live queue
+// pressure instead of a constant: an empty queue that shed only because
+// the dispatcher was mid-batch suggests retrying in a second, a full one
+// tells clients to back off harder. The ramp is deliberately coarse —
+// 1s floor plus one second per quarter of queue fullness — because the
+// hint's job is spreading retries, not forecasting latency.
+func (s *Server) retryAfterSeconds() int {
+	return 1 + 4*len(s.queue)/s.cfg.QueueDepth
+}
+
+// writeShed emits the 429 envelope with the live Retry-After hint in
+// both the conventional header and the machine-readable body, so clients
+// that only parse JSON still see the backoff.
+func (s *Server) writeShed(w http.ResponseWriter, code, msg string) {
+	s.m.rejected.Add(1)
+	secs := s.retryAfterSeconds()
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests,
+		ErrorResponse{Error: ErrorDetail{Code: code, Message: msg, RetryAfterSeconds: secs}})
+}
+
 func post(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
@@ -386,13 +549,16 @@ func (s *Server) admitBulk(w http.ResponseWriter, candidates int) (release func(
 	}
 	select {
 	case s.bulk <- struct{}{}:
+		if err := failpoint.Inject(FPBulkAdmit); err != nil {
+			<-s.bulk // an injected fault must not leak the bulkhead slot
+			writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+			return nil
+		}
 		return func() { <-s.bulk }
 	default:
 		// Bulkhead full: bulk work is strictly more expensive than a
 		// single audit, so it sheds exactly like the audit queue does.
-		s.m.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, "bulk_full", "too many in-flight bulk requests")
+		s.writeShed(w, "bulk_full", "too many in-flight bulk requests")
 		return nil
 	}
 }
@@ -434,13 +600,15 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	job := &auditJob{text: req.Code, k: req.TopK, entry: entry, done: make(chan auditResult, 1)}
+	if err := failpoint.Inject(FPEnqueue); err != nil {
+		writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
 	select {
 	case s.queue <- job:
 	default:
 		// Queue full: shed load now instead of stacking latency.
-		s.m.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, "queue_full", "audit queue full")
+		s.writeShed(w, "queue_full", "audit queue full")
 		return
 	}
 	select {
@@ -690,6 +858,10 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	if !post(w, r) {
 		return
 	}
+	if v := r.URL.Query().Get("version"); v != "" {
+		s.handleRollback(w, v)
+		return
+	}
 	var req CorpusRequest
 	if strings.Contains(r.Header.Get("Content-Type"), "ndjson") {
 		if !s.decodeNDJSON(w, r, &req) {
@@ -769,10 +941,88 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	version, indexed := s.PublishDocuments(names, texts)
+	version, indexed, err := s.PublishDocuments(names, texts)
+	if err != nil {
+		// The previous snapshot keeps serving; nothing half-published.
+		writeErr(w, http.StatusInternalServerError, "persist_failed", "publish not durable: "+err.Error())
+		return
+	}
 	resp.Version = int64(version)
 	resp.Indexed = indexed
+	resp.Persisted = s.snaps != nil
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRollback serves POST /v1/corpus?version=N: point-in-time rollback
+// by conditional republish. The retained version N is loaded from the
+// snapshot store, re-validated against its checksums, and published as a
+// NEW generation — history stays append-only, so a rollback is itself
+// visible, durable, and rollback-able.
+func (s *Server) handleRollback(w http.ResponseWriter, verStr string) {
+	if s.snaps == nil {
+		writeErr(w, http.StatusBadRequest, "no_store", "rollback requires a snapshot store (-data-dir)")
+		return
+	}
+	version, err := strconv.ParseUint(verStr, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_version", "version must be a decimal integer")
+		return
+	}
+	snap, err := s.snaps.Load(version)
+	if errors.Is(err, snapstore.ErrNotFound) {
+		writeErr(w, http.StatusNotFound, "version_not_found", "no retained snapshot for version "+verStr)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusConflict, "version_corrupt", "retained snapshot failed validation: "+err.Error())
+		return
+	}
+	s.m.corpusPosts.Add(1)
+	s.m.rate.tick(time.Now())
+	newVersion, indexed, err := s.publish(snap)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "persist_failed", "rollback not durable: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, CorpusResponse{
+		Version:        int64(newVersion),
+		Indexed:        indexed,
+		Index:          "rollback",
+		Persisted:      true,
+		RolledBackFrom: version,
+	})
+}
+
+// handleHealthz is liveness: the process is up and the mux is answering.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", UptimeSeconds: time.Since(s.start).Seconds()})
+}
+
+// handleReadyz is readiness: 200 only after boot-time snapshot replay
+// completed and before draining began — the window in which a load
+// balancer should route traffic here.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	switch {
+	case s.draining.Load():
+		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining for shutdown")
+	case !s.ready.Load():
+		writeErr(w, http.StatusServiceUnavailable, "not_ready", "snapshot replay in progress")
+	default:
+		st := s.current()
+		writeJSON(w, http.StatusOK, ReadyResponse{
+			Ready:         true,
+			CorpusVersion: st.version,
+			CorpusLen:     st.snap.Len(),
+		})
+	}
 }
 
 // decodeNDJSON reads a streaming newline-delimited corpus upload into req:

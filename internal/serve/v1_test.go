@@ -323,7 +323,7 @@ func TestConcurrentPublishNotBlockedBySlowBuild(t *testing.T) {
 	fastDone := make(chan struct{})
 	var fastVersion uint64
 	go func() {
-		fastVersion, _ = s.PublishDocuments([]string{"fast.v"}, []string{v1Clean})
+		fastVersion, _, _ = s.PublishDocuments([]string{"fast.v"}, []string{v1Clean})
 		close(fastDone)
 	}()
 	select {

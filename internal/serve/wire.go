@@ -122,6 +122,28 @@ type CorpusResponse struct {
 	Indexed int           `json:"indexed"`
 	Index   string        `json:"index"`
 	Funnel  *FunnelCounts `json:"funnel,omitempty"`
+	// Persisted reports that the published version was durably saved to
+	// the snapshot store before it started serving (absent when the
+	// server runs without persistence).
+	Persisted bool `json:"persisted,omitempty"`
+	// RolledBackFrom, on a /v1/corpus?version=N rollback, is the retained
+	// version whose contents the new generation republished.
+	RolledBackFrom uint64 `json:"rolled_back_from,omitempty"`
+}
+
+// HealthResponse is the GET /v1/healthz payload: process liveness.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_s"`
+}
+
+// ReadyResponse is the GET /v1/readyz 200 payload: snapshot replay has
+// completed and the server is not draining. Not-ready states answer 503
+// with the structured error envelope (codes "not_ready", "draining").
+type ReadyResponse struct {
+	Ready         bool   `json:"ready"`
+	CorpusVersion uint64 `json:"corpus_version"`
+	CorpusLen     int    `json:"corpus_len"`
 }
 
 // CacheStats mirrors the shared verdict cache counters.
@@ -164,6 +186,10 @@ type StatsResponse struct {
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfterSeconds accompanies 429 shed responses: the same live
+	// queue-pressure-derived backoff hint as the Retry-After header, for
+	// clients that only parse the JSON body.
+	RetryAfterSeconds int `json:"retry_after_s,omitempty"`
 }
 
 // ErrorResponse is the uniform structured envelope of every non-2xx reply,

@@ -1,0 +1,241 @@
+package similarity
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sort"
+)
+
+// Snapshot serialization: the sealed index structure — names, the unigram
+// and bigram dictionaries, and the postings lists with their precomputed
+// unit-normalized weights — flattened into four independent byte sections.
+// Serializing the index rather than the source texts is what makes restart
+// instant (no re-tokenization, no dictionary rebuild) and byte-identical
+// (float64 weights round-trip as raw bits, so a recovered snapshot scores
+// every query exactly like the one that was saved).
+//
+// The sections are deliberately free of file framing: internal/snapstore
+// owns the on-disk format (magic, format version, per-section lengths and
+// checksums, crash-safe rename), and this file owns only the structural
+// encoding. Encoding is deterministic — dictionaries are written in
+// postings-id order, not map order — so equal snapshots produce equal
+// bytes and tests can compare encodings directly.
+
+// SnapshotSections is the number of sections EncodeSections produces and
+// DecodeSnapshot consumes: names, unigram dictionary, bigram dictionary,
+// postings.
+const SnapshotSections = 4
+
+// ErrCorruptSnapshot reports a structurally invalid section payload —
+// truncated data, out-of-range ids, or trailing garbage.
+var ErrCorruptSnapshot = errors.New("similarity: corrupt snapshot encoding")
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// reader is a bounds-checked little-endian cursor; every read reports
+// truncation instead of panicking, so corrupted files fail cleanly.
+type reader struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (r *reader) u32() uint32 {
+	if r.off+4 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.off+8 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) bytes(n int) []byte {
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *reader) done() bool { return !r.err && r.off == len(r.b) }
+
+// EncodeSections serializes the snapshot into its four structural
+// sections. The result aliases nothing in the snapshot; it is safe to
+// write while concurrent queries run, because a sealed snapshot is
+// immutable.
+func (s *Snapshot) EncodeSections() [][]byte {
+	c := s.c
+
+	// Section 0: document names.
+	names := appendU32(nil, uint32(len(c.names)))
+	for _, n := range c.names {
+		names = appendU32(names, uint32(len(n)))
+		names = append(names, n...)
+	}
+
+	// Section 1: unigram dictionary, in postings-id order for determinism.
+	type termEntry struct {
+		term string
+		id   int32
+	}
+	terms := make([]termEntry, 0, len(c.termIDs))
+	for t, id := range c.termIDs {
+		terms = append(terms, termEntry{t, id})
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].id < terms[j].id })
+	uni := appendU32(nil, uint32(len(terms)))
+	for _, e := range terms {
+		uni = appendU32(uni, uint32(e.id))
+		uni = appendU32(uni, uint32(len(e.term)))
+		uni = append(uni, e.term...)
+	}
+
+	// Section 2: bigram dictionary (unigram-id pair -> postings id), in
+	// postings-id order.
+	type pairEntry struct {
+		key uint64
+		id  int32
+	}
+	pairs := make([]pairEntry, 0, len(c.pairIDs))
+	for k, id := range c.pairIDs {
+		pairs = append(pairs, pairEntry{k, id})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].id < pairs[j].id })
+	bi := appendU32(nil, uint32(len(pairs)))
+	for _, e := range pairs {
+		bi = appendU64(bi, e.key)
+		bi = appendU32(bi, uint32(e.id))
+	}
+
+	// Section 3: postings lists — parallel doc/weight arrays, weights as
+	// raw IEEE-754 bits so scoring after a reload is bit-identical.
+	post := appendU32(nil, uint32(len(c.postings)))
+	for i := range c.postings {
+		pl := &c.postings[i]
+		post = appendU32(post, uint32(len(pl.docs)))
+		for _, d := range pl.docs {
+			post = appendU32(post, uint32(d))
+		}
+		for _, w := range pl.ws {
+			post = appendU64(post, math.Float64bits(w))
+		}
+	}
+
+	return [][]byte{names, uni, bi, post}
+}
+
+// DecodeSnapshot reconstructs a sealed snapshot from EncodeSections
+// output. Every structural invariant is re-validated — section count,
+// lengths, id ranges, postings/dictionary agreement — so a section that
+// passed its checksum but was encoded by a buggy or hostile writer still
+// fails with ErrCorruptSnapshot instead of producing an index that
+// panics at query time.
+func DecodeSnapshot(sections [][]byte) (*Snapshot, error) {
+	if len(sections) != SnapshotSections {
+		return nil, ErrCorruptSnapshot
+	}
+	c := &Corpus{termIDs: map[string]int32{}, pairIDs: map[uint64]int32{}, sealed: true}
+
+	// Names.
+	r := &reader{b: sections[0]}
+	nNames := int(r.u32())
+	if r.err || nNames < 0 || nNames > len(sections[0]) {
+		return nil, ErrCorruptSnapshot
+	}
+	c.names = make([]string, 0, nNames)
+	for i := 0; i < nNames; i++ {
+		c.names = append(c.names, string(r.bytes(int(r.u32()))))
+	}
+	if !r.done() {
+		return nil, ErrCorruptSnapshot
+	}
+
+	// Postings first: the dictionaries validate their ids against its size.
+	r = &reader{b: sections[3]}
+	nPost := int(r.u32())
+	if r.err || nPost < 0 || nPost > len(sections[3]) {
+		return nil, ErrCorruptSnapshot
+	}
+	c.postings = make([]postingList, nPost)
+	for i := 0; i < nPost; i++ {
+		n := int(r.u32())
+		if r.err || n < 0 || n > len(sections[3]) {
+			return nil, ErrCorruptSnapshot
+		}
+		pl := &c.postings[i]
+		pl.docs = make([]int32, n)
+		pl.ws = make([]float64, n)
+		for j := 0; j < n; j++ {
+			d := int32(r.u32())
+			if int(d) < 0 || int(d) >= len(c.names) {
+				return nil, ErrCorruptSnapshot
+			}
+			pl.docs[j] = d
+		}
+		for j := 0; j < n; j++ {
+			pl.ws[j] = math.Float64frombits(r.u64())
+		}
+	}
+	if !r.done() {
+		return nil, ErrCorruptSnapshot
+	}
+
+	// Unigram dictionary.
+	r = &reader{b: sections[1]}
+	nTerms := int(r.u32())
+	if r.err || nTerms < 0 || nTerms > len(sections[1]) {
+		return nil, ErrCorruptSnapshot
+	}
+	for i := 0; i < nTerms; i++ {
+		id := int32(r.u32())
+		term := string(r.bytes(int(r.u32())))
+		if r.err || int(id) < 0 || int(id) >= nPost {
+			return nil, ErrCorruptSnapshot
+		}
+		if _, dup := c.termIDs[term]; dup {
+			return nil, ErrCorruptSnapshot
+		}
+		c.termIDs[term] = id
+	}
+	if !r.done() {
+		return nil, ErrCorruptSnapshot
+	}
+
+	// Bigram dictionary.
+	r = &reader{b: sections[2]}
+	nPairs := int(r.u32())
+	if r.err || nPairs < 0 || nPairs > len(sections[2]) {
+		return nil, ErrCorruptSnapshot
+	}
+	for i := 0; i < nPairs; i++ {
+		key := r.u64()
+		id := int32(r.u32())
+		if r.err || int(id) < 0 || int(id) >= nPost {
+			return nil, ErrCorruptSnapshot
+		}
+		if _, dup := c.pairIDs[key]; dup {
+			return nil, ErrCorruptSnapshot
+		}
+		c.pairIDs[key] = id
+	}
+	if !r.done() {
+		return nil, ErrCorruptSnapshot
+	}
+
+	return &Snapshot{c: c}, nil
+}

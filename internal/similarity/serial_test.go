@@ -1,0 +1,131 @@
+package similarity
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randomDoc(rng *rand.Rand, idx int) string {
+	var sb bytes.Buffer
+	fmt.Fprintf(&sb, "module m%d(input clk, output reg [7:0] q);\n", idx)
+	for j := 0; j < 4+rng.Intn(12); j++ {
+		fmt.Fprintf(&sb, "  wire [7:0] w%d_%d = q ^ 8'h%02X; // π\n", idx, j, rng.Intn(256))
+	}
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// A decoded snapshot must answer every query bit-identically to the one
+// that was encoded — Best, TopK, and BestBatch alike.
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 40
+	names := make([]string, n)
+	texts := make([]string, n)
+	for i := range texts {
+		names[i] = fmt.Sprintf("doc%d.v", i)
+		texts[i] = randomDoc(rng, i)
+	}
+	texts[5] = "" // empty document: no postings
+	orig := SealCorpus(names, texts, 0)
+
+	back, err := DecodeSnapshot(orig.EncodeSections())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("Len %d != %d", back.Len(), orig.Len())
+	}
+	queries := make([]string, 0, 30)
+	for i := 0; i < 20; i++ {
+		queries = append(queries, randomDoc(rng, 1000+i))
+	}
+	queries = append(queries, texts[0], texts[7], "", "garbage þ tokens")
+	for qi, q := range queries {
+		if got, want := back.Best(q), orig.Best(q); got != want {
+			t.Fatalf("query %d: Best %+v != %+v", qi, got, want)
+		}
+		g, w := back.TopK(q, 5), orig.TopK(q, 5)
+		if len(g) != len(w) {
+			t.Fatalf("query %d: TopK len %d != %d", qi, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("query %d: TopK[%d] %+v != %+v", qi, i, g[i], w[i])
+			}
+		}
+	}
+	gb, wb := back.BestBatch(0, queries), orig.BestBatch(0, queries)
+	for i := range gb {
+		if gb[i] != wb[i] {
+			t.Fatalf("BestBatch[%d] %+v != %+v", i, gb[i], wb[i])
+		}
+	}
+}
+
+// Encoding is deterministic: the same snapshot encodes to the same bytes,
+// and a decode/re-encode cycle is byte-identical.
+func TestSnapshotEncodeDeterministic(t *testing.T) {
+	names := []string{"a.v", "b.v"}
+	texts := []string{
+		"module a(input x, output y); assign y = ~x; endmodule",
+		"module b(input x, output y); assign y = x; endmodule",
+	}
+	s1 := SealCorpus(names, texts, 0)
+	e1 := s1.EncodeSections()
+	e2 := s1.EncodeSections()
+	for i := range e1 {
+		if !bytes.Equal(e1[i], e2[i]) {
+			t.Fatalf("section %d differs between encodes", i)
+		}
+	}
+	back, err := DecodeSnapshot(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3 := back.EncodeSections()
+	for i := range e1 {
+		if !bytes.Equal(e1[i], e3[i]) {
+			t.Fatalf("section %d differs after decode/re-encode", i)
+		}
+	}
+}
+
+// Structurally broken sections must fail with ErrCorruptSnapshot, never
+// panic and never build a half-valid index.
+func TestDecodeSnapshotCorrupt(t *testing.T) {
+	s := SealCorpus(
+		[]string{"a.v", "b.v"},
+		[]string{
+			"module a(input x, output y); assign y = ~x; endmodule",
+			"module b(input x, output y); assign y = x & x; endmodule",
+		}, 0)
+	good := s.EncodeSections()
+
+	mutate := func(f func(secs [][]byte)) [][]byte {
+		cp := make([][]byte, len(good))
+		for i := range good {
+			cp[i] = append([]byte(nil), good[i]...)
+		}
+		f(cp)
+		return cp
+	}
+	cases := map[string][][]byte{
+		"wrong section count": good[:3],
+		"truncated names":     mutate(func(s [][]byte) { s[0] = s[0][:len(s[0])-1] }),
+		"truncated terms":     mutate(func(s [][]byte) { s[1] = s[1][:len(s[1])/2] }),
+		"truncated pairs":     mutate(func(s [][]byte) { s[2] = s[2][:len(s[2])-3] }),
+		"truncated postings":  mutate(func(s [][]byte) { s[3] = s[3][:len(s[3])-5] }),
+		"trailing garbage":    mutate(func(s [][]byte) { s[0] = append(s[0], 0xFF) }),
+		"huge name count":     mutate(func(s [][]byte) { s[0][0], s[0][1], s[0][2], s[0][3] = 0xFF, 0xFF, 0xFF, 0x7F }),
+		"doc out of range":    mutate(func(s [][]byte) { s[3][8] = 0xEE }),
+	}
+	for name, secs := range cases {
+		if _, err := DecodeSnapshot(secs); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Errorf("%s: err = %v, want ErrCorruptSnapshot", name, err)
+		}
+	}
+}

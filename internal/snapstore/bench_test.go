@@ -1,0 +1,46 @@
+package snapstore
+
+import (
+	"testing"
+)
+
+// benchSnapshotDocs sizes the benchmark corpus: big enough that encode/
+// decode dominates fixed costs, small enough for CI smoke runs.
+const benchSnapshotDocs = 200
+
+func BenchmarkSnapshotSave(b *testing.B) {
+	st, err := Open(b.TempDir(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, _ := testSnapshot(b, 11, benchSnapshotDocs)
+	size := len(encodeFile(1, snap))
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Save(uint64(i+1), snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotLoad(b *testing.B) {
+	st, err := Open(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, _ := testSnapshot(b, 11, benchSnapshotDocs)
+	if err := st.Save(1, snap); err != nil {
+		b.Fatal(err)
+	}
+	size := len(encodeFile(1, snap))
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Load(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

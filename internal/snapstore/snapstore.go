@@ -1,0 +1,378 @@
+// Package snapstore persists similarity snapshots crash-safely. It is the
+// durability layer under the audit service: every corpus publish is saved
+// here before it starts serving, and on boot the service replays the last
+// good version for an instant warm restart instead of an empty index.
+//
+// On-disk layout (one directory per store):
+//
+//	snap-<version, 16 hex>.fhs   one immutable snapshot per published version
+//	MANIFEST                     pointer to the current version
+//
+// A snapshot file is a format-versioned, length-prefixed, per-section
+// checksummed container around similarity's structural encoding:
+//
+//	magic "FHSS" | format byte | u64 corpus version | u32 section count
+//	per section: u32 length | u32 CRC32-C
+//	u32 CRC32-C over the header above
+//	section payloads, concatenated
+//
+// Every write is crash-safe: full contents to a temp file in the same
+// directory, fsync, atomic rename over the final name, fsync the
+// directory. The manifest is written the same way after the snapshot file
+// is durable, so at every instant the manifest names a fully-written
+// file. Readers trust nothing: a truncated, torn, or bit-flipped file
+// fails its checksums and LoadLatest falls back to the newest older
+// version that verifies — a crashed writer can lose its in-flight publish
+// but can never corrupt what was already served.
+//
+// The write path is instrumented with failpoints (see internal/failpoint)
+// at each crash-relevant boundary; the recovery test suite crashes a
+// publish at every one of them and proves the store recovers.
+package snapstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"freehw/internal/failpoint"
+	"freehw/internal/similarity"
+)
+
+// Failpoint names of the write path, in execution order. The recovery
+// suite iterates failpoint.List() and crashes at each; anything added
+// here is automatically covered.
+var (
+	FPBeforeTempWrite   = failpoint.Register("snapstore/before-temp-write")
+	FPAfterTempWrite    = failpoint.Register("snapstore/after-temp-write")
+	FPAfterTempSync     = failpoint.Register("snapstore/after-temp-sync")
+	FPAfterSnapRename   = failpoint.Register("snapstore/after-snap-rename")
+	FPAfterManifestTemp = failpoint.Register("snapstore/after-manifest-temp")
+	FPAfterManifestSync = failpoint.Register("snapstore/after-manifest-sync")
+	FPAfterSave         = failpoint.Register("snapstore/after-save")
+)
+
+const (
+	snapMagic     = "FHSS"
+	manifestMagic = "FHSM"
+	formatVersion = 1
+	manifestName  = "MANIFEST"
+	snapPrefix    = "snap-"
+	snapSuffix    = ".fhs"
+	tmpSuffix     = ".tmp"
+)
+
+// ErrCorrupt reports a snapshot or manifest file that failed validation:
+// bad magic, unknown format version, checksum mismatch, or truncation.
+var ErrCorrupt = errors.New("snapstore: corrupt file")
+
+// ErrNotFound reports a requested version with no file on disk.
+var ErrNotFound = errors.New("snapstore: version not found")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Store is a directory of versioned snapshot files plus a manifest.
+// Save calls must be serialized by the caller (the serving layer already
+// serializes publishes); loads are safe at any time.
+type Store struct {
+	dir    string
+	retain int
+}
+
+// Open creates or reopens a store directory. retain bounds how many
+// snapshot versions Save keeps on disk (<= 0 keeps every version).
+// Leftover temp files from a crashed writer are removed — they were never
+// part of the durable state.
+func Open(dir string, retain int) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), tmpSuffix) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return &Store{dir: dir, retain: retain}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Path returns the on-disk path of one version's snapshot file — for
+// operators and tests inspecting durable state; the file may not exist.
+func (st *Store) Path(version uint64) string { return st.snapPath(version) }
+
+func (st *Store) snapPath(version uint64) string {
+	return filepath.Join(st.dir, fmt.Sprintf("%s%016x%s", snapPrefix, version, snapSuffix))
+}
+
+// encodeFile builds the complete checksummed snapshot file image.
+func encodeFile(version uint64, snap *similarity.Snapshot) []byte {
+	sections := snap.EncodeSections()
+	header := make([]byte, 0, 4+1+8+4+len(sections)*8+4)
+	header = append(header, snapMagic...)
+	header = append(header, formatVersion)
+	header = binary.LittleEndian.AppendUint64(header, version)
+	header = binary.LittleEndian.AppendUint32(header, uint32(len(sections)))
+	total := 0
+	for _, sec := range sections {
+		header = binary.LittleEndian.AppendUint32(header, uint32(len(sec)))
+		header = binary.LittleEndian.AppendUint32(header, crc32.Checksum(sec, castagnoli))
+		total += len(sec)
+	}
+	header = binary.LittleEndian.AppendUint32(header, crc32.Checksum(header, castagnoli))
+	out := make([]byte, 0, len(header)+total)
+	out = append(out, header...)
+	for _, sec := range sections {
+		out = append(out, sec...)
+	}
+	return out
+}
+
+// decodeFile validates every checksum and reconstructs the snapshot.
+func decodeFile(data []byte) (*similarity.Snapshot, uint64, error) {
+	fixed := 4 + 1 + 8 + 4
+	if len(data) < fixed+4 || string(data[:4]) != snapMagic {
+		return nil, 0, ErrCorrupt
+	}
+	if data[4] != formatVersion {
+		return nil, 0, fmt.Errorf("%w: unknown format version %d", ErrCorrupt, data[4])
+	}
+	version := binary.LittleEndian.Uint64(data[5:])
+	nsec := int(binary.LittleEndian.Uint32(data[13:]))
+	if nsec < 0 || nsec > 1024 {
+		return nil, 0, ErrCorrupt
+	}
+	headerLen := fixed + nsec*8
+	if len(data) < headerLen+4 {
+		return nil, 0, ErrCorrupt
+	}
+	wantHdrCRC := binary.LittleEndian.Uint32(data[headerLen:])
+	if crc32.Checksum(data[:headerLen], castagnoli) != wantHdrCRC {
+		return nil, 0, fmt.Errorf("%w: header checksum mismatch", ErrCorrupt)
+	}
+	sections := make([][]byte, nsec)
+	off := headerLen + 4
+	for i := 0; i < nsec; i++ {
+		secLen := int(binary.LittleEndian.Uint32(data[fixed+i*8:]))
+		secCRC := binary.LittleEndian.Uint32(data[fixed+i*8+4:])
+		if secLen < 0 || off+secLen > len(data) {
+			return nil, 0, fmt.Errorf("%w: section %d truncated", ErrCorrupt, i)
+		}
+		sec := data[off : off+secLen]
+		if crc32.Checksum(sec, castagnoli) != secCRC {
+			return nil, 0, fmt.Errorf("%w: section %d checksum mismatch", ErrCorrupt, i)
+		}
+		sections[i] = sec
+		off += secLen
+	}
+	if off != len(data) {
+		return nil, 0, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-off)
+	}
+	snap, err := similarity.DecodeSnapshot(sections)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return snap, version, nil
+}
+
+// writeDurable writes data crash-safely to path: temp file in the same
+// directory, fsync, atomic rename, directory fsync. The failpoints fire
+// at each boundary a real crash could land on.
+func (st *Store) writeDurable(path string, data []byte, fpAfterWrite, fpAfterSync string) error {
+	tmp := path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := failpoint.Inject(fpAfterWrite); err != nil {
+		f.Close()
+		return err // crash: temp written, never synced or renamed
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(fpAfterSync); err != nil {
+		return err // crash: temp durable, final name still absent or stale
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return st.syncDir()
+}
+
+// syncDir fsyncs the store directory so a rename survives power loss.
+func (st *Store) syncDir() error {
+	d, err := os.Open(st.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Save durably persists one snapshot version and points the manifest at
+// it. On return without error the version survives any crash; on error
+// the previous durable state is untouched — with one documented
+// exception: a crash after the snapshot file is durable but before the
+// manifest rename leaves the new version on disk unreferenced, and
+// LoadLatest will prefer it (at-least-once publish semantics, exercised
+// by the recovery suite).
+func (st *Store) Save(version uint64, snap *similarity.Snapshot) error {
+	if err := failpoint.Inject(FPBeforeTempWrite); err != nil {
+		return err
+	}
+	path := st.snapPath(version)
+	if err := st.writeDurable(path, encodeFile(version, snap), FPAfterTempWrite, FPAfterTempSync); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(FPAfterSnapRename); err != nil {
+		return err // crash: snapshot durable, manifest still names the old version
+	}
+	manifest := make([]byte, 0, 4+1+8+4)
+	manifest = append(manifest, manifestMagic...)
+	manifest = append(manifest, formatVersion)
+	manifest = binary.LittleEndian.AppendUint64(manifest, version)
+	manifest = binary.LittleEndian.AppendUint32(manifest, crc32.Checksum(manifest, castagnoli))
+	if err := st.writeDurable(filepath.Join(st.dir, manifestName), manifest, FPAfterManifestTemp, FPAfterManifestSync); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(FPAfterSave); err != nil {
+		return err // crash: fully durable, retention sweep skipped
+	}
+	st.sweep(version)
+	return nil
+}
+
+// sweep removes snapshot files beyond the retention bound, never touching
+// current or the retain-1 newest versions below it. Best-effort: a failed
+// unlink costs disk, not correctness.
+func (st *Store) sweep(current uint64) {
+	if st.retain <= 0 {
+		return
+	}
+	versions, err := st.Versions()
+	if err != nil {
+		return
+	}
+	kept := 0
+	for i := len(versions) - 1; i >= 0; i-- {
+		if versions[i] > current {
+			continue // a concurrent newer writer's file is not ours to count
+		}
+		kept++
+		if kept > st.retain {
+			os.Remove(st.snapPath(versions[i]))
+		}
+	}
+}
+
+// manifestVersion reads the manifest pointer. ErrCorrupt or a read error
+// means the pointer is unusable; callers fall back to scanning.
+func (st *Store) manifestVersion() (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(st.dir, manifestName))
+	if err != nil {
+		return 0, err
+	}
+	if len(data) != 17 || string(data[:4]) != manifestMagic || data[4] != formatVersion {
+		return 0, ErrCorrupt
+	}
+	if crc32.Checksum(data[:13], castagnoli) != binary.LittleEndian.Uint32(data[13:]) {
+		return 0, fmt.Errorf("%w: manifest checksum mismatch", ErrCorrupt)
+	}
+	return binary.LittleEndian.Uint64(data[5:]), nil
+}
+
+// Versions lists the snapshot versions present on disk (by filename),
+// ascending. Presence does not imply validity — Load still checksums.
+func (st *Store) Versions() ([]uint64, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+		v, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil || len(hex) != 16 {
+			continue
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Load reads and fully validates one version.
+func (st *Store) Load(version uint64) (*similarity.Snapshot, error) {
+	data, err := os.ReadFile(st.snapPath(version))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	snap, fileVersion, err := decodeFile(data)
+	if err != nil {
+		return nil, err
+	}
+	if fileVersion != version {
+		return nil, fmt.Errorf("%w: file claims version %d, name says %d", ErrCorrupt, fileVersion, version)
+	}
+	return snap, nil
+}
+
+// LoadLatest returns the newest snapshot that validates, preferring the
+// manifest pointer but trusting only checksums: versions that fail
+// validation are skipped (and reported) in favor of the next older good
+// one. A store with no usable snapshot returns (nil, 0, skipped, nil) —
+// an empty boot, not an error.
+func (st *Store) LoadLatest() (snap *similarity.Snapshot, version uint64, skipped []uint64, err error) {
+	versions, err := st.Versions()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	// The manifest names the version the last successful Save completed;
+	// anything newer on disk is a publish whose Save never returned — it
+	// is durable and fully checksummed, so it wins if it validates
+	// (at-least-once publish). Order candidates newest-first.
+	tried := map[uint64]bool{}
+	var candidates []uint64
+	for i := len(versions) - 1; i >= 0; i-- {
+		candidates = append(candidates, versions[i])
+		tried[versions[i]] = true
+	}
+	if mv, merr := st.manifestVersion(); merr == nil && !tried[mv] {
+		candidates = append(candidates, mv)
+	}
+	for _, v := range candidates {
+		s, lerr := st.Load(v)
+		if lerr == nil {
+			return s, v, skipped, nil
+		}
+		skipped = append(skipped, v)
+	}
+	return nil, 0, skipped, nil
+}

@@ -1,0 +1,340 @@
+package snapstore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"freehw/internal/failpoint"
+	"freehw/internal/similarity"
+)
+
+func testSnapshot(t testing.TB, seed int64, n int) (*similarity.Snapshot, []string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, n)
+	texts := make([]string, n)
+	for i := range texts {
+		names[i] = fmt.Sprintf("doc%d.v", i)
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "module m%d(input clk, output reg [7:0] q);\n", i)
+		for j := 0; j < 4+rng.Intn(8); j++ {
+			fmt.Fprintf(&sb, "  wire [7:0] w%d = q ^ 8'h%02X;\n", j, rng.Intn(256))
+		}
+		sb.WriteString("endmodule\n")
+		texts[i] = sb.String()
+	}
+	return similarity.SealCorpus(names, texts, 0), texts
+}
+
+// sameVerdicts asserts two snapshots answer a query set bit-identically.
+func sameVerdicts(t *testing.T, got, want *similarity.Snapshot, queries []string) {
+	t.Helper()
+	g := got.BestBatch(0, queries)
+	w := want.BestBatch(0, queries)
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("query %d: %+v != %+v", i, g[i], w[i])
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, texts := testSnapshot(t, 1, 30)
+	if err := st.Save(7, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.Load(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameVerdicts(t, back, snap, append(texts[:5:5], "module q(); endmodule"))
+
+	latest, v, skipped, err := st.LoadLatest()
+	if err != nil || v != 7 || len(skipped) != 0 {
+		t.Fatalf("LoadLatest = v%d skipped %v err %v", v, skipped, err)
+	}
+	sameVerdicts(t, latest, snap, texts[:5])
+
+	if _, err := st.Load(99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing version err = %v", err)
+	}
+}
+
+func TestLoadLatestEmptyStore(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, v, skipped, err := st.LoadLatest()
+	if snap != nil || v != 0 || skipped != nil || err != nil {
+		t.Fatalf("empty store LoadLatest = %v v%d %v %v", snap, v, skipped, err)
+	}
+}
+
+// Corruption table: every kind of file damage — truncation at each region
+// boundary, bit flips in header and payload, bad magic — must be detected
+// by checksum and skipped in favor of the previous good version.
+func TestCorruptionFallsBackToPreviousVersion(t *testing.T) {
+	snapA, texts := testSnapshot(t, 2, 20)
+	snapB, _ := testSnapshot(t, 3, 25)
+
+	goodB := encodeFile(2, snapB)
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"empty file", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"unknown format version", func(b []byte) []byte { b[4] = 99; return b }},
+		{"truncated header", func(b []byte) []byte { return b[:10] }},
+		{"truncated half", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncated one byte", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"header bit flip", func(b []byte) []byte { b[9] ^= 0x40; return b }},
+		{"section table bit flip", func(b []byte) []byte { b[20] ^= 0x01; return b }},
+		{"payload bit flip early", func(b []byte) []byte { b[60] ^= 0x80; return b }},
+		{"payload bit flip late", func(b []byte) []byte { b[len(b)-2] ^= 0x04; return b }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xAA) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := Open(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Save(1, snapA); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Save(2, snapB); err != nil {
+				t.Fatal(err)
+			}
+			// Damage version 2 in place, as a torn disk write would.
+			mangled := tc.mangle(append([]byte(nil), goodB...))
+			if err := os.WriteFile(st.snapPath(2), mangled, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Load(2); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Load(corrupt) err = %v, want ErrCorrupt", err)
+			}
+			snap, v, skipped, err := st.LoadLatest()
+			if err != nil || v != 1 {
+				t.Fatalf("LoadLatest = v%d err %v, want fallback to v1", v, err)
+			}
+			if len(skipped) != 1 || skipped[0] != 2 {
+				t.Fatalf("skipped = %v, want [2]", skipped)
+			}
+			sameVerdicts(t, snap, snapA, texts[:8])
+		})
+	}
+}
+
+// Exhaustive truncation: a snapshot file cut at EVERY possible length
+// either loads as the intact file would or fails with ErrCorrupt — no
+// panic, no silently wrong index.
+func TestTruncationEveryOffset(t *testing.T) {
+	snap, _ := testSnapshot(t, 4, 6)
+	full := encodeFile(1, snap)
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := decodeFile(full[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d/%d: err = %v, want ErrCorrupt", cut, len(full), err)
+		}
+	}
+	if _, _, err := decodeFile(full); err != nil {
+		t.Fatalf("intact file: %v", err)
+	}
+}
+
+// A corrupt manifest must not take the store down: LoadLatest falls back
+// to scanning for the newest valid snapshot file.
+func TestCorruptManifestScansFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, texts := testSnapshot(t, 5, 15)
+	if err := st.Save(3, snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, manifest := range [][]byte{nil, []byte("garbage"), {0, 1, 2}} {
+		if manifest == nil {
+			os.Remove(filepath.Join(dir, manifestName))
+		} else if err := os.WriteFile(filepath.Join(dir, manifestName), manifest, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, v, _, err := st.LoadLatest()
+		if err != nil || v != 3 {
+			t.Fatalf("manifest %q: LoadLatest = v%d err %v", manifest, v, err)
+		}
+		sameVerdicts(t, got, snap, texts[:5])
+	}
+}
+
+func TestRetentionSweep(t *testing.T) {
+	st, err := Open(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := testSnapshot(t, 6, 5)
+	for v := uint64(1); v <= 5; v++ {
+		if err := st.Save(v, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	versions, err := st.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 2 || versions[0] != 4 || versions[1] != 5 {
+		t.Fatalf("retained versions = %v, want [4 5]", versions)
+	}
+	if _, v, _, err := st.LoadLatest(); err != nil || v != 5 {
+		t.Fatalf("LoadLatest after sweep = v%d err %v", v, err)
+	}
+}
+
+// Kill-and-recover at every registered snapstore failpoint: a publish
+// that crashes at any boundary must leave a store that either serves the
+// previous version (crash before the snapshot file landed) or the new
+// one (crash after it was durable) — and reopening always succeeds with
+// byte-identical verdicts for whichever version survived.
+func TestKillAndRecoverEveryFailpoint(t *testing.T) {
+	snapA, texts := testSnapshot(t, 7, 20)
+	snapB, textsB := testSnapshot(t, 8, 22)
+	queries := append(append([]string(nil), texts[:5]...), textsB[:5]...)
+
+	var points []string
+	for _, p := range failpoint.List() {
+		if strings.HasPrefix(p, "snapstore/") {
+			points = append(points, p)
+		}
+	}
+	if len(points) < 5 {
+		t.Fatalf("expected the snapstore write path to register its failpoints, got %v", points)
+	}
+
+	for _, fp := range points {
+		t.Run(fp, func(t *testing.T) {
+			defer failpoint.DisableAll()
+			dir := t.TempDir()
+			st, err := Open(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Save(1, snapA); err != nil {
+				t.Fatal(err)
+			}
+
+			// Crash the version-2 publish at this failpoint.
+			failpoint.EnableError(fp)
+			if err := st.Save(2, snapB); !errors.Is(err, failpoint.ErrInjected) {
+				t.Fatalf("injected Save err = %v", err)
+			}
+			failpoint.DisableAll()
+
+			// "Restart": reopen the directory cold and replay.
+			st2, err := Open(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, v, skipped, err := st2.LoadLatest()
+			if err != nil || got == nil {
+				t.Fatalf("recovery LoadLatest: v%d skipped %v err %v", v, skipped, err)
+			}
+			switch v {
+			case 1:
+				sameVerdicts(t, got, snapA, queries)
+			case 2:
+				// Crash after the snapshot file became durable: the new
+				// version legitimately survives (at-least-once publish).
+				sameVerdicts(t, got, snapB, queries)
+			default:
+				t.Fatalf("recovered impossible version %d", v)
+			}
+			if len(skipped) != 0 {
+				t.Fatalf("recovery skipped %v — crash left a file that half-validates", skipped)
+			}
+
+			// The recovered store accepts the retried publish.
+			if err := st2.Save(v+1, snapB); err != nil {
+				t.Fatal(err)
+			}
+			if _, v2, _, err := st2.LoadLatest(); err != nil || v2 != v+1 {
+				t.Fatalf("post-recovery publish: v%d err %v", v2, err)
+			}
+		})
+	}
+}
+
+// A hard panic at a failpoint (closest in-process stand-in for SIGKILL)
+// must also leave a recoverable store.
+func TestPanicCrashRecovers(t *testing.T) {
+	defer failpoint.DisableAll()
+	dir := t.TempDir()
+	st, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapA, texts := testSnapshot(t, 9, 10)
+	snapB, _ := testSnapshot(t, 10, 12)
+	if err := st.Save(1, snapA); err != nil {
+		t.Fatal(err)
+	}
+	failpoint.EnablePanic(FPAfterTempWrite)
+	func() {
+		defer func() {
+			if _, ok := recover().(failpoint.PanicValue); !ok {
+				t.Fatal("expected injected panic")
+			}
+		}()
+		st.Save(2, snapB)
+	}()
+	failpoint.DisableAll()
+
+	st2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, v, _, err := st2.LoadLatest()
+	if err != nil || v != 1 {
+		t.Fatalf("recovered v%d err %v", v, err)
+	}
+	sameVerdicts(t, got, snapA, texts[:5])
+	// Open cleared the orphaned temp file.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), tmpSuffix) {
+			t.Fatalf("stale temp file survived reopen: %s", e.Name())
+		}
+	}
+}
+
+// TestEnvArmedFailpoint proves a real binary can arm failpoints without
+// recompiling: CI runs this test with FREEHW_FAILPOINTS=snapstore/
+// after-temp-write and a durable save must fail visibly. Skipped unless
+// the environment arms that point.
+func TestEnvArmedFailpoint(t *testing.T) {
+	if !strings.Contains(os.Getenv("FREEHW_FAILPOINTS"), FPAfterTempWrite) {
+		t.Skipf("FREEHW_FAILPOINTS does not arm %s", FPAfterTempWrite)
+	}
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := testSnapshot(t, 12, 5)
+	if err := st.Save(1, snap); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("env-armed Save err = %v, want ErrInjected", err)
+	}
+	if _, v, _, err := st.LoadLatest(); err != nil || v != 0 {
+		t.Fatalf("store after env-armed crash: v%d err %v", v, err)
+	}
+}
