@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: freehw/internal/serve
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkServeAuditCold-1   	   43650	     27504 ns/op	     36357 audits/s	    7474 B/op	      32 allocs/op
+BenchmarkServeAuditLargeCorpus/docs=16000-1         	     200	    158408 ns/op	      6313 audits/s	         0.9994 skip-frac	    9321 B/op	      32 allocs/op
+PASS
+ok  	freehw/internal/serve	18.658s
+pkg: freehw/internal/snapstore
+BenchmarkSnapshotSave-4   	     100	   1234567 ns/op
+some unrelated log line
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("context = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	cold := rep.Benchmarks[0]
+	if cold.Name != "BenchmarkServeAuditCold" || cold.Procs != 1 || cold.Iterations != 43650 {
+		t.Fatalf("cold = %+v", cold)
+	}
+	if cold.Pkg != "freehw/internal/serve" {
+		t.Fatalf("cold pkg = %q", cold.Pkg)
+	}
+	if cold.Metrics["ns/op"] != 27504 || cold.Metrics["audits/s"] != 36357 ||
+		cold.Metrics["B/op"] != 7474 || cold.Metrics["allocs/op"] != 32 {
+		t.Fatalf("cold metrics = %+v", cold.Metrics)
+	}
+	large := rep.Benchmarks[1]
+	if large.Name != "BenchmarkServeAuditLargeCorpus/docs=16000" {
+		t.Fatalf("large name = %q", large.Name)
+	}
+	if large.Metrics["skip-frac"] != 0.9994 {
+		t.Fatalf("large metrics = %+v", large.Metrics)
+	}
+	save := rep.Benchmarks[2]
+	if save.Name != "BenchmarkSnapshotSave" || save.Procs != 4 || save.Pkg != "freehw/internal/snapstore" {
+		t.Fatalf("save = %+v", save)
+	}
+	if len(save.Metrics) != 1 || save.Metrics["ns/op"] != 1234567 {
+		t.Fatalf("save metrics = %+v", save.Metrics)
+	}
+}
+
+func TestParseEmptyAndGarbage(t *testing.T) {
+	rep, err := parse(strings.NewReader("no benchmarks here\nBenchmarkBroken-1 notanumber 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("garbage parsed as benchmarks: %+v", rep.Benchmarks)
+	}
+}

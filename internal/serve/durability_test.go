@@ -549,3 +549,104 @@ func TestBulkFaultReleasesBulkhead(t *testing.T) {
 		t.Fatalf("bulk after injected fault = %d — bulkhead slot leaked", got)
 	}
 }
+
+// The retention sweep runs inside Save, which a concurrent publish can
+// trigger at any moment — including between a rollback request admitting
+// a target version and loading it. The failpoint makes that interleaving
+// deterministic: two publishes land in the gap and sweep the target. The
+// fixed handler answers with a precise 409 ("swept by retention", naming
+// the surviving range), never the old spurious 404, and never a
+// republish of contents it could no longer validate; a version that was
+// never published stays a plain 404.
+func TestRollbackRetentionSweepRace(t *testing.T) {
+	dir := t.TempDir()
+	st, err := snapstore.Open(dir, 2) // retain only the 2 newest versions
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Store = st
+	s := NewServer(cfg)
+	defer s.Close()
+
+	names1, texts1 := docSet(21, 8)
+	names2, texts2 := docSet(22, 9)
+	names3, texts3 := docSet(23, 7)
+	offline3 := similarity.NewCorpus(names3, texts3)
+	if _, _, err := s.PublishDocuments(names1, texts1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.PublishDocuments(names2, texts2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm the race: while the rollback-to-1 request sits between parsing
+	// its target and taking the publish lock, two publishes complete,
+	// advancing to version 4 and sweeping versions 1 and 2.
+	fired := false
+	failpoint.Enable(FPRollbackLoad, func(string) error {
+		if fired {
+			return nil
+		}
+		fired = true
+		if _, _, err := s.PublishDocuments(names3, texts3); err != nil {
+			t.Error(err)
+		}
+		if _, _, err := s.PublishDocuments(names3, texts3); err != nil {
+			t.Error(err)
+		}
+		return nil
+	})
+	defer failpoint.DisableAll()
+
+	r := httptest.NewRequest(http.MethodPost, "/v1/corpus?version=1", strings.NewReader("{}"))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusConflict {
+		t.Fatalf("raced rollback = %d %s, want 409", w.Code, w.Body.String())
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Code != "version_swept" || !strings.Contains(er.Error.Message, "retained: 3-4") {
+		t.Fatalf("raced rollback error = %+v, want version_swept naming the retained range", er.Error)
+	}
+	if !fired {
+		t.Fatal("failpoint never fired — the race was not exercised")
+	}
+
+	// A version that never existed is still a 404, not a 409.
+	failpoint.DisableAll()
+	r = httptest.NewRequest(http.MethodPost, "/v1/corpus?version=99", strings.NewReader("{}"))
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("never-published rollback = %d, want 404", w.Code)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Code != "version_not_found" {
+		t.Fatalf("never-published rollback error = %+v", er.Error)
+	}
+
+	// A retained version still rolls back, and the rolled-back generation
+	// serves that corpus's exact verdicts.
+	var cr CorpusResponse
+	if got := postJSON(t, s.Handler(), "/v1/corpus?version=3", struct{}{}, &cr); got != http.StatusOK {
+		t.Fatalf("retained rollback = %d", got)
+	}
+	if cr.Version != 5 || cr.RolledBackFrom != 3 {
+		t.Fatalf("retained rollback response = %+v", cr)
+	}
+	for _, q := range texts3[:3] {
+		m, v := auditBest(t, s, q)
+		if v != 5 {
+			t.Fatalf("post-rollback version = %d", v)
+		}
+		if want := offline3.Best(q); m != want {
+			t.Fatalf("post-rollback verdict %+v != offline %+v", m, want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// A candidate sharing no token with any corpus document must produce the
+// explicit no-match verdict on /v1/audit: no_match true, best absent from
+// the wire bytes entirely (the internal Index:-1 sentinel must not leak),
+// and no violation at any threshold.
+func TestAuditNoMatchContract(t *testing.T) {
+	s := NewServer(DefaultConfig())
+	defer s.Close()
+	s.PublishDocuments(
+		[]string{"a.v", "b.v"},
+		[]string{"module alpha(input x); endmodule", "module beta(output y); endmodule"},
+	)
+
+	// Tokens (including every punctuation byte) absent from the corpus.
+	unknown := "zzqy_totally_unknown_7731 qqzw_not_in_corpus_8842"
+
+	var resp AuditResponse
+	if code := postJSON(t, s.Handler(), "/v1/audit", AuditRequest{Code: unknown, Threshold: 0.0001}, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.NoMatch {
+		t.Fatalf("want no_match=true, got %+v", resp)
+	}
+	if resp.Best != nil {
+		t.Fatalf("no-match verdict must omit best, got %+v", resp.Best)
+	}
+	if resp.Violation {
+		t.Fatalf("no-match verdict cannot be a violation")
+	}
+
+	// The raw wire bytes must not leak the Index:-1 sentinel in any field.
+	body, _ := json.Marshal(AuditRequest{Code: unknown})
+	r := httptest.NewRequest(http.MethodPost, "/v1/audit", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if got := w.Body.String(); strings.Contains(got, "-1") || strings.Contains(got, `"best"`) {
+		t.Fatalf("no-match wire bytes leak a match sentinel: %s", got)
+	} else if !strings.Contains(got, `"no_match":true`) {
+		t.Fatalf("no-match wire bytes missing explicit verdict: %s", got)
+	}
+
+	// A matching candidate must NOT carry the no_match flag.
+	var hit AuditResponse
+	if code := postJSON(t, s.Handler(), "/v1/audit", AuditRequest{Code: "module alpha(input x); endmodule"}, &hit); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if hit.NoMatch || hit.Best == nil {
+		t.Fatalf("matching candidate got no-match verdict: %+v", hit)
+	}
+}
+
+// The batch endpoint must apply the same contract per candidate: mixed
+// batches mark exactly the all-unknown candidates no_match.
+func TestAuditBatchNoMatchContract(t *testing.T) {
+	s := NewServer(DefaultConfig())
+	defer s.Close()
+	s.PublishDocuments(
+		[]string{"a.v"},
+		[]string{"module alpha(input x); endmodule"},
+	)
+
+	req := AuditBatchRequest{Candidates: []AuditBatchCandidate{
+		{Key: "unknown", Code: "zzqy_totally_unknown_7731 qqzw_not_in_corpus_8842"},
+		{Key: "known", Code: "module alpha(input x); endmodule"},
+	}}
+	var resp AuditBatchResponse
+	if code := postJSON(t, s.Handler(), "/v1/audit/batch", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(resp.Results))
+	}
+	u, k := resp.Results[0], resp.Results[1]
+	if !u.NoMatch || u.Best != nil || u.Violation {
+		t.Fatalf("unknown candidate verdict wrong: %+v", u)
+	}
+	if k.NoMatch || k.Best == nil {
+		t.Fatalf("known candidate verdict wrong: %+v", k)
+	}
+
+	// Wire-level: the unknown result object must not contain a best field.
+	body, _ := json.Marshal(req)
+	r := httptest.NewRequest(http.MethodPost, "/v1/audit/batch", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	var raw struct {
+		Results []map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, leak := raw.Results[0]["best"]; leak {
+		t.Fatalf("no-match batch result leaks best: %v", raw.Results[0])
+	}
+	if nm, _ := raw.Results[0]["no_match"].(bool); !nm {
+		t.Fatalf("no-match batch result missing flag: %v", raw.Results[0])
+	}
+
+	// An empty corpus is the degenerate no-match case for every candidate.
+	empty := NewServer(DefaultConfig())
+	defer empty.Close()
+	var er AuditResponse
+	if code := postJSON(t, empty.Handler(), "/v1/audit", AuditRequest{Code: "module alpha(); endmodule"}, &er); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !er.NoMatch || er.Best != nil {
+		t.Fatalf("empty-corpus audit must be no_match: %+v", er)
+	}
+}

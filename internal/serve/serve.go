@@ -49,11 +49,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -61,6 +64,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unicode/utf8"
 
 	"freehw/internal/curation"
 	"freehw/internal/failpoint"
@@ -85,6 +89,12 @@ var (
 	// FPBulkAdmit fires after a bulk request claims its bulkhead slot; an
 	// injected fault must still release the slot.
 	FPBulkAdmit = failpoint.Register("serve/bulk-admit")
+	// FPRollbackLoad fires after a rollback request parses its target
+	// version and before it takes the publish lock to load the retained
+	// snapshot — the widest window in which a concurrent publish (and its
+	// retention sweep) can remove the target. Tests arm it with an action
+	// that publishes, turning the race deterministic.
+	FPRollbackLoad = failpoint.Register("serve/rollback-load")
 )
 
 // Config tunes the service.
@@ -177,6 +187,12 @@ type auditJob struct {
 	done  chan auditResult
 }
 
+// jobPool recycles audit jobs and their 1-buffered result channels.
+// Only the normal completion path may Put: a job abandoned on client
+// disconnect or shutdown can still receive a late buffered send, so it
+// must go to the GC instead of being reused.
+var jobPool = sync.Pool{New: func() any { return &auditJob{done: make(chan auditResult, 1)} }}
+
 // auditResult carries the verdict plus the snapshot generation that
 // produced it.
 type auditResult struct {
@@ -216,6 +232,17 @@ type Server struct {
 	stop  chan struct{}
 	once  sync.Once
 
+	// pumpMu serializes dispatcher passes: exactly one goroutine — the
+	// background dispatcher or a request handler that stole the pump —
+	// drains and scores a batch at a time. An idle-path audit handler
+	// try-locks it and runs the batch on its own goroutine, skipping two
+	// scheduler handoffs; when the pump is busy it kicks the dispatcher
+	// instead. batchBuf is the reusable batch slice, owned by whoever
+	// holds pumpMu.
+	pumpMu   sync.Mutex
+	kick     chan struct{} // cap 1: dispatcher wake-up, token coalesced
+	batchBuf []*auditJob
+
 	// ready flips on once boot-time snapshot replay completes; draining
 	// flips on when shutdown begins. /v1/readyz is 200 only in between,
 	// so load balancers neither route to a cold index nor to a server
@@ -252,6 +279,7 @@ func NewServer(cfg Config) *Server {
 		queue: make(chan *auditJob, cfg.QueueDepth),
 		bulk:  make(chan struct{}, cfg.MaxInflightBulk),
 		stop:  make(chan struct{}),
+		kick:  make(chan struct{}, 1),
 		start: time.Now(),
 	}
 	if cfg.CacheBudget > 0 {
@@ -383,6 +411,14 @@ func (s *Server) PublishDocuments(names, texts []string) (version uint64, indexe
 func (s *Server) publish(snap *similarity.Snapshot) (version uint64, indexed int, err error) {
 	s.pubMu.Lock()
 	defer s.pubMu.Unlock()
+	return s.publishLocked(snap)
+}
+
+// publishLocked is publish's body for callers that already hold pubMu —
+// the rollback path, which must keep the lock across its snapshot load so
+// the retention sweep (which only runs inside Save, under this same lock)
+// cannot remove the version between validation and republish.
+func (s *Server) publishLocked(snap *similarity.Snapshot) (version uint64, indexed int, err error) {
 	version = s.current().version + 1
 	if s.snaps != nil {
 		if err := s.snaps.Save(version, snap); err != nil {
@@ -398,30 +434,84 @@ func (s *Server) publish(snap *similarity.Snapshot) (version uint64, indexed int
 	return version, snap.Len(), nil
 }
 
-// dispatch is the micro-batching loop: it blocks for the first queued
-// audit, drains whatever else is already pending (up to MaxBatch), and
-// scores the whole batch against one snapshot load.
+// dispatch is the background half of the micro-batching pump: it sleeps
+// until an enqueuing handler kicks it (because the pump was already
+// held), then drains and scores batches until the queue is empty. On the
+// idle path the handler itself runs pump() and the dispatcher never
+// wakes.
 func (s *Server) dispatch() {
 	for {
 		select {
 		case <-s.stop:
 			return
-		case job := <-s.queue:
-			s.busy.Add(1)
-			batch := []*auditJob{job}
-		drain:
-			for len(batch) < s.cfg.MaxBatch {
+		case <-s.kick:
+			for {
 				select {
-				case next := <-s.queue:
-					batch = append(batch, next)
+				case <-s.stop:
+					return
 				default:
-					break drain
+				}
+				s.pumpMu.Lock()
+				ran := s.pumpLocked()
+				s.pumpMu.Unlock()
+				if !ran {
+					break
 				}
 			}
-			s.runBatch(batch)
-			s.busy.Add(-1)
 		}
 	}
+}
+
+// pump gives the calling goroutine one shot at being the dispatcher: if
+// the pump is free it drains and scores one batch in place and reports
+// true. Callers that enqueued work must kick the dispatcher when the
+// pump is busy — and after a successful pass that left jobs behind — so
+// no job is ever stranded.
+func (s *Server) pump() bool {
+	if !s.pumpMu.TryLock() {
+		return false
+	}
+	s.pumpLocked()
+	s.pumpMu.Unlock()
+	if len(s.queue) > 0 {
+		s.kickDispatch()
+	}
+	return true
+}
+
+// kickDispatch wakes the background dispatcher; the 1-token channel
+// coalesces concurrent kicks.
+func (s *Server) kickDispatch() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// pumpLocked drains one batch (up to MaxBatch) and scores it. Caller
+// holds pumpMu. Reports whether any job was processed.
+func (s *Server) pumpLocked() bool {
+	batch := s.batchBuf[:0]
+drain:
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case job := <-s.queue:
+			batch = append(batch, job)
+		default:
+			break drain
+		}
+	}
+	s.batchBuf = batch
+	if len(batch) == 0 {
+		return false
+	}
+	s.busy.Add(1)
+	s.runBatch(batch)
+	s.busy.Add(-1)
+	// Drop the job pointers so completed audits do not linger in the
+	// reusable buffer.
+	clear(batch)
+	return true
 }
 
 // runBatch scores one batch against the current snapshot. Best-only jobs
@@ -435,6 +525,18 @@ func (s *Server) runBatch(batch []*auditJob) {
 	st := s.current()
 	s.m.batches.Add(1)
 	s.m.batchedJobs.Add(int64(len(batch)))
+
+	if len(batch) == 1 && batch[0].k <= 1 {
+		// Single best-only job — the common idle-path shape: score it
+		// directly, no partition slices, no batch fan-out.
+		j := batch[0]
+		m := st.snap.Best(j.text)
+		if j.entry != nil {
+			j.entry.StoreBestMatch(st.version, m)
+		}
+		j.done <- auditResult{best: m, version: st.version, length: st.snap.Len()}
+		return
+	}
 
 	var bestJobs []*auditJob
 	var texts []string
@@ -477,11 +579,24 @@ func (s *Server) runBatch(batch []*auditJob) {
 	}
 }
 
+// bodyBufPool recycles body read buffers across requests: a fresh
+// json.Decoder per request allocates its own bufio layer and scratch,
+// which the audit hot path would pay on every call.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // decode reads a JSON body under the configured size cap. It replies on
-// failure and reports whether the handler should continue.
+// failure and reports whether the handler should continue. The body is
+// slurped into a pooled buffer and unmarshalled from there — same syntax
+// errors, no per-request decoder allocations (json.Unmarshal copies what
+// it keeps, so nothing aliases the pooled bytes).
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, out any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(out); err != nil {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		bodyBufPool.Put(buf)
+	}()
+	if _, err := buf.ReadFrom(r.Body); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large", "request body too large")
@@ -490,7 +605,262 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, out any) bool {
 		}
 		return false
 	}
+	if ar, ok := out.(*AuditRequest); ok && parseAuditRequest(buf.Bytes(), ar) {
+		return true
+	}
+	if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_json", "bad request: "+err.Error())
+		return false
+	}
 	return true
+}
+
+// parseAuditRequest decodes the canonical audit body shape —
+// {"code": "...", "top_k": n, "threshold": x} — without reflection.
+// It reports false on ANY input it cannot prove it decodes exactly as
+// encoding/json would (unknown keys, non-ASCII bytes, surrogate escapes,
+// exotic numbers), and the caller falls back to json.Unmarshal, so
+// behavior — including every error message — is unchanged; the fast path
+// only accelerates the overwhelmingly common well-formed case.
+func parseAuditRequest(b []byte, out *AuditRequest) bool {
+	i, n := skipJSONSpace(b, 0), len(b)
+	if i >= n || b[i] != '{' {
+		return false
+	}
+	i = skipJSONSpace(b, i+1)
+	if i < n && b[i] == '}' {
+		i++
+	} else {
+		for {
+			key, j, ok := parseJSONString(b, i)
+			if !ok {
+				return false
+			}
+			i = skipJSONSpace(b, j)
+			if i >= n || b[i] != ':' {
+				return false
+			}
+			i = skipJSONSpace(b, i+1)
+			switch key {
+			case "code":
+				s, j, ok := parseJSONString(b, i)
+				if !ok {
+					return false
+				}
+				out.Code, i = s, j
+			case "top_k":
+				v, j, ok := parseJSONInt(b, i)
+				if !ok {
+					return false
+				}
+				out.TopK, i = v, j
+			case "threshold":
+				v, j, ok := parseJSONFloat(b, i)
+				if !ok {
+					return false
+				}
+				out.Threshold, i = v, j
+			default:
+				// Unknown key: json.Unmarshal would skip it; let it.
+				return false
+			}
+			i = skipJSONSpace(b, i)
+			if i < n && b[i] == ',' {
+				i = skipJSONSpace(b, i+1)
+				continue
+			}
+			if i < n && b[i] == '}' {
+				i++
+				break
+			}
+			return false
+		}
+	}
+	return skipJSONSpace(b, i) == n
+}
+
+func skipJSONSpace(b []byte, i int) int {
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t' || b[i] == '\n' || b[i] == '\r') {
+		i++
+	}
+	return i
+}
+
+// parseJSONString decodes a quoted JSON string starting at b[i]. The fast
+// path is restricted to printable ASCII plus the simple escapes and
+// non-surrogate \uXXXX — anything else (raw control bytes, non-ASCII,
+// invalid escapes) reports !ok so the encoding/json fallback, with its
+// UTF-8 coercion and exact error text, handles it instead.
+func parseJSONString(b []byte, i int) (s string, next int, ok bool) {
+	n := len(b)
+	if i >= n || b[i] != '"' {
+		return "", 0, false
+	}
+	i++
+	start := i
+	for i < n {
+		c := b[i]
+		if c == '"' {
+			return string(b[start:i]), i + 1, true
+		}
+		if c == '\\' {
+			break // escape: switch to the building scan below
+		}
+		if c < 0x20 || c >= 0x80 {
+			return "", 0, false
+		}
+		i++
+	}
+	// Escaped string: decode by copying the plain spans between escapes
+	// into a Builder sized once — the result string is built in place,
+	// so a 2 KB candidate costs one allocation, not an unquote buffer
+	// plus a string copy.
+	var sb strings.Builder
+	sb.Grow(n - start - 1)
+	sb.Write(b[start:i])
+	for i < n {
+		c := b[i]
+		switch {
+		case c == '"':
+			return sb.String(), i + 1, true
+		case c == '\\':
+			if i+1 >= n {
+				return "", 0, false
+			}
+			i++
+			switch b[i] {
+			case '"', '\\', '/':
+				sb.WriteByte(b[i])
+			case 'b':
+				sb.WriteByte('\b')
+			case 'f':
+				sb.WriteByte('\f')
+			case 'n':
+				sb.WriteByte('\n')
+			case 'r':
+				sb.WriteByte('\r')
+			case 't':
+				sb.WriteByte('\t')
+			case 'u':
+				if i+4 >= n {
+					return "", 0, false
+				}
+				r := rune(0)
+				for k := 1; k <= 4; k++ {
+					r <<= 4
+					switch c := b[i+k]; {
+					case c >= '0' && c <= '9':
+						r |= rune(c - '0')
+					case c >= 'a' && c <= 'f':
+						r |= rune(c-'a') + 10
+					case c >= 'A' && c <= 'F':
+						r |= rune(c-'A') + 10
+					default:
+						return "", 0, false
+					}
+				}
+				if r >= 0xD800 && r < 0xE000 {
+					return "", 0, false // surrogate: fall back
+				}
+				var rb [4]byte
+				sb.Write(rb[:utf8.EncodeRune(rb[:], r)])
+				i += 4
+			default:
+				return "", 0, false
+			}
+			i++
+		case c < 0x20 || c >= 0x80:
+			return "", 0, false
+		default:
+			span := i
+			for span < n {
+				c := b[span]
+				if c == '"' || c == '\\' || c < 0x20 || c >= 0x80 {
+					break
+				}
+				span++
+			}
+			sb.Write(b[i:span])
+			i = span
+		}
+	}
+	return "", 0, false
+}
+
+// parseJSONInt accepts plain decimal integers only; fractions, exponents,
+// and overflow fall back (json's int-field errors must come from json).
+func parseJSONInt(b []byte, i int) (v, next int, ok bool) {
+	n, neg := len(b), false
+	if i < n && b[i] == '-' {
+		neg = true
+		i++
+	}
+	start := i
+	for i < n && b[i] >= '0' && b[i] <= '9' {
+		d := int(b[i] - '0')
+		if v > (1<<62)/10 {
+			return 0, 0, false
+		}
+		v = v*10 + d
+		i++
+	}
+	if i == start || (i < n && (b[i] == '.' || b[i] == 'e' || b[i] == 'E')) {
+		return 0, 0, false
+	}
+	if b[start] == '0' && i > start+1 {
+		return 0, 0, false // "01" is not a JSON number
+	}
+	if neg {
+		v = -v
+	}
+	return v, i, true
+}
+
+// parseJSONFloat scans the strict JSON number grammar — leading zeros,
+// bare dots, and signed prefixes like "+1" are rejected exactly as
+// encoding/json rejects them — then defers the conversion to strconv,
+// the same parser encoding/json uses, bailing on range errors so their
+// message comes from the fallback.
+func parseJSONFloat(b []byte, i int) (v float64, next int, ok bool) {
+	n, start := len(b), i
+	if i < n && b[i] == '-' {
+		i++
+	}
+	digits := func() bool {
+		first := i
+		for i < n && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+		return i > first
+	}
+	switch {
+	case i < n && b[i] == '0':
+		i++
+	case i < n && b[i] >= '1' && b[i] <= '9':
+		digits()
+	default:
+		return 0, 0, false
+	}
+	if i < n && b[i] == '.' {
+		i++
+		if !digits() {
+			return 0, 0, false
+		}
+	}
+	if i < n && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < n && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if !digits() {
+			return 0, 0, false
+		}
+	}
+	v, err := strconv.ParseFloat(string(b[start:i]), 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return v, i, true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -599,8 +969,10 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	job := &auditJob{text: req.Code, k: req.TopK, entry: entry, done: make(chan auditResult, 1)}
+	job := jobPool.Get().(*auditJob)
+	job.text, job.k, job.entry = req.Code, req.TopK, entry
 	if err := failpoint.Inject(FPEnqueue); err != nil {
+		jobPool.Put(job)
 		writeErr(w, http.StatusInternalServerError, "internal", err.Error())
 		return
 	}
@@ -608,11 +980,24 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- job:
 	default:
 		// Queue full: shed load now instead of stacking latency.
+		job.text, job.entry = "", nil
+		jobPool.Put(job)
 		s.writeShed(w, "queue_full", "audit queue full")
 		return
 	}
+	// Idle fast path: steal the pump and run the dispatcher pass on this
+	// goroutine — the common single-request case then skips two scheduler
+	// handoffs. When the pump is already held (a batch is in flight), wake
+	// the background dispatcher instead.
+	if !s.pump() {
+		s.kickDispatch()
+	}
 	select {
 	case res := <-job.done:
+		// Only the completed path recycles: an abandoned job's buffered
+		// done-send may still be in flight, so those leak to the GC.
+		job.text, job.entry = "", nil
+		jobPool.Put(job)
 		s.respondAudit(w, req, res, threshold, false)
 		s.m.lat.record(time.Since(startT))
 	case <-r.Context().Done():
@@ -623,21 +1008,132 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) respondAudit(w http.ResponseWriter, req AuditRequest, res auditResult, threshold float64, cached bool) {
+	violation := res.best.Index >= 0 && res.best.Score >= threshold
+	if violation {
+		s.m.violations.Add(1)
+	}
+	if writeAuditFast(w, &res, threshold, violation, cached) {
+		return
+	}
 	resp := AuditResponse{
 		Best:          matchJSON(res.best),
-		Violation:     res.best.Index >= 0 && res.best.Score >= threshold,
+		Violation:     violation,
 		Threshold:     threshold,
 		CorpusVersion: res.version,
 		CorpusLen:     res.length,
 		Cached:        cached,
-	}
-	if resp.Violation {
-		s.m.violations.Add(1)
+		NoMatch:       res.best.Index < 0,
 	}
 	for _, m := range res.matches {
 		resp.Matches = append(resp.Matches, AuditMatch{Name: m.Name, Index: m.Index, Score: m.Score})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// respBufPool recycles the hand-encoded audit response buffers.
+var respBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// writeAuditFast emits the AuditResponse wire bytes without reflection.
+// The output is byte-identical to writeJSON's — same field order, the
+// stdlib's float formatting, the trailing newline Encoder appends — and
+// any value the hand encoder cannot prove it renders identically (names
+// needing escaping, non-finite floats) reports false so the caller falls
+// back to encoding/json.
+func writeAuditFast(w http.ResponseWriter, res *auditResult, threshold float64, violation, cached bool) bool {
+	if res.best.Index >= 0 && (!jsonPlainASCII(res.best.Name) || !finite(res.best.Score)) {
+		return false
+	}
+	if !finite(threshold) {
+		return false
+	}
+	for i := range res.matches {
+		if !jsonPlainASCII(res.matches[i].Name) || !finite(res.matches[i].Score) {
+			return false
+		}
+	}
+	bp := respBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, '{')
+	if res.best.Index >= 0 {
+		b = append(b, `"best":`...)
+		b = appendAuditMatch(b, &res.best)
+		b = append(b, ',')
+	}
+	if len(res.matches) > 0 {
+		b = append(b, `"matches":[`...)
+		for i := range res.matches {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendAuditMatch(b, &res.matches[i])
+		}
+		b = append(b, `],`...)
+	}
+	b = append(b, `"violation":`...)
+	b = strconv.AppendBool(b, violation)
+	b = append(b, `,"threshold":`...)
+	b = appendJSONFloat(b, threshold)
+	b = append(b, `,"corpus_version":`...)
+	b = strconv.AppendUint(b, res.version, 10)
+	b = append(b, `,"corpus_len":`...)
+	b = strconv.AppendInt(b, int64(res.length), 10)
+	b = append(b, `,"cached":`...)
+	b = strconv.AppendBool(b, cached)
+	if res.best.Index < 0 {
+		b = append(b, `,"no_match":true`...)
+	}
+	b = append(b, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+	*bp = b[:0]
+	respBufPool.Put(bp)
+	return true
+}
+
+func appendAuditMatch(b []byte, m *similarity.Match) []byte {
+	b = append(b, `{"name":"`...)
+	b = append(b, m.Name...)
+	b = append(b, `","index":`...)
+	b = strconv.AppendInt(b, int64(m.Index), 10)
+	b = append(b, `,"score":`...)
+	b = appendJSONFloat(b, m.Score)
+	return append(b, '}')
+}
+
+// jsonPlainASCII reports whether s renders into a JSON string verbatim:
+// printable ASCII with nothing encoding/json escapes (quotes, backslash,
+// or its HTML-safe set <, >, &).
+func jsonPlainASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x80 || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}
+
+func finite(f float64) bool { return !math.IsInf(f, 0) && !math.IsNaN(f) }
+
+// appendJSONFloat formats exactly as encoding/json's floatEncoder does:
+// shortest round-trip form, 'f' in the human range, 'e' outside it with
+// the two-digit exponent squeezed ("e-09" → "e-9").
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		n := len(b)
+		if n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
 }
 
 // handleAuditBatch audits a whole candidate batch against one snapshot
@@ -714,6 +1210,7 @@ func (s *Server) handleAuditBatch(w http.ResponseWriter, r *http.Request) {
 			Best:      best,
 			Violation: violation,
 			Cached:    cached[i],
+			NoMatch:   best == nil,
 		}
 	}
 	// Batch wall time is deliberately NOT fed into the audit latency ring:
@@ -968,9 +1465,34 @@ func (s *Server) handleRollback(w http.ResponseWriter, verStr string) {
 		writeErr(w, http.StatusBadRequest, "bad_version", "version must be a decimal integer")
 		return
 	}
+	if err := failpoint.Inject(FPRollbackLoad); err != nil {
+		writeErr(w, http.StatusInternalServerError, "internal", "rollback: "+err.Error())
+		return
+	}
+	// Load and republish under the publish lock. The retention sweep runs
+	// only inside Save, and Save runs only under this lock, so the
+	// retained set is frozen from here on: a version that validates below
+	// cannot be swept before its contents become the next generation, and
+	// a Load miss is a stable fact rather than a race with a concurrent
+	// publish. Rollbacks are rare; briefly delaying a concurrent publish's
+	// swap is the price of never serving a spurious 404.
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
 	snap, err := s.snaps.Load(version)
 	if errors.Is(err, snapstore.ErrNotFound) {
-		writeErr(w, http.StatusNotFound, "version_not_found", "no retained snapshot for version "+verStr)
+		// Re-scan to answer precisely: a generation this store once held
+		// that the retention sweep removed is a 409 (gone by policy — the
+		// client should pick a retained version), while a version that was
+		// never published is a plain 404.
+		if cur := s.current().version; version >= 1 && version <= cur {
+			msg := "version " + verStr + " was removed by the retention sweep"
+			if vs, verr := s.snaps.Versions(); verr == nil && len(vs) > 0 {
+				msg += fmt.Sprintf(" (retained: %d-%d)", vs[0], vs[len(vs)-1])
+			}
+			writeErr(w, http.StatusConflict, "version_swept", msg)
+			return
+		}
+		writeErr(w, http.StatusNotFound, "version_not_found", "no snapshot was ever published as version "+verStr)
 		return
 	}
 	if err != nil {
@@ -979,7 +1501,7 @@ func (s *Server) handleRollback(w http.ResponseWriter, verStr string) {
 	}
 	s.m.corpusPosts.Add(1)
 	s.m.rate.tick(time.Now())
-	newVersion, indexed, err := s.publish(snap)
+	newVersion, indexed, err := s.publishLocked(snap)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "persist_failed", "rollback not durable: "+err.Error())
 		return

@@ -32,7 +32,9 @@ type AuditMatch struct {
 }
 
 // AuditResponse is the verdict. Best is absent when nothing in the corpus
-// shares a term with the candidate (or the corpus is empty).
+// shares a term with the candidate (or the corpus is empty); NoMatch then
+// says so explicitly, so clients distinguish "audited, nothing matched"
+// from a response that merely omitted the field.
 type AuditResponse struct {
 	Best          *AuditMatch  `json:"best,omitempty"`
 	Matches       []AuditMatch `json:"matches,omitempty"`
@@ -43,6 +45,10 @@ type AuditResponse struct {
 	// Cached marks a verdict served from the cross-request memo (same
 	// content hash, same corpus version) without touching the index.
 	Cached bool `json:"cached"`
+	// NoMatch is the explicit no-match verdict: the candidate shares no
+	// indexed term with any corpus document, so there is no best match
+	// and no violation at any threshold.
+	NoMatch bool `json:"no_match,omitempty"`
 }
 
 // SyntaxRequest asks for the curation syntax-filter verdict.
@@ -222,6 +228,8 @@ type AuditBatchResult struct {
 	Best      *AuditMatch `json:"best,omitempty"`
 	Violation bool        `json:"violation"`
 	Cached    bool        `json:"cached"`
+	// NoMatch marks the explicit no-match verdict (see AuditResponse).
+	NoMatch bool `json:"no_match,omitempty"`
 }
 
 // AuditBatchResponse reports the batch verdicts, in request order, all

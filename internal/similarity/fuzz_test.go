@@ -1,0 +1,98 @@
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzScoringEquivalence pins the pruned scorer to two references on
+// arbitrary corpora and queries:
+//
+//  1. The exhaustive accumulator must agree bit for bit — same indices,
+//     same float64 scores, zero tolerance. Pruning's claim is that it
+//     computes the identical sums in the identical order, just skipping
+//     documents it can prove lose.
+//  2. The public map-based oracle (NewVector + Cosine) must agree within
+//     float tolerance. The oracle shares no code with the postings index —
+//     it recomputes tf vectors in hash-map order — so it catches indexing
+//     bugs (dropped terms, wrong counts, bad norms) that both index paths
+//     would share. Map iteration randomizes addition order, hence the
+//     small epsilon.
+//
+// The corpus mixes diverse documents, forced duplicates (tie pressure),
+// and a document derived from the query itself (near-dup pressure), and
+// is built with a fuzzed worker count so parallel indexing stays
+// deterministic too.
+func FuzzScoringEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(8), "module top(input clk); wire a = b ^ c; endmodule")
+	f.Add(int64(42), uint8(3), "assign out = in1 & in2;")
+	f.Add(int64(7), uint8(20), "zzz unknown tokens only qqq")
+	f.Add(int64(99), uint8(1), "")
+	f.Add(int64(5), uint8(12), "always @(posedge clk) q <= d;")
+
+	f.Fuzz(func(t *testing.T, seed int64, nDocs uint8, query string) {
+		n := int(nDocs)%24 + 2
+		rng := rand.New(rand.NewSource(seed))
+		names := make([]string, n)
+		texts := make([]string, n)
+		for i := range texts {
+			names[i] = fmt.Sprintf("d%d.v", i)
+			texts[i] = diverseVerilog(rng, int(seed&0xffff)+i)
+		}
+		// Tie pressure: duplicate one document.
+		texts[n-1] = texts[rng.Intn(n)]
+		// Near-dup pressure: one document borrows the query's text.
+		if len(query) > 0 {
+			texts[rng.Intn(n)] = query + "\nwire fuzz_tail = 1'b1;\n"
+		}
+		workers := 1 + int(seed&3)
+		c := NewCorpusWorkers(names, texts, workers)
+
+		for _, k := range []int{1, 3, n} {
+			pruned := c.searchTopK(query, k, searchPruned)
+			exhaustive := c.searchTopK(query, k, searchExhaustive)
+			if len(pruned) != len(exhaustive) {
+				t.Fatalf("k=%d: pruned %d matches, exhaustive %d", k, len(pruned), len(exhaustive))
+			}
+			for i := range pruned {
+				if pruned[i] != exhaustive[i] {
+					t.Fatalf("k=%d rank %d: pruned %+v != exhaustive %+v", k, i, pruned[i], exhaustive[i])
+				}
+			}
+		}
+
+		// Independent oracle: brute-force cosine over public vectors.
+		const tol = 1e-9
+		qv := NewVector(query)
+		oracle := make([]float64, n)
+		var oracleMax float64
+		for i, txt := range texts {
+			oracle[i] = Cosine(qv, NewVector(txt))
+			if oracle[i] > oracleMax {
+				oracleMax = oracle[i]
+			}
+		}
+		best := c.Best(query)
+		if best.Index < 0 {
+			if oracleMax > tol {
+				t.Fatalf("Best found nothing but oracle max is %v", oracleMax)
+			}
+			return
+		}
+		if d := math.Abs(best.Score - oracle[best.Index]); d > tol {
+			t.Fatalf("Best doc %d: index score %v vs oracle %v (Δ%g)", best.Index, best.Score, oracle[best.Index], d)
+		}
+		if best.Score < oracleMax-tol {
+			t.Fatalf("Best score %v but oracle says doc scoring %v exists", best.Score, oracleMax)
+		}
+		// Ties resolve to the lowest index: no earlier doc may score
+		// meaningfully >= the winner.
+		for i := 0; i < best.Index; i++ {
+			if oracle[i] > best.Score+tol {
+				t.Fatalf("doc %d scores %v > winner %d at %v", i, oracle[i], best.Index, best.Score)
+			}
+		}
+	})
+}

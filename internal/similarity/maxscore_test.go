@@ -1,0 +1,365 @@
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// diverseVerilog emits a small synthetic module whose token mix varies per
+// index — unlike randDoc's shared vocabulary, documents are mostly
+// dissimilar, so threshold-based pruning has something to prune. This is
+// the realistic audit shape: a generated file either plagiarizes one
+// protected file (near-dup, scores ~1.0) or none (scores well below the
+// 0.8 threshold).
+func diverseVerilog(rng *rand.Rand, idx int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module mod_%d(input wire clk_%d, output reg [7:0] out_%d);\n", idx, idx%97, idx)
+	for j := 0; j < 8+rng.Intn(12); j++ {
+		fmt.Fprintf(&sb, "  wire [7:0] sig_%d_%d = reg_%d ^ 8'h%02X;\n", idx, j, rng.Intn(50), rng.Intn(256))
+	}
+	fmt.Fprintf(&sb, "  always @(posedge clk_%d) out_%d <= sig_%d_0;\nendmodule\n", idx%97, idx, idx)
+	return sb.String()
+}
+
+// buildDiverse builds an n-document corpus of diverse modules, seeded
+// deterministically.
+func buildDiverse(seed int64, n int) ([]string, []string, *Corpus) {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, n)
+	texts := make([]string, n)
+	for i := range texts {
+		names[i] = fmt.Sprintf("d%d.v", i)
+		texts[i] = diverseVerilog(rng, i)
+	}
+	return names, texts, NewCorpus(names, texts)
+}
+
+// matchesEqual demands bit-for-bit identity — same names, same indices,
+// same float64 scores with zero tolerance. The pruned path's whole claim
+// is that it computes the same sums in the same order.
+func matchesEqual(t *testing.T, ctx string, got, want []Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d matches, want %d\n got: %+v\nwant: %+v", ctx, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: rank %d differs\n got: %+v\nwant: %+v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// The pruned search must return results bit-identical to the exhaustive
+// accumulator — every query shape, every k, corpora above and below the
+// auto cutoff, shared-vocabulary (homogeneous, bailout-heavy) and diverse
+// (skip-heavy) alike.
+func TestPrunedBitExactEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	type corpusCase struct {
+		name  string
+		texts []string
+		c     *Corpus
+	}
+	var cases []corpusCase
+
+	// Homogeneous: randDoc's shared vocabulary makes every document score
+	// against every query — the adversarial case where pruning must bail
+	// out yet stay exact.
+	for _, n := range []int{40, 130} {
+		texts := make([]string, n)
+		names := make([]string, n)
+		for i := range texts {
+			names[i] = fmt.Sprintf("d%d", i)
+			texts[i] = randDoc(rng, 60, 40+rng.Intn(120))
+		}
+		texts[n/3] = texts[n/7] // force top ties
+		cases = append(cases, corpusCase{fmt.Sprintf("homog%d", n), texts, NewCorpus(names, texts)})
+	}
+	// Diverse: pruning actually skips here.
+	for _, n := range []int{96, 400} {
+		_, texts, c := buildDiverse(int64(n), n)
+		cases = append(cases, corpusCase{fmt.Sprintf("diverse%d", n), texts, c})
+	}
+
+	for _, cc := range cases {
+		n := len(cc.texts)
+		queries := []string{
+			cc.texts[n/2],                          // exact duplicate: score 1.0
+			cc.texts[n/3],                          // exact duplicate of a tie pair
+			cc.texts[0] + " extra tail tokens xyz", // near-duplicate
+			randDoc(rng, 60, 50),                   // shared-vocab probe
+			diverseVerilog(rng, 999999),            // mostly-unknown probe
+		}
+		for qi, q := range queries {
+			for _, k := range []int{1, 2, 10, n} {
+				pruned := cc.c.searchTopK(q, k, searchPruned)
+				exhaustive := cc.c.searchTopK(q, k, searchExhaustive)
+				matchesEqual(t, fmt.Sprintf("%s q%d k%d", cc.name, qi, k), pruned, exhaustive)
+			}
+			// And the public surface agrees with both.
+			best := cc.c.Best(q)
+			if top := cc.c.searchTopK(q, 1, searchPruned); len(top) > 0 {
+				if best != top[0] {
+					t.Fatalf("%s q%d: Best %+v != pruned top1 %+v", cc.name, qi, best, top[0])
+				}
+			} else if best.Index != -1 {
+				t.Fatalf("%s q%d: Best %+v but pruned found nothing", cc.name, qi, best)
+			}
+		}
+	}
+}
+
+// Duplicated documents must keep resolving to the lowest index on both
+// paths: the tie-safety argument for pruning (a pruned candidate always
+// has a higher index than every kept match) gets exercised directly.
+func TestPrunedTieDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	n := 200
+	names := make([]string, n)
+	texts := make([]string, n)
+	base := make([]string, 10)
+	for i := range base {
+		base[i] = diverseVerilog(rng, i)
+	}
+	for i := range texts {
+		names[i] = fmt.Sprintf("d%d", i)
+		texts[i] = base[i%len(base)] // every doc duplicated 20x
+	}
+	c := NewCorpus(names, texts)
+	for qi, q := range base {
+		for _, k := range []int{1, 5, 40} {
+			pruned := c.searchTopK(q, k, searchPruned)
+			exhaustive := c.searchTopK(q, k, searchExhaustive)
+			matchesEqual(t, fmt.Sprintf("q%d k%d", qi, k), pruned, exhaustive)
+			if pruned[0].Index != qi {
+				t.Fatalf("q%d: tie must resolve to lowest index %d, got %d", qi, qi, pruned[0].Index)
+			}
+		}
+	}
+}
+
+// Corpus.Best's no-match contract: a query sharing no terms with the
+// corpus returns Match{Name: "", Index: -1, Score: 0}, on every path and
+// corpus size.
+func TestBestNoMatchContract(t *testing.T) {
+	want := Match{Name: "", Index: -1, Score: 0}
+	_, _, big := buildDiverse(3, 300)
+	small := NewCorpus([]string{"a.v"}, []string{"module a; endmodule"})
+	for _, c := range []*Corpus{big, small} {
+		for _, q := range []string{
+			"zzz_unseen_alpha zzz_unseen_beta zzz_unseen_gamma",
+			"", "   \n\t  ",
+		} {
+			if m := c.Best(q); m != want {
+				t.Fatalf("Best(%q) on %d-doc corpus = %+v, want %+v", q, c.Len(), m, want)
+			}
+			if ms := c.TopK(q, 5); len(ms) != 0 {
+				t.Fatalf("TopK(%q) = %+v, want empty", q, ms)
+			}
+		}
+	}
+}
+
+// packQterm clamps: counts folded through uint32 must saturate, not wrap.
+func TestPackQtermClamp(t *testing.T) {
+	for _, tc := range []struct {
+		w    float64
+		want float64
+	}{
+		{0, 0}, {1, 1}, {3, 3},
+		{float64(1<<32 - 1), 1<<32 - 1},
+		{float64(uint64(1) << 32), 1<<32 - 1}, // exact boundary: would wrap to 0
+		{1e18, 1<<32 - 1},                     // astronomically repetitive query
+		{math.Inf(1), 1<<32 - 1},              // defensive: +Inf saturates
+		{math.NaN(), 0},                       // defensive: NaN drops to 0
+		{-3, 0},                               // defensive: negative drops to 0
+	} {
+		got := qtermW(packQterm(42, tc.w))
+		if got != tc.want {
+			t.Fatalf("packQterm weight %v -> %v, want %v", tc.w, got, tc.want)
+		}
+		if id := qtermID(packQterm(42, tc.w)); id != 42 {
+			t.Fatalf("packQterm(42, %v) id = %d", tc.w, id)
+		}
+	}
+}
+
+// A massively repetitive query (one term repeated far beyond any sane
+// document) must still score exactly: counts stay exact integers, qnorm
+// stays finite, and the self-match is found.
+func TestGiantRepetitiveQuery(t *testing.T) {
+	names, texts, c := buildDiverse(9, 150)
+	q := strings.Repeat("sig_3_0 ", 200000) + texts[3]
+	m := c.Best(q)
+	if m.Index != 3 || m.Name != names[3] {
+		t.Fatalf("repetitive query best = %+v, want doc 3", m)
+	}
+	if !(m.Score > 0 && m.Score <= 1.0000000001) {
+		t.Fatalf("repetitive query score out of range: %v", m.Score)
+	}
+	matchesEqual(t, "giant", c.searchTopK(q, 5, searchPruned), c.searchTopK(q, 5, searchExhaustive))
+}
+
+// The unknown-unigram id space is capped at maxUnknownIDs so bigram
+// occurrence keys (prev+1)<<32 can never overflow into the unigram key
+// range. With the cap forced tiny, overflow unknowns collapse onto one
+// id — which only perturbs qnorm, a uniform scale across all documents —
+// so the ranking must be unchanged and nothing may panic.
+func TestUnknownIDCapOverflow(t *testing.T) {
+	old := maxUnknownIDs
+	maxUnknownIDs = 3
+	defer func() { maxUnknownIDs = old }()
+
+	names, texts, c := buildDiverse(11, 120)
+	var sb strings.Builder
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&sb, "unseen_token_%d ", i) // 40 distinct unknowns >> cap of 3
+		if i%5 == 0 {
+			sb.WriteString(texts[7])
+		}
+	}
+	q := sb.String()
+	m := c.Best(q)
+	if m.Index != 7 || m.Name != names[7] {
+		t.Fatalf("capped-unknowns best = %+v, want doc 7", m)
+	}
+	matchesEqual(t, "capped", c.searchTopK(q, 4, searchPruned), c.searchTopK(q, 4, searchExhaustive))
+
+	// All-unknown query under the cap: still a clean no-match.
+	if got := c.Best("only unknown words here nothing indexed"); got.Index != -1 {
+		t.Fatalf("all-unknown under cap = %+v", got)
+	}
+}
+
+// BestBatch must be deterministic across worker counts — the pruned path
+// keeps per-query evaluation independent of scheduling, so any fan-out
+// yields byte-identical matches.
+func TestBestBatchDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	_, texts, c := buildDiverse(21, 250)
+	s := c.Seal()
+	queries := make([]string, 64)
+	for i := range queries {
+		switch i % 4 {
+		case 0:
+			queries[i] = texts[rng.Intn(len(texts))]
+		case 1:
+			queries[i] = texts[rng.Intn(len(texts))] + " wire extra;"
+		case 2:
+			queries[i] = diverseVerilog(rng, 100000+i)
+		default:
+			queries[i] = queries[rng.Intn(i)] // force duplicates
+		}
+	}
+	want := s.BestBatch(1, queries)
+	for _, workers := range []int{2, 4, 13} {
+		got := s.BestBatch(workers, queries)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d query %d: %+v != %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// On a realistic audit workload — diverse corpus, near-duplicate queries —
+// pruning must skip the majority of postings. This is the acceptance
+// criterion behind the large-corpus latency win.
+func TestPruneStatsMajoritySkipped(t *testing.T) {
+	_, texts, c := buildDiverse(31, 2000)
+	EnablePruneStats(true)
+	ResetPruneStats()
+	defer EnablePruneStats(false)
+	for i := 0; i < 50; i++ {
+		q := texts[(i*37)%len(texts)] + "\n  wire tail;\n"
+		if m := c.Best(q); m.Index < 0 {
+			t.Fatalf("query %d found no match", i)
+		}
+	}
+	st := ReadPruneStats()
+	if st.Queries == 0 || st.PostingsTotal == 0 {
+		t.Fatalf("stats not collected: %+v", st)
+	}
+	if st.PostingsVisited*2 >= st.PostingsTotal {
+		t.Fatalf("pruning visited %d of %d postings (>= 50%%): %+v",
+			st.PostingsVisited, st.PostingsTotal, st)
+	}
+	t.Logf("prune stats: visited %d / %d postings (%.1f%%), candidates=%d fullEvals=%d blockSkips=%d bailouts=%d",
+		st.PostingsVisited, st.PostingsTotal,
+		100*float64(st.PostingsVisited)/float64(st.PostingsTotal),
+		st.Candidates, st.FullEvals, st.BlockSkips, st.Bailouts)
+}
+
+// Decoded snapshots rebuild block-max metadata identical to the builder's
+// incremental maintenance.
+func TestDecodeRebuildsBlockMeta(t *testing.T) {
+	_, texts, c := buildDiverse(41, 300)
+	s := c.Seal()
+	dec, err := DecodeSnapshot(s.EncodeSections())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.c.postings) != len(c.postings) {
+		t.Fatalf("postings count %d != %d", len(dec.c.postings), len(c.postings))
+	}
+	for i := range c.postings {
+		a, b := &c.postings[i], &dec.c.postings[i]
+		if a.tmax != b.tmax {
+			t.Fatalf("postings %d: tmax %v != %v", i, b.tmax, a.tmax)
+		}
+		if len(a.bmax) != len(b.bmax) {
+			t.Fatalf("postings %d: bmax len %d != %d", i, len(b.bmax), len(a.bmax))
+		}
+		for j := range a.bmax {
+			if a.bmax[j] != b.bmax[j] {
+				t.Fatalf("postings %d block %d: %v != %v", i, j, b.bmax[j], a.bmax[j])
+			}
+		}
+	}
+	// And the decoded corpus answers pruned queries identically.
+	for _, q := range []string{texts[12], texts[99] + " extra"} {
+		matchesEqual(t, "decoded", dec.c.searchTopK(q, 5, searchPruned), c.searchTopK(q, 5, searchPruned))
+	}
+}
+
+// Out-of-order postings are structural corruption now that DAAT cursors
+// rely on ascending doc ids.
+func TestDecodeRejectsUnsortedPostings(t *testing.T) {
+	c := NewCorpus([]string{"a", "b"}, []string{"alpha beta", "alpha gamma"})
+	secs := c.Seal().EncodeSections()
+	// Section 3 layout: nPost u32, then per list: n u32, docs..., weights...
+	// The "alpha" list has docs [0, 1] at offsets 8 and 12; swap them.
+	post := append([]byte(nil), secs[3]...)
+	post[8], post[12] = post[12], post[8]
+	if _, err := DecodeSnapshot([][]byte{secs[0], secs[1], secs[2], post}); err == nil {
+		t.Fatal("unsorted postings decoded without error")
+	}
+}
+
+// BenchmarkCorpusBestPrunedNearDup is the skip-heavy case the tentpole
+// targets: a diverse 2000-doc corpus audited with near-duplicate queries.
+// Compare against BenchmarkCorpusBestExhaustiveNearDup for the pruning win.
+func BenchmarkCorpusBestPrunedNearDup(b *testing.B) {
+	benchNearDup(b, searchPruned)
+}
+
+func BenchmarkCorpusBestExhaustiveNearDup(b *testing.B) {
+	benchNearDup(b, searchExhaustive)
+}
+
+func benchNearDup(b *testing.B, mode int) {
+	_, texts, c := buildDiverse(61, 2000)
+	queries := make([]string, 256)
+	for i := range queries {
+		queries[i] = texts[(i*31)%len(texts)] + "\n  wire tail;\n"
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ms := c.searchTopK(queries[i%len(queries)], 1, mode); len(ms) == 0 {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -185,11 +185,21 @@ func DecodeSnapshot(sections [][]byte) (*Snapshot, error) {
 			if int(d) < 0 || int(d) >= len(c.names) {
 				return nil, ErrCorruptSnapshot
 			}
+			// Doc-ordered lists are what the DAAT cursors and the pruned
+			// search's tie rule rely on; the builder always writes them
+			// ascending, so anything else is corruption.
+			if j > 0 && d <= pl.docs[j-1] {
+				return nil, ErrCorruptSnapshot
+			}
 			pl.docs[j] = d
 		}
 		for j := 0; j < n; j++ {
 			pl.ws[j] = math.Float64frombits(r.u64())
 		}
+		// Block-max metadata is derived state and deliberately not
+		// serialized (the format — and every old snapshot file — stays
+		// valid); rebuild it deterministically from the weights.
+		pl.rebuildBlockMeta()
 	}
 	if !r.done() {
 		return nil, ErrCorruptSnapshot
@@ -237,5 +247,6 @@ func DecodeSnapshot(sections [][]byte) (*Snapshot, error) {
 		return nil, ErrCorruptSnapshot
 	}
 
+	c.buildByteIDs()
 	return &Snapshot{c: c}, nil
 }

@@ -13,10 +13,10 @@
 package similarity
 
 import (
-	"container/heap"
 	"math"
 	"slices"
 	"strings"
+	"sync"
 	"unicode/utf8"
 
 	"freehw/internal/par"
@@ -32,11 +32,13 @@ type Vector struct {
 	norm  float64
 }
 
-// tokens streams Tokenize's terms to fn without materializing the slice —
-// the zero-allocation core the query path iterates (substrings share the
-// input's backing array; ToLower only allocates when a token actually
-// carries upper case).
-func tokens(text string, fn func(string)) {
+// tokensRaw streams the raw comparison terms to fn without materializing
+// a slice or lowercasing: word tokens are reported verbatim with a flag
+// saying whether they carry upper case (word bytes are pure ASCII, so
+// lowering is a byte map the caller can apply into scratch). Non-ASCII
+// runes are lowered here — they are rare enough that the allocation does
+// not matter — and reported with hasUpper=false.
+func tokensRaw(text string, fn func(tok string, hasUpper bool)) {
 	i := 0
 	n := len(text)
 	isWord := func(c byte) bool {
@@ -49,24 +51,43 @@ func tokens(text string, fn func(string)) {
 			i++
 		case isWord(c):
 			start := i
+			hasUpper := false
 			for i < n && isWord(text[i]) {
+				if text[i] >= 'A' && text[i] <= 'Z' {
+					hasUpper = true
+				}
 				i++
 			}
-			fn(strings.ToLower(text[start:i]))
+			fn(text[start:i], hasUpper)
 		case c < utf8.RuneSelf:
-			fn(text[i : i+1])
+			fn(text[i:i+1], false)
 			i++
 		default:
 			r, size := utf8.DecodeRuneInString(text[i:])
 			if r == utf8.RuneError && size <= 1 {
-				fn(text[i : i+1]) // invalid byte, kept verbatim
+				fn(text[i:i+1], false) // invalid byte, kept verbatim
 				i++
 				break
 			}
-			fn(strings.ToLower(text[i : i+size]))
+			fn(strings.ToLower(text[i:i+size]), false)
 			i += size
 		}
 	}
+}
+
+// tokens streams Tokenize's terms to fn without materializing the slice —
+// the zero-allocation core the indexing path iterates (substrings share
+// the input's backing array; ToLower only allocates when a token actually
+// carries upper case). For pure-ASCII word tokens strings.ToLower is
+// exactly the A–Z byte map, so this emits the same terms the query path
+// resolves through its scratch-buffer lowering.
+func tokens(text string, fn func(string)) {
+	tokensRaw(text, func(t string, hasUpper bool) {
+		if hasUpper {
+			t = strings.ToLower(t)
+		}
+		fn(t)
+	})
 }
 
 // Tokenize splits code into comparison terms: identifiers/keywords, numbers,
@@ -142,14 +163,53 @@ func Cosine(a, b Vector) float64 {
 // tf(term, doc)/norm(doc) weights — so the accumulator walk streams 12
 // packed bytes per posting instead of a padded 16-byte struct, and a dot
 // product against raw query counts needs only the query norm at the end.
+//
+// Postings are always in strictly ascending doc order (documents index in
+// insertion order), which makes every list a ready-made DAAT cursor. On
+// top of that order the list carries block-max metadata: tmax is the
+// largest weight anywhere in the list and bmax[b] the largest weight in
+// block b of blockSize consecutive postings. Both are maintained
+// incrementally by add — O(1) per posting, valid at every instant — so
+// batch builds, incremental Add, and snapshot decode all share one code
+// path and there is no seal-time rebuild for a concurrent reader to race.
+// The metadata is derived state: serialization intentionally omits it
+// (DecodeSnapshot reconstructs it), keeping the snapshot format unchanged.
 type postingList struct {
 	docs []int32
 	ws   []float64
+	bmax []float64 // per-block max weight, block b covers postings [b*blockSize, (b+1)*blockSize)
+	tmax float64   // max weight in the whole list
 }
 
 func (pl *postingList) add(doc int32, w float64) {
+	if len(pl.docs)&blockMask == 0 {
+		pl.bmax = append(pl.bmax, w)
+	} else if b := len(pl.bmax) - 1; w > pl.bmax[b] {
+		pl.bmax[b] = w
+	}
+	if w > pl.tmax {
+		pl.tmax = w
+	}
 	pl.docs = append(pl.docs, doc)
 	pl.ws = append(pl.ws, w)
+}
+
+// rebuildBlockMeta recomputes bmax/tmax from the weights — the decode-time
+// counterpart of add's incremental maintenance, producing identical
+// metadata for identical weights.
+func (pl *postingList) rebuildBlockMeta() {
+	pl.bmax = pl.bmax[:0]
+	pl.tmax = 0
+	for j, w := range pl.ws {
+		if j&blockMask == 0 {
+			pl.bmax = append(pl.bmax, w)
+		} else if b := len(pl.bmax) - 1; w > pl.bmax[b] {
+			pl.bmax[b] = w
+		}
+		if w > pl.tmax {
+			pl.tmax = w
+		}
+	}
 }
 
 // Corpus is an indexed collection of protected documents. Unigram terms
@@ -162,8 +222,29 @@ type Corpus struct {
 	names    []string
 	termIDs  map[string]int32 // unigram term -> postings id
 	pairIDs  map[uint64]int32 // unigram id pair -> bigram postings id
+	byteIDs  []int32          // single-byte term -> id (-1 absent); sealed only
 	postings []postingList    // unigrams and bigrams share one id space
 	sealed   bool
+}
+
+// buildByteIDs precomputes the dictionary ids of all 256 single-byte
+// terms. Verilog text is punctuation-dense — `;`, `(`, `=`, `,` are a
+// large share of every query's tokens — and a direct table turns each of
+// those lookups into one array read instead of a string-map probe. Built
+// only when the corpus seals (the dictionary is frozen from then on);
+// an unsealed corpus keeps the plain map path.
+func (c *Corpus) buildByteIDs() {
+	t := make([]int32, 256)
+	var buf [1]byte
+	for i := range t {
+		buf[0] = byte(i)
+		if id, ok := c.termIDs[string(buf[:])]; ok {
+			t[i] = id
+		} else {
+			t[i] = -1
+		}
+	}
+	c.byteIDs = t
 }
 
 // NewCorpus builds a corpus; names and texts run in parallel. See
@@ -278,14 +359,113 @@ type Match struct {
 // from the corpus dictionary (corpus ids are int32, so they stay below).
 const unknownBase = uint64(1) << 31
 
+// maxUnknownIDs caps how many distinct unknown query tokens receive their
+// own effective id. Unigram effective ids must stay strictly below 2^32-1
+// or a bigram occurrence key (prev+1)<<32|e would overflow into — or wrap
+// past — the bigram key range and collide with unrelated terms. Tokens
+// beyond the cap share one overflow id: for such degenerate queries
+// (billions of distinct unknown tokens) the query norm merges their
+// counts, which can only lower reported scores, never corrupt the key
+// space. A variable, not a const, so tests can lower it.
+var maxUnknownIDs = uint64(1) << 30
+
 // A resolved query term packs a postings id (upper 32 bits) and its
 // integer query count (lower 32 bits) into one uint64, so the term list
 // sorts by id with slices.Sort — no interface or closure per comparison.
-func qtermID(qt uint64) int32   { return int32(qt >> 32) }
-func qtermW(qt uint64) float64  { return float64(uint32(qt)) }
+func qtermID(qt uint64) int32  { return int32(qt >> 32) }
+func qtermW(qt uint64) float64 { return float64(uint32(qt)) }
+
+// packQterm clamps the count into the packed field's uint32 range instead
+// of letting uint32(float64) truncate: a count beyond 2^32-1 (or below 0)
+// would otherwise wrap to an arbitrary small weight — or, worse, leak into
+// the id bits — for adversarially repetitive queries.
 func packQterm(id int32, w float64) uint64 {
+	if !(w > 0) {
+		w = 0
+	} else if w >= 1<<32 {
+		w = 1<<32 - 1
+	}
 	return uint64(uint32(id))<<32 | uint64(uint32(w))
 }
+
+// qtab is a reusable open-addressed hash table counting query term keys
+// (effective unigram ids and packed bigram occurrence keys). It replaces
+// the PR 5 emit-sort-and-run-length scheme: counting ~2 tokens' worth of
+// keys per token through a small linear-probe table is cheaper than
+// sorting every occurrence, and only the distinct terms — typically a
+// fraction of the occurrences — reach the final canonical sort. used
+// records occupied slots in first-insertion order, so iteration is
+// deterministic for a given query; nothing observable depends on table
+// capacity.
+type qtab struct {
+	keys []uint64
+	cnts []uint32
+	used []int32
+	low  []byte // scratch for lowercasing word tokens without allocating
+}
+
+func newQtab(capPow2 int) *qtab {
+	return &qtab{keys: make([]uint64, capPow2), cnts: make([]uint32, capPow2), used: make([]int32, 0, capPow2/2)}
+}
+
+// bump increments key k's count, saturating at the packed-count ceiling
+// instead of wrapping.
+func (t *qtab) bump(k uint64) {
+	if len(t.used)*2 >= len(t.keys) {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	slot := (k * 0x9e3779b97f4a7c15) >> 32 & mask
+	for {
+		if t.cnts[slot] == 0 {
+			t.keys[slot] = k
+			t.cnts[slot] = 1
+			t.used = append(t.used, int32(slot))
+			return
+		}
+		if t.keys[slot] == k {
+			if t.cnts[slot] != ^uint32(0) {
+				t.cnts[slot]++
+			}
+			return
+		}
+		slot = (slot + 1) & mask
+	}
+}
+
+// grow doubles capacity, preserving insertion order in used.
+func (t *qtab) grow() {
+	oldKeys, oldCnts, oldUsed := t.keys, t.cnts, t.used
+	t.keys = make([]uint64, 2*len(oldKeys))
+	t.cnts = make([]uint32, len(t.keys))
+	t.used = make([]int32, 0, len(t.keys)/2)
+	mask := uint64(len(t.keys) - 1)
+	for _, s := range oldUsed {
+		k := oldKeys[s]
+		slot := (k * 0x9e3779b97f4a7c15) >> 32 & mask
+		for t.cnts[slot] != 0 {
+			slot = (slot + 1) & mask
+		}
+		t.keys[slot] = k
+		t.cnts[slot] = oldCnts[s]
+		t.used = append(t.used, int32(slot))
+	}
+}
+
+// reset clears counts for reuse without touching capacity.
+func (t *qtab) reset() {
+	for _, s := range t.used {
+		t.cnts[s] = 0
+	}
+	t.used = t.used[:0]
+}
+
+var qtabPool = sync.Pool{New: func() any { return newQtab(1024) }}
+
+// unknownPool recycles the query-local unknown-token intern maps: clear()
+// keeps the buckets, so steady-state queries with out-of-dictionary
+// identifiers (every fresh candidate) stop paying a map allocation each.
+var unknownPool = sync.Pool{New: func() any { return make(map[string]uint64) }}
 
 // resolveQuery streams a query's tokens and resolves them against the
 // index in one pass: the returned terms are the query's corpus-known
@@ -294,52 +474,110 @@ func packQterm(id int32, w float64) uint64 {
 // keeps Best, TopK, and BestBatch byte-identical to each other. qnorm is
 // the norm over ALL query terms, corpus-known or not. A token the corpus
 // has never seen cannot appear in any corpus bigram either, so its
-// bigrams are skipped without a lookup.
-func (c *Corpus) resolveQuery(text string) (qts []uint64, qnorm float64) {
-	// Emit one key per unigram and bigram occurrence, then sort and
-	// run-length count — cheaper than a hash map at query term counts.
-	// Unigram keys are the effective id (< 2^32, dictionary id or interned
-	// unknown), bigram keys pack the pair shifted into the upper half
-	// (>= 2^32), so the two ranges cannot collide.
+// bigrams are skipped without a lookup. qts reuses buf's capacity when it
+// fits, so a pooled caller pays no per-query slice allocation.
+func (c *Corpus) resolveQuery(text string, buf []uint64) (qts []uint64, qnorm float64) {
+	// Count one key per unigram and bigram occurrence. Unigram keys are
+	// the effective id (< 2^32, dictionary id or interned unknown), bigram
+	// keys pack the pair shifted into the upper half (>= 2^32) — the
+	// unknown-id cap guarantees prev+1 < 2^32, so the two ranges cannot
+	// collide.
+	tab := qtabPool.Get().(*qtab)
 	var unknown map[string]uint64
-	keys := make([]uint64, 0, 512)
+	defer func() {
+		tab.reset()
+		qtabPool.Put(tab)
+		if unknown != nil {
+			clear(unknown)
+			unknownPool.Put(unknown)
+		}
+	}()
+	// newUnknown interns a distinct out-of-dictionary token under a fresh
+	// local id. Keys may alias the query text or copy scratch — the
+	// deferred clear() drops every entry before the map returns to the
+	// pool, so nothing outlives the call.
+	newUnknown := func(key string) uint64 {
+		lid := unknownBase + uint64(len(unknown))
+		if lid >= unknownBase+maxUnknownIDs {
+			lid = unknownBase + maxUnknownIDs // shared overflow id
+		}
+		unknown[key] = lid
+		return lid
+	}
 	prev, seen := uint64(0), false
-	tokens(text, func(t string) {
+	tokensRaw(text, func(t string, hasUpper bool) {
 		var e uint64
-		if id, ok := c.termIDs[t]; ok {
+		if len(t) == 1 && c.byteIDs != nil {
+			ch := t[0]
+			if hasUpper {
+				ch += 'a' - 'A' // a 1-byte token with upper IS a single A-Z letter
+			}
+			if id := c.byteIDs[ch]; id >= 0 {
+				e = uint64(id)
+				tab.bump(e)
+				if seen {
+					tab.bump((prev+1)<<32 | e)
+				}
+				prev, seen = e, true
+				return
+			}
+			// Out-of-dictionary single byte: rare — fall through to the
+			// generic unknown-token path below.
+		}
+		if hasUpper {
+			// Lower into scratch: both map probes below compile to
+			// allocation-free lookups; only a distinct unknown token pays a
+			// string copy when it is interned.
+			b := tab.low[:0]
+			for i := 0; i < len(t); i++ {
+				ch := t[i]
+				if ch >= 'A' && ch <= 'Z' {
+					ch += 'a' - 'A'
+				}
+				b = append(b, ch)
+			}
+			tab.low = b
+			if id, ok := c.termIDs[string(b)]; ok {
+				e = uint64(id)
+			} else {
+				if unknown == nil {
+					unknown = unknownPool.Get().(map[string]uint64)
+				}
+				lid, have := unknown[string(b)]
+				if !have {
+					lid = newUnknown(string(b))
+				}
+				e = lid
+			}
+		} else if id, ok := c.termIDs[t]; ok {
 			e = uint64(id)
 		} else {
 			if unknown == nil {
-				unknown = make(map[string]uint64)
+				unknown = unknownPool.Get().(map[string]uint64)
 			}
 			lid, have := unknown[t]
 			if !have {
-				lid = unknownBase + uint64(len(unknown))
-				unknown[t] = lid
+				lid = newUnknown(t)
 			}
 			e = lid
 		}
-		keys = append(keys, e)
+		tab.bump(e)
 		if seen {
-			keys = append(keys, (prev+1)<<32|e)
+			tab.bump((prev+1)<<32 | e)
 		}
 		prev, seen = e, true
 	})
 	if !seen {
 		return nil, 0
 	}
-	slices.Sort(keys)
 	var sum float64
-	qts = make([]uint64, 0, 128)
-	for i := 0; i < len(keys); {
-		j := i + 1
-		for j < len(keys) && keys[j] == keys[i] {
-			j++
-		}
-		v := float64(j - i)
+	qts = buf[:0]
+	if cap(qts) < len(tab.used) {
+		qts = make([]uint64, 0, len(tab.used))
+	}
+	for _, slot := range tab.used {
+		k, v := tab.keys[slot], float64(tab.cnts[slot])
 		sum += v * v // integer counts: exact in any order
-		k := keys[i]
-		i = j
 		switch {
 		case k < unknownBase: // corpus-known unigram
 			qts = append(qts, packQterm(int32(k), v))
@@ -363,7 +601,7 @@ func (c *Corpus) resolveQuery(text string) (qts []uint64, qnorm float64) {
 // dot(query, doc)/norm(doc), so dividing by the query norm yields cosine.
 // qnorm is 0 for empty queries.
 func (c *Corpus) score(text string) (acc []float64, qnorm float64) {
-	qts, qnorm := c.resolveQuery(text)
+	qts, qnorm := c.resolveQuery(text, nil)
 	if qnorm == 0 || len(c.names) == 0 {
 		return nil, qnorm
 	}
@@ -380,17 +618,15 @@ func (c *Corpus) score(text string) (acc []float64, qnorm float64) {
 	return acc, qnorm
 }
 
-// Best returns the closest corpus document to the query text. Ties resolve
-// to the lowest document index.
+// Best returns the closest corpus document to the query text, or
+// Match{Name: "", Index: -1, Score: 0} when nothing scores above zero —
+// the documented no-match value callers must check before using Index.
+// Ties resolve to the lowest document index.
 func (c *Corpus) Best(text string) Match {
-	acc, qnorm := c.score(text)
-	best := Match{Index: -1}
-	for i, dot := range acc {
-		if s := dot / qnorm; s > best.Score {
-			best = Match{Name: c.names[i], Index: i, Score: s}
-		}
+	if ms := c.searchTopK(text, 1, searchAuto); len(ms) > 0 {
+		return ms[0]
 	}
-	return best
+	return Match{Index: -1}
 }
 
 // matchWorse orders matches weakest-first: lower score, then higher index
@@ -426,27 +662,5 @@ func (c *Corpus) TopK(text string, k int) []Match {
 	if k <= 0 {
 		return nil
 	}
-	acc, qnorm := c.score(text)
-	if acc == nil {
-		return nil
-	}
-	h := make(matchHeap, 0, k)
-	for i := range c.names {
-		s := acc[i] / qnorm
-		if s == 0 {
-			continue
-		}
-		m := Match{Name: c.names[i], Index: i, Score: s}
-		if len(h) < k {
-			heap.Push(&h, m)
-		} else if matchWorse(h[0], m) {
-			h[0] = m
-			heap.Fix(&h, 0)
-		}
-	}
-	out := make([]Match, len(h))
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Match)
-	}
-	return out
+	return c.searchTopK(text, k, searchAuto)
 }

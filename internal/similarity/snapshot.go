@@ -16,6 +16,9 @@ type Snapshot struct {
 // writer cannot silently mutate an index that concurrent readers hold.
 func (c *Corpus) Seal() *Snapshot {
 	c.sealed = true
+	if c.byteIDs == nil {
+		c.buildByteIDs()
+	}
 	return &Snapshot{c: c}
 }
 
@@ -48,6 +51,11 @@ func (s *Snapshot) TopK(text string, k int) []Match { return s.c.TopK(text, k) }
 func (s *Snapshot) BestBatch(workers int, texts []string) []Match {
 	if len(texts) == 0 {
 		return nil
+	}
+	if len(texts) == 1 {
+		// Single query — the serving fast path: no dedup table, no
+		// fan-out, same result.
+		return []Match{s.c.Best(texts[0])}
 	}
 	slot := make([]int, len(texts))
 	index := make(map[string]int, len(texts))

@@ -24,6 +24,7 @@ import (
 	"crypto/sha256"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"freehw/internal/dedup"
 	"freehw/internal/license"
@@ -34,8 +35,16 @@ import (
 // Key identifies file content (SHA-256).
 type Key [32]byte
 
-// KeyOf hashes file content.
-func KeyOf(content string) Key { return sha256.Sum256([]byte(content)) }
+// KeyOf hashes file content. The byte view is a zero-copy alias of the
+// string — safe because Sum256 neither mutates nor retains its input —
+// so hashing a 2 KB candidate does not allocate a 2 KB throwaway copy on
+// every audit.
+func KeyOf(content string) Key {
+	if len(content) == 0 {
+		return sha256.Sum256(nil)
+	}
+	return sha256.Sum256(unsafe.Slice(unsafe.StringData(content), len(content)))
+}
 
 // Entry memoizes every cached analysis of one file content. The zero-ish
 // entry from NewEntry works standalone (no Store) as a pure per-file memo.
