@@ -1,0 +1,91 @@
+// Command freehw-vet machine-checks the repo's correctness conventions:
+// determinism of anything derived from map iteration (mapord), the
+// *Locked mutex discipline (lockheld), failpoint coverage of filesystem
+// crash sites (failsafe), and the allocation/syscall hygiene of
+// //freehw:hotpath code (hotpath). CI runs it over ./... and requires a
+// clean exit; see internal/analysis for the analyzer suite and the
+// marker/suppression syntax.
+//
+// Usage:
+//
+//	freehw-vet [-json] [-analyzers mapord,lockheld,...] ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"freehw/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: freehw-vet [-json] [-analyzers names] packages...\n\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-9s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	analyzers, err := analysis.ByName(*list)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "freehw-vet:", err)
+		os.Exit(2)
+	}
+
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "freehw-vet:", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	var findings []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(pkg, analyzers) {
+			// Report paths relative to the invocation directory — stable
+			// across machines, so the -json artifact diffs cleanly.
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, d.File); err == nil {
+					d.File = rel
+				}
+			}
+			findings = append(findings, d)
+		}
+	}
+	analysis.Sort(findings)
+
+	if *jsonOut {
+		out := struct {
+			Count    int                   `json:"count"`
+			Findings []analysis.Diagnostic `json:"findings"`
+		}{Count: len(findings), Findings: findings}
+		if out.Findings == nil {
+			out.Findings = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	} else {
+		for _, d := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "freehw-vet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"freehw/internal/vlog"
 	"freehw/internal/vsim"
@@ -62,8 +63,13 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "vsim: %s finished at t=%d ($finish=%v)\n", name, sim.Time(), sim.Finished())
 	if *stats {
-		for sname, sig := range d.Top.Signals {
-			fmt.Fprintf(os.Stderr, "  %s = %s\n", sname, sig.Val)
+		names := make([]string, 0, len(d.Top.Signals))
+		for sname := range d.Top.Signals {
+			names = append(names, sname)
+		}
+		sort.Strings(names)
+		for _, sname := range names {
+			fmt.Fprintf(os.Stderr, "  %s = %s\n", sname, d.Top.Signals[sname].Val)
 		}
 	}
 }

@@ -1,0 +1,318 @@
+// Package analysis is a stdlib-only mini framework for the repo-invariant
+// static checks behind cmd/freehw-vet. The repo's whole contract —
+// byte-identical audit verdicts at any worker count, across restarts,
+// across snapshot reloads — rests on conventions (canonical iteration
+// order, lock discipline, failpoint coverage at crash sites, allocation-
+// and-syscall-free hot paths) that every new subsystem must uphold. The
+// analyzers in this package prove those conventions mechanically instead
+// of by review:
+//
+//	mapord    — a range over a map whose body appends to a slice, writes
+//	            to an io.Writer, or accumulates a float, with no
+//	            dominating sort/canonicalization afterwards, is a
+//	            determinism bug.
+//	lockheld  — *Locked functions may only be called with their guarding
+//	            mutex held (acquired in the caller or inherited by being
+//	            *Locked itself).
+//	failsafe  — os.Rename / (*os.File).Sync / os.Remove crash sites in
+//	            failpoint-instrumented packages must sit next to a
+//	            failpoint.Inject, and every registered failpoint must be
+//	            reachable from a test.
+//	hotpath   — //freehw:hotpath files and functions may not use
+//	            encoding/json, fmt.Sprint*, reflect, time.Now/Since, or
+//	            math/rand.
+//
+// Everything is built on go/parser + go/types with go/importer's source
+// mode, so go.mod stays dependency-free.
+//
+// # Markers and suppression
+//
+// Three comment directives drive the analyzers (directive comments are
+// excluded from godoc, like //go:noinline):
+//
+//	//freehw:hotpath
+//	    Above the package clause: the whole file is a hot path.
+//	    In a function's doc comment: that function is a hot path.
+//
+//	//freehw:guardedby <field>
+//	    In a *Locked function's doc comment: names the mutex field that
+//	    guards it, overriding lockheld's name-prefix inference.
+//
+//	//freehw:nolint <analyzers> -- <reason>
+//	    Suppresses the named analyzers (comma-separated) on the same
+//	    line and the line below, so it works both as a trailing comment
+//	    and as a comment above the offending line. The reason is
+//	    mandatory: a nolint without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Run inspects the package behind pass and
+// reports findings through pass.Reportf.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pass *Pass)
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{MapOrd, LockHeld, FailSafe, HotPath}
+}
+
+// ByName resolves a comma-separated analyzer list ("mapord,hotpath").
+func ByName(list string) ([]*Analyzer, error) {
+	if list == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(list, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Pass is one (analyzer, package) run. Analyzers read the package and
+// report through Reportf, which applies //freehw:nolint suppression.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a nolint directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.directives.suppressed(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over pkg and returns their findings plus any
+// directive diagnostics (malformed nolint comments), sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	diags = append(diags, pkg.directives.malformed...)
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+		a.Run(pass)
+	}
+	Sort(diags)
+	return diags
+}
+
+// Sort orders diagnostics by file, line, column, analyzer — the canonical
+// output order of the driver (human and -json alike).
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// nolintDirective is one parsed //freehw:nolint comment.
+type nolintDirective struct {
+	analyzers []string
+}
+
+// directives holds every freehw comment directive of one package, indexed
+// for the hot lookups analyzers make.
+type directives struct {
+	// nolint maps file -> line -> directives active on that line. A
+	// directive registers on its own line and the next, covering both
+	// trailing-comment and comment-above placement.
+	nolint map[string]map[int][]nolintDirective
+	// hotpathFiles marks files whose package clause is preceded by a
+	// //freehw:hotpath directive.
+	hotpathFiles map[*ast.File]bool
+	// hotpathFuncs marks functions whose doc carries //freehw:hotpath.
+	hotpathFuncs map[*ast.FuncDecl]bool
+	// guardedBy maps a function to the mutex field named by its
+	// //freehw:guardedby directive.
+	guardedBy map[*ast.FuncDecl]string
+	// malformed collects directive-syntax findings (nolint without a
+	// reason), reported under the "nolint" analyzer name.
+	malformed []Diagnostic
+}
+
+const (
+	nolintPrefix    = "//freehw:nolint"
+	hotpathMarker   = "//freehw:hotpath"
+	guardedByPrefix = "//freehw:guardedby"
+)
+
+// parseDirectives scans a parsed file's comments (and its func decls' docs)
+// into the package's directive index.
+func (d *directives) parseDirectives(fset *token.FileSet, f *ast.File) {
+	if d.nolint == nil {
+		d.nolint = map[string]map[int][]nolintDirective{}
+		d.hotpathFiles = map[*ast.File]bool{}
+		d.hotpathFuncs = map[*ast.FuncDecl]bool{}
+		d.guardedBy = map[*ast.FuncDecl]string{}
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimRight(c.Text, " \t")
+			switch {
+			case text == hotpathMarker:
+				// File-level only when the directive sits above the package
+				// clause; a marker inside a function doc is handled below.
+				if c.End() <= f.Package {
+					d.hotpathFiles[f] = true
+				}
+			case strings.HasPrefix(text, nolintPrefix):
+				d.parseNolint(fset, c)
+			}
+		}
+	}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if ok && fn.Doc != nil {
+			for _, c := range fn.Doc.List {
+				text := strings.TrimRight(c.Text, " \t")
+				if text == hotpathMarker {
+					d.hotpathFuncs[fn] = true
+				}
+				if rest, ok := strings.CutPrefix(text, guardedByPrefix); ok {
+					d.guardedBy[fn] = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+}
+
+// parseNolint parses one //freehw:nolint comment. Grammar:
+//
+//	//freehw:nolint analyzer[,analyzer...] -- reason
+//
+// Both the analyzer list and the reason are mandatory; a directive that
+// omits either is reported (and suppresses nothing) — an unexplained
+// suppression is exactly the silent convention-rot this suite exists to
+// prevent.
+func (d *directives) parseNolint(fset *token.FileSet, c *ast.Comment) {
+	pos := fset.Position(c.Pos())
+	rest := strings.TrimPrefix(strings.TrimRight(c.Text, " \t"), nolintPrefix)
+	names, reason, found := strings.Cut(rest, "--")
+	reason = strings.TrimSpace(reason)
+	var analyzers []string
+	for _, n := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		analyzers = append(analyzers, n)
+	}
+	if !found || reason == "" || len(analyzers) == 0 {
+		d.malformed = append(d.malformed, Diagnostic{
+			Analyzer: "nolint",
+			Pos:      pos,
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  `malformed //freehw:nolint: want "//freehw:nolint <analyzers> -- <reason>" (suppression not applied)`,
+		})
+		return
+	}
+	byLine := d.nolint[pos.Filename]
+	if byLine == nil {
+		byLine = map[int][]nolintDirective{}
+		d.nolint[pos.Filename] = byLine
+	}
+	dir := nolintDirective{analyzers: analyzers}
+	byLine[pos.Line] = append(byLine[pos.Line], dir)
+	byLine[pos.Line+1] = append(byLine[pos.Line+1], dir)
+}
+
+// suppressed reports whether a diagnostic from analyzer at position is
+// covered by a nolint directive.
+func (d *directives) suppressed(pos token.Position, analyzer string) bool {
+	for _, dir := range d.nolint[pos.Filename][pos.Line] {
+		for _, a := range dir.analyzers {
+			if a == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// importsPath reports whether the package imports path in any file.
+func (p *Package) importsPath(path string) bool {
+	for _, imp := range p.Types.Imports() {
+		if imp.Path() == path {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgNameOf returns the imported package an identifier refers to, if it is
+// a package name (e.g. the json in json.Marshal).
+func (p *Package) pkgNameOf(id *ast.Ident) *types.Package {
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported()
+	}
+	return nil
+}
+
+// selectorPkgFunc matches a call like pkg.Name(...) against an import path
+// and returns true when it resolves there.
+func (p *Package) selectorPkgFunc(call *ast.CallExpr, path, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg := p.pkgNameOf(id)
+	return pkg != nil && pkg.Path() == path
+}

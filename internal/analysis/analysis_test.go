@@ -1,0 +1,88 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"freehw/internal/analysis"
+)
+
+// loader is shared with nothing else: directive semantics are asserted on
+// raw Run output here, not via the // want harness.
+var loader = analysis.NewLoader()
+
+// TestDirectiveSemantics pins the nolint contract on testdata/src/directives_a:
+// a malformed directive (no "-- reason") is reported and suppresses
+// nothing, a well-formed one suppresses exactly the named analyzer, and a
+// directive naming a different analyzer suppresses nothing.
+func TestDirectiveSemantics(t *testing.T) {
+	pkg, err := loader.LoadDir("testdata/src/directives_a", "freehw/internal/analysis/testdata/src/directives_a")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags := analysis.Run(pkg, analysis.All())
+	for _, d := range diags {
+		t.Logf("diag: %s", d)
+	}
+
+	var malformed, mapord []analysis.Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "nolint":
+			malformed = append(malformed, d)
+		case "mapord":
+			mapord = append(mapord, d)
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+	}
+	if len(malformed) != 1 || !strings.Contains(malformed[0].Message, "malformed //freehw:nolint") {
+		t.Errorf("want exactly one malformed-nolint diagnostic, got %v", malformed)
+	}
+	// suppressedOK's append is silenced; unsuppressed's and wrongName's fire.
+	if len(mapord) != 2 {
+		t.Fatalf("want 2 mapord diagnostics (unsuppressed + wrongName), got %d: %v", len(mapord), mapord)
+	}
+	for _, d := range mapord {
+		if !strings.Contains(d.Message, "appends to out") {
+			t.Errorf("unexpected mapord message: %s", d)
+		}
+	}
+	if mapord[0].Line >= mapord[1].Line {
+		t.Errorf("diagnostics not sorted by line: %v", mapord)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := analysis.ByName("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(\"\") = %v, %v; want the 4-analyzer suite", all, err)
+	}
+	subset, err := analysis.ByName("mapord, hotpath")
+	if err != nil || len(subset) != 2 || subset[0].Name != "mapord" || subset[1].Name != "hotpath" {
+		t.Fatalf("ByName(\"mapord, hotpath\") = %v, %v", subset, err)
+	}
+	if _, err := analysis.ByName("nosuch"); err == nil {
+		t.Fatal("ByName(\"nosuch\") should fail")
+	}
+}
+
+// TestExpandPatterns checks the "..." wildcard walks package directories
+// and skips testdata, the same way the go tool does.
+func TestExpandPatterns(t *testing.T) {
+	dirs, err := analysis.ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	want := map[string]bool{".": true, "analysistest": true}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("testdata not skipped: %s", d)
+		}
+		delete(want, filepath.ToSlash(d))
+	}
+	for d := range want {
+		t.Errorf("missing package dir %q in %v", d, dirs)
+	}
+}

@@ -1,0 +1,168 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against // want expectation comments, the same
+// convention golang.org/x/tools uses:
+//
+//	for k := range m { // want `appends to out`
+//
+// Each want comment expects, on its own line, one diagnostic per quoted
+// regexp (backquoted or double-quoted, several per comment allowed). The
+// run fails on any unmatched expectation and any unexpected diagnostic,
+// so the goldens pin both that the analyzer fires and that it stays
+// quiet.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"freehw/internal/analysis"
+)
+
+// sharedLoader amortizes source-mode type-checking of dependencies across
+// every golden suite in the test binary.
+var sharedLoader = analysis.NewLoader()
+
+// Run loads the package rooted at dir (relative to the test's working
+// directory, conventionally testdata/src/<name>) and checks analyzer a's
+// diagnostics against the package's // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := sharedLoader.LoadDir(dir, "freehw/internal/analysis/"+strings.TrimPrefix(dir, "./"))
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags := analysis.Run(pkg, []*analysis.Analyzer{a})
+	wants := collectWants(t, pkg)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		if d.Analyzer != a.Name {
+			// Directive diagnostics (malformed nolint) are asserted via
+			// their own want comments under the "nolint" name.
+			if d.Analyzer != "nolint" {
+				t.Errorf("unexpected analyzer %q in run of %q", d.Analyzer, a.Name)
+				continue
+			}
+		}
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.File || w.line != d.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.rx)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+// collectWants parses every // want comment in the package's non-test
+// files into positional expectations.
+func collectWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitPatterns(rest) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns extracts the quoted regexps of one want comment: a
+// sequence of backquoted or double-quoted strings.
+func splitPatterns(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return append(out, s[1:])
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			var err error
+			var pat string
+			pat, s, err = cutQuoted(s)
+			if err != nil {
+				return append(out, s)
+			}
+			out = append(out, pat)
+		default:
+			// Bare word: take up to the next space.
+			i := strings.IndexByte(s, ' ')
+			if i < 0 {
+				return append(out, s)
+			}
+			out = append(out, s[:i])
+			s = s[i:]
+		}
+	}
+}
+
+// cutQuoted splits a leading double-quoted Go string off s.
+func cutQuoted(s string) (pat, rest string, err error) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			var unq string
+			if unq, err = unquote(s[:i+1]); err != nil {
+				return "", s, err
+			}
+			return unq, s[i+1:], nil
+		}
+	}
+	return "", s, fmt.Errorf("unterminated quote")
+}
+
+func unquote(q string) (string, error) {
+	var sb strings.Builder
+	for i := 1; i < len(q)-1; i++ {
+		if q[i] == '\\' && i+1 < len(q)-1 {
+			i++
+		}
+		sb.WriteByte(q[i])
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// failpointPath is the repo's fault-injection registry package. FailSafe
+// only applies to packages that import it: those are the packages that
+// opted into crash-consistency discipline (snapstore, serve), and the ones
+// where a crash site drifting away from its failpoint silently un-tests
+// the kill-and-recover suite.
+const failpointPath = "freehw/internal/failpoint"
+
+// FailSafe keeps the PR 6 crash-recovery story honest as code moves:
+//
+//  1. Every crash site — a call to os.Rename, os.Remove, or
+//     (*os.File).Sync — must be adjacent to a failpoint.Inject: in the
+//     same function, or in a direct same-package caller of it (the
+//     boundary pattern, where writeDurable owns the injects and its
+//     helpers do the syscalls).
+//  2. Every failpoint.Register must be reachable from this package's
+//     tests: its name literal or its assigned variable appears in a
+//     _test.go file, or some test enumerates the registry via
+//     failpoint.List (the self-enumeration pattern the recovery suite
+//     uses). A registered point no test can reach is a crash site whose
+//     recovery is never proven.
+var FailSafe = &Analyzer{
+	Name: "failsafe",
+	Doc:  "crash sites need adjacent failpoints; registered failpoints need tests",
+	Run:  runFailSafe,
+}
+
+func runFailSafe(pass *Pass) {
+	pkg := pass.Pkg
+	if !pkg.importsPath(failpointPath) {
+		return
+	}
+	checkCrashSites(pass)
+	checkRegisterCoverage(pass)
+}
+
+// checkCrashSites enforces rule 1.
+func checkCrashSites(pass *Pass) {
+	pkg := pass.Pkg
+	// Which functions contain a failpoint.Inject, and who calls whom
+	// (same-package, syntactic) — both keyed by declaration.
+	injects := map[*ast.FuncDecl]bool{}
+	callers := map[*ast.FuncDecl][]*ast.FuncDecl{} // callee decl -> caller decls
+	declOf := func(call *ast.CallExpr) *ast.FuncDecl {
+		if fn := calledFunc(pkg, call); fn != nil {
+			return pkg.FuncDeclOf(fn)
+		}
+		return nil
+	}
+	forEachFunc(pkg, func(fn *ast.FuncDecl) {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg.selectorPkgFunc(call, failpointPath, "Inject") {
+				injects[fn] = true
+			}
+			if callee := declOf(call); callee != nil {
+				callers[callee] = append(callers[callee], fn)
+			}
+			return true
+		})
+	})
+	covered := func(fn *ast.FuncDecl) bool {
+		if injects[fn] {
+			return true
+		}
+		for _, c := range callers[fn] {
+			if injects[c] {
+				return true
+			}
+		}
+		return false
+	}
+	forEachFunc(pkg, func(fn *ast.FuncDecl) {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			site := crashSiteName(pkg, call)
+			if site == "" || covered(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"crash site %s has no adjacent failpoint.Inject (none in %s or its direct callers); a kill here is untestable",
+				site, fn.Name.Name)
+			return true
+		})
+	})
+}
+
+// crashSiteName classifies a call as a crash-relevant filesystem mutation.
+func crashSiteName(pkg *Package, call *ast.CallExpr) string {
+	for _, fn := range []string{"Rename", "Remove"} {
+		if pkg.selectorPkgFunc(call, "os", fn) {
+			return "os." + fn
+		}
+	}
+	// (*os.File).Sync — the fsync that makes a write durable.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" {
+		if s, ok := pkg.Info.Selections[sel]; ok {
+			if fn := s.Obj(); fn.Pkg() != nil && fn.Pkg().Path() == "os" {
+				return "(*os.File).Sync"
+			}
+		}
+	}
+	return ""
+}
+
+// checkRegisterCoverage enforces rule 2.
+func checkRegisterCoverage(pass *Pass) {
+	pkg := pass.Pkg
+	// Tests that call failpoint.List cover every registration in the
+	// package: the recovery suite iterates the registry instead of naming
+	// points one by one, and that pattern must not be flagged.
+	if testsCallList(pkg) {
+		return
+	}
+	literals, idents := testMentions(pkg)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !pkg.selectorPkgFunc(call, failpointPath, "Register") {
+				return true
+			}
+			name := ""
+			if len(call.Args) == 1 {
+				if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+					name, _ = strconv.Unquote(lit.Value)
+				}
+			}
+			varName := registerVarName(f, call)
+			if (name != "" && literals[name]) || (varName != "" && idents[varName]) {
+				return true
+			}
+			label := name
+			if label == "" {
+				label = varName
+			}
+			pass.Reportf(call.Pos(),
+				"failpoint %q is not exercised by any test in this package (no name literal, no reference to %s, no failpoint.List enumeration)",
+				label, varNameOr(varName))
+			return true
+		})
+	}
+}
+
+func varNameOr(v string) string {
+	if v == "" {
+		return "its variable"
+	}
+	return v
+}
+
+// registerVarName finds the variable a Register call's result is assigned
+// to (var FPX = failpoint.Register(...)), or "".
+func registerVarName(f *ast.File, target *ast.CallExpr) string {
+	name := ""
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch decl := n.(type) {
+		case *ast.ValueSpec:
+			for i, v := range decl.Values {
+				if v == target && i < len(decl.Names) {
+					name = decl.Names[i].Name
+				}
+			}
+		case *ast.AssignStmt:
+			for i, v := range decl.Rhs {
+				if v == target && i < len(decl.Lhs) {
+					if id, ok := decl.Lhs[i].(*ast.Ident); ok {
+						name = id.Name
+					}
+				}
+			}
+		}
+		return name == ""
+	})
+	return name
+}
+
+// testsCallList reports whether any test file calls failpoint.List. Test
+// files are parsed without type information, so the check is syntactic:
+// a selector whose base identifier is an import of the failpoint package
+// (by path or alias).
+func testsCallList(pkg *Package) bool {
+	for _, f := range pkg.TestFiles {
+		names := failpointImportNames(f)
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "List" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && names[id.Name] {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// failpointImportNames returns the local names under which a file imports
+// the failpoint package.
+func failpointImportNames(f *ast.File) map[string]bool {
+	names := map[string]bool{}
+	for _, imp := range f.Imports {
+		path, _ := strconv.Unquote(imp.Path.Value)
+		if path != failpointPath {
+			continue
+		}
+		if imp.Name != nil {
+			names[imp.Name.Name] = true
+		} else {
+			names["failpoint"] = true
+		}
+	}
+	return names
+}
+
+// testMentions collects every string literal and identifier appearing in
+// the package's test files.
+func testMentions(pkg *Package) (literals, idents map[string]bool) {
+	literals, idents = map[string]bool{}, map[string]bool{}
+	for _, f := range pkg.TestFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BasicLit:
+				if v.Kind.String() == "STRING" {
+					if s, err := strconv.Unquote(v.Value); err == nil {
+						literals[s] = true
+						// A literal mentioning the name inside a longer
+						// string (an env spec like "a,b=panic") counts too.
+						for _, part := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == '=' || r == ' ' }) {
+							literals[part] = true
+						}
+					}
+				}
+			case *ast.Ident:
+				idents[v.Name] = true
+			}
+			return true
+		})
+	}
+	return literals, idents
+}
+
+// forEachFunc visits every declared function with a body.
+func forEachFunc(pkg *Package, visit func(*ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				visit(fn)
+			}
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"freehw/internal/analysis"
+	"freehw/internal/analysis/analysistest"
+)
+
+func TestFailSafe(t *testing.T) {
+	analysistest.Run(t, analysis.FailSafe, "testdata/src/failsafe_a")
+}
+
+func TestFailSafeMultiFileListEscape(t *testing.T) {
+	analysistest.Run(t, analysis.FailSafe, "testdata/src/failsafe_multi")
+}

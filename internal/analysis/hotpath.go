@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// HotPath enforces the discipline the hand-rolled fast paths exist to
+// protect: code marked //freehw:hotpath (a whole file when the directive
+// sits above the package clause, one function when it sits in the doc
+// comment) may not reach for
+//
+//	encoding/json   — reflection-driven; the audit path ships hand-rolled
+//	                  encoders proven byte-identical instead
+//	fmt.Sprint*     — interface boxing + reflection per call
+//	reflect         — never on a hot path
+//	time.Now/Since  — a vDSO call per audit adds up at 36k/s, and wall-
+//	                  clock reads belong to the metrics layer
+//	math/rand(/v2)  — hot paths must be deterministic; randomness is a
+//	                  determinism bug before it is a perf one
+//
+// The analyzer flags uses, not imports, so diagnostics point at the exact
+// call; metrics-layer exceptions are annotated //freehw:nolint hotpath
+// with a reason.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//freehw:hotpath code may not use encoding/json, fmt.Sprint*, reflect, time.Now, or math/rand",
+	Run:  runHotPath,
+}
+
+// forbiddenPkgs maps import paths any selector use of which is forbidden
+// in a hot-path scope.
+var forbiddenPkgs = map[string]string{
+	"encoding/json": "encoding/json",
+	"reflect":       "reflect",
+	"math/rand":     "math/rand",
+	"math/rand/v2":  "math/rand/v2",
+}
+
+func runHotPath(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		fileHot := pkg.directives.hotpathFiles[f]
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fileHot || pkg.directives.hotpathFuncs[fn] {
+				scope := "file"
+				if !fileHot {
+					scope = "function " + fn.Name.Name
+				}
+				checkHotPathFunc(pass, fn, scope)
+			}
+		}
+	}
+}
+
+func checkHotPathFunc(pass *Pass, fn *ast.FuncDecl, scope string) {
+	pkg := pass.Pkg
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		p := pkg.pkgNameOf(id)
+		if p == nil {
+			return true
+		}
+		name := sel.Sel.Name
+		switch {
+		case forbiddenPkgs[p.Path()] != "":
+			pass.Reportf(sel.Pos(), "%s.%s used in //freehw:hotpath %s; %s is forbidden on hot paths",
+				p.Name(), name, scope, forbiddenPkgs[p.Path()])
+		case p.Path() == "fmt" && strings.HasPrefix(name, "Sprint"):
+			pass.Reportf(sel.Pos(), "fmt.%s used in //freehw:hotpath %s; fmt.Sprint* is forbidden on hot paths",
+				name, scope)
+		case p.Path() == "time" && (name == "Now" || name == "Since"):
+			pass.Reportf(sel.Pos(), "time.%s used in //freehw:hotpath %s; wall-clock reads are forbidden on hot paths",
+				name, scope)
+		}
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"freehw/internal/analysis"
+	"freehw/internal/analysis/analysistest"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, analysis.HotPath, "testdata/src/hotpath_a")
+}
+
+func TestHotPathMultiFileFileMarker(t *testing.T) {
+	analysistest.Run(t, analysis.HotPath, "testdata/src/hotpath_multi")
+}

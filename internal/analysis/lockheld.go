@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockHeld enforces the *Locked naming discipline: a function named
+// fooLocked asserts "my guarding mutex is held on entry", so every call to
+// it must come from a context that holds that mutex — the caller either
+// acquires it (lexically before the call, with no non-deferred release in
+// between) or is itself a *Locked function sharing the same guard.
+//
+// The guard is resolved, in order: an explicit //freehw:guardedby <field>
+// directive in the callee's doc comment; the receiver's mutex field whose
+// name shares the longest (>= 2 character) prefix with the method name
+// (publishLocked -> pubMu, pumpLocked -> pumpMu); the receiver's only
+// mutex field. When no guard resolves, holding any mutex of the receiver
+// satisfies the check, and the diagnostic suggests adding the directive.
+//
+// The analysis is lexical, not path-sensitive: an acquisition anywhere
+// before the call in the same function counts. That is deliberately
+// permissive — the analyzer's job is to catch the call with no lock in
+// sight, the bug that silently breaks publish ordering, not to re-prove
+// every branch.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "*Locked functions may only be called with their guarding mutex held",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLockHeldFunc(pass, fn)
+		}
+	}
+}
+
+// lockEvent is one mutex acquisition or release in a function body, in
+// lexical order.
+type lockEvent struct {
+	pos      token.Pos
+	lockee   string // printed receiver of Lock/Unlock, e.g. "s.pubMu"
+	acquire  bool
+	deferred bool
+}
+
+var acquireNames = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+var releaseNames = map[string]bool{"Unlock": true, "RUnlock": true}
+
+func checkLockHeldFunc(pass *Pass, caller *ast.FuncDecl) {
+	pkg := pass.Pkg
+	events := collectLockEvents(pkg, caller.Body)
+	ast.Inspect(caller.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calledFunc(pkg, call)
+		if callee == nil || !isLockedName(callee.Name()) {
+			return true
+		}
+		guard, guardKnown := lockedGuard(pkg, callee)
+		// A *Locked caller inherits the lock when it shares the callee's
+		// guard (or when either guard is unresolvable — the benefit of the
+		// doubt goes to the convention, the directive removes the doubt).
+		if isLockedName(caller.Name.Name) {
+			callerGuard, callerKnown := lockedGuardOfDecl(pkg, caller)
+			if !guardKnown || !callerKnown || callerGuard == guard {
+				return true
+			}
+		}
+		base := receiverBase(call)
+		want := guard
+		if base != "" && guard != "" {
+			want = base + "." + guard
+		}
+		if heldAt(pkg, events, call.Pos(), want, base, guardKnown) {
+			return true
+		}
+		if guardKnown {
+			pass.Reportf(call.Pos(), "%s called without holding %s (its guard); lock it on every path to this call or make the caller *Locked",
+				callee.Name(), want)
+		} else {
+			pass.Reportf(call.Pos(), "%s called without any mutex held; no guard could be resolved — add //freehw:guardedby <field> to its doc",
+				callee.Name())
+		}
+		return true
+	})
+}
+
+// collectLockEvents gathers every mutex Lock/Unlock-shaped call in body in
+// lexical order, tagging releases that only run at function exit (defers).
+func collectLockEvents(pkg *Package, body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if !acquireNames[name] && !releaseNames[name] {
+			return true
+		}
+		if !isMutexType(pkg.Info.TypeOf(sel.X)) {
+			return true
+		}
+		events = append(events, lockEvent{
+			pos:      call.Pos(),
+			lockee:   types.ExprString(sel.X),
+			acquire:  acquireNames[name],
+			deferred: deferred[call],
+		})
+		return true
+	})
+	return events
+}
+
+// heldAt reports whether the wanted mutex is (lexically) held at pos: some
+// acquisition precedes it with no non-deferred release in between. With an
+// unresolved guard, any held mutex rooted at the callee's receiver counts.
+func heldAt(pkg *Package, events []lockEvent, pos token.Pos, want, base string, guardKnown bool) bool {
+	matches := func(lockee string) bool {
+		if guardKnown {
+			return lockee == want
+		}
+		if base == "" {
+			return true // unresolved guard on a plain function: any mutex
+		}
+		return lockee == base || strings.HasPrefix(lockee, base+".")
+	}
+	held := map[string]bool{}
+	for _, ev := range events {
+		if ev.pos >= pos {
+			break
+		}
+		if !matches(ev.lockee) {
+			continue
+		}
+		if ev.acquire {
+			held[ev.lockee] = true
+		} else if !ev.deferred {
+			held[ev.lockee] = false
+		}
+	}
+	for _, h := range held {
+		if h {
+			return true
+		}
+	}
+	return false
+}
+
+// calledFunc resolves the function or method a call expression invokes.
+func calledFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// receiverBase returns the printed base of a method call's receiver
+// ("s" for s.publishLocked(...)), or "" for plain function calls.
+func receiverBase(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X)
+	}
+	return ""
+}
+
+func isLockedName(name string) bool {
+	return strings.HasSuffix(name, "Locked") && name != "Locked"
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockedGuard resolves the guarding mutex of a *Locked function: the
+// //freehw:guardedby directive when present, otherwise name-prefix
+// inference over the receiver's mutex fields.
+func lockedGuard(pkg *Package, fn *types.Func) (guard string, known bool) {
+	if decl := pkg.FuncDeclOf(fn); decl != nil {
+		if g, ok := pkg.directives.guardedBy[decl]; ok {
+			return g, true
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	return inferGuard(fn.Name(), mutexFields(sig.Recv().Type()))
+}
+
+// lockedGuardOfDecl resolves the guard of a declaration in the package
+// under analysis (the caller side of the inheritance rule).
+func lockedGuardOfDecl(pkg *Package, decl *ast.FuncDecl) (string, bool) {
+	if g, ok := pkg.directives.guardedBy[decl]; ok {
+		return g, true
+	}
+	fn, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return "", false
+	}
+	return inferGuard(fn.Name(), mutexFields(sig.Recv().Type()))
+}
+
+// mutexFields lists the sync.Mutex/RWMutex fields of a (possibly pointer)
+// struct type, in declaration order.
+func mutexFields(t types.Type) []string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			out = append(out, st.Field(i).Name())
+		}
+	}
+	return out
+}
+
+// inferGuard picks the mutex field whose name shares the longest prefix
+// (>= 2 characters, case-insensitive) with the method's base name; with no
+// such match, a sole mutex field wins by default.
+func inferGuard(method string, fields []string) (string, bool) {
+	base := strings.ToLower(strings.TrimSuffix(method, "Locked"))
+	best, bestLen, ties := "", 1, 0
+	for _, f := range fields {
+		n := commonPrefixLen(base, strings.ToLower(f))
+		if n > bestLen {
+			best, bestLen, ties = f, n, 1
+		} else if n == bestLen && n > 1 {
+			ties++
+		}
+	}
+	if best != "" && ties == 1 {
+		return best, true
+	}
+	if len(fields) == 1 {
+		return fields[0], true
+	}
+	return "", false
+}
+
+func commonPrefixLen(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}

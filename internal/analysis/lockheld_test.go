@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"freehw/internal/analysis"
+	"freehw/internal/analysis/analysistest"
+)
+
+func TestLockHeld(t *testing.T) {
+	analysistest.Run(t, analysis.LockHeld, "testdata/src/lockheld_a")
+}
+
+func TestLockHeldMultiFile(t *testing.T) {
+	analysistest.Run(t, analysis.LockHeld, "testdata/src/lockheld_multi")
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"freehw/internal/analysis"
+	"freehw/internal/analysis/analysistest"
+)
+
+func TestMapOrd(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrd, "testdata/src/mapord_a")
+}
+
+func TestMapOrdMultiFile(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrd, "testdata/src/mapord_multi")
+}

@@ -1,0 +1,30 @@
+// Package directives_a pins directive parsing itself: a malformed
+// //freehw:nolint (no "-- reason") must be reported and must NOT
+// suppress, while a well-formed one suppresses exactly its line.
+package directives_a
+
+//freehw:nolint mapord
+
+func suppressedOK(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //freehw:nolint mapord -- handed to a set, order irrelevant
+	}
+	return out
+}
+
+func unsuppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func wrongName(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //freehw:nolint lockheld -- names must match the firing analyzer
+	}
+	return out
+}

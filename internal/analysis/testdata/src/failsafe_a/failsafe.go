@@ -1,0 +1,46 @@
+// Package failsafe_a is the golden corpus for the failsafe analyzer:
+// crash sites with and without adjacent failpoints, coverage through a
+// direct caller, a suppression, and a registered-but-never-tested
+// failpoint.
+package failsafe_a
+
+import (
+	"os"
+
+	"freehw/internal/failpoint"
+)
+
+var (
+	fpCovered = failpoint.Register("failsafe_a/covered")
+	fpOrphan  = failpoint.Register("failsafe_a/orphan") // want `failpoint "failsafe_a/orphan" is not exercised`
+)
+
+func renameGood(from, to string) error {
+	if err := failpoint.Inject(fpCovered); err != nil {
+		return err
+	}
+	return os.Rename(from, to)
+}
+
+func renameBad(from, to string) error {
+	return os.Rename(from, to) // want `crash site os.Rename has no adjacent failpoint.Inject`
+}
+
+func saveAll(path string) error {
+	if err := failpoint.Inject(fpOrphan); err != nil {
+		return err
+	}
+	return sweep(path)
+}
+
+func sweep(path string) error {
+	return os.Remove(path) // ok: direct caller saveAll injects
+}
+
+func syncFile(f *os.File) error {
+	return f.Sync() // want `crash site \(\*os.File\).Sync has no adjacent failpoint.Inject`
+}
+
+func removeSuppressed(path string) {
+	os.Remove(path) //freehw:nolint failsafe -- temp cleanup, never durable state
+}

@@ -1,0 +1,12 @@
+package failsafe_a
+
+import "testing"
+
+// The crash tests arm "failsafe_a/covered" by name; "failsafe_a/orphan"
+// is deliberately never mentioned, so the analyzer must flag it.
+func TestRenameCrash(t *testing.T) {
+	t.Setenv("FREEHW_FAILPOINTS", "failsafe_a/covered=error")
+	if err := renameGood("a", "b"); err == nil {
+		t.Skip("failpoint not armed in this harness")
+	}
+}

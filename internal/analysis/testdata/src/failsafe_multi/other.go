@@ -1,0 +1,7 @@
+package failsafe_multi
+
+import "os"
+
+func removeBad(path string) error {
+	return os.Remove(path) // want `crash site os.Remove has no adjacent failpoint.Inject`
+}

@@ -1,0 +1,46 @@
+// Package hotpath_a is the golden corpus for the hotpath analyzer:
+// function-level //freehw:hotpath markers, every forbidden import and
+// call form, the unmarked control, and a suppression.
+package hotpath_a
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+//freehw:hotpath
+func encode(v any) string {
+	b, _ := json.Marshal(v) // want `json.Marshal used in //freehw:hotpath function encode`
+	return string(b)
+}
+
+//freehw:hotpath
+func stamp(n int) string {
+	return fmt.Sprintf("%d@%d", n, time.Now().Unix()) // want `fmt.Sprintf used` `time.Now used`
+}
+
+//freehw:hotpath
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since used`
+}
+
+// cold is unmarked: the same calls are fine here.
+func cold(v any) string {
+	b, _ := json.Marshal(v)
+	return fmt.Sprint(string(b), time.Now().Unix())
+}
+
+//freehw:hotpath
+func metrics() int64 {
+	return time.Now().UnixNano() //freehw:nolint hotpath -- boundary metric, read once per batch
+}
+
+//freehw:hotpath
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x // ok: hotpath only bans the listed packages and calls
+	}
+	return s
+}

@@ -1,0 +1,20 @@
+//freehw:hotpath
+
+// Package hotpath_multi exercises the file-level marker: every function
+// in this file is hot; sibling.go in the same package is unmarked.
+package hotpath_multi
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func jitter() int {
+	return rand.Int() // want `rand.Int used in //freehw:hotpath file; math/rand is forbidden`
+}
+
+func label(n int) string {
+	return fmt.Sprint(n) // want `fmt.Sprint used in //freehw:hotpath file`
+}
+
+func pure(a, b int) int { return a + b } // ok

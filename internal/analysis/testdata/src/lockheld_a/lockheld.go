@@ -1,0 +1,75 @@
+// Package lockheld_a is the golden corpus for the lockheld analyzer:
+// the *Locked naming discipline with held, missing, wrong-mutex,
+// released-too-early, TryLock, cross-guard, and suppressed call sites.
+package lockheld_a
+
+import "sync"
+
+type server struct {
+	pubMu  sync.Mutex
+	pumpMu sync.Mutex
+	n      int
+}
+
+func (s *server) publish() {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	s.publishLocked() // ok: pubMu held via defer
+}
+
+func (s *server) publishBad() {
+	s.publishLocked() // want `publishLocked called without holding s.pubMu`
+}
+
+func (s *server) wrongMutex() {
+	s.pumpMu.Lock()
+	defer s.pumpMu.Unlock()
+	s.publishLocked() // want `publishLocked called without holding s.pubMu`
+}
+
+func (s *server) unlockedBetween() {
+	s.pubMu.Lock()
+	s.pubMu.Unlock()
+	s.publishLocked() // want `publishLocked called without holding s.pubMu`
+}
+
+func (s *server) tryLock() bool {
+	if !s.pubMu.TryLock() {
+		return false
+	}
+	defer s.pubMu.Unlock()
+	s.publishLocked() // ok: TryLock counts as acquisition
+	return true
+}
+
+// publishLocked mutates publication state.
+//
+//freehw:guardedby pubMu
+func (s *server) publishLocked() { s.n++ }
+
+// pumpLocked drains one unit of work; its guard is inferred from the
+// pump* name prefix, no directive needed.
+func (s *server) pumpLocked() { s.n-- }
+
+func (s *server) pump() {
+	s.pumpMu.Lock()
+	s.pumpLocked() // ok
+	s.pumpMu.Unlock()
+}
+
+func (s *server) pumpBad() {
+	s.pumpLocked() // want `pumpLocked called without holding s.pumpMu`
+}
+
+// drainLocked shares pumpLocked's guard but not publishLocked's, so the
+// inherited-lock exemption applies only to the former.
+//
+//freehw:guardedby pumpMu
+func (s *server) drainLocked() {
+	s.publishLocked() // want `publishLocked called without holding s.pubMu`
+	s.pumpLocked()    // ok: caller is *Locked under the same guard
+}
+
+func (s *server) external() {
+	s.publishLocked() //freehw:nolint lockheld -- lock is held by the caller across this helper
+}

@@ -1,0 +1,31 @@
+package lockheld_multi
+
+func (r *registry) add(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addLocked(k, v) // ok
+}
+
+func (r *registry) addBad(k string, v int) {
+	r.addLocked(k, v) // want `addLocked called without holding r.mu`
+}
+
+func (r *registry) addUnderRead(k string, v int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.addLocked(k, v) // ok: lexical check accepts either lock mode
+}
+
+func inc() {
+	mu.Lock()
+	defer mu.Unlock()
+	incLocked() // ok
+}
+
+func incBad() {
+	incLocked() // want `incLocked called without holding mu`
+}
+
+func incSuppressed() {
+	incLocked() //freehw:nolint lockheld -- single-goroutine init path, no contention possible
+}

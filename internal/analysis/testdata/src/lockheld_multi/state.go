@@ -1,0 +1,26 @@
+// Package lockheld_multi exercises lockheld across files: the guarded
+// state lives here, the callers (good and bad) in callers.go. Also
+// covers package-level mutexes guarding plain functions.
+package lockheld_multi
+
+import "sync"
+
+type registry struct {
+	mu      sync.RWMutex
+	entries map[string]int
+}
+
+// addLocked inserts one entry; the sole mutex field is its guard.
+func (r *registry) addLocked(k string, v int) {
+	r.entries[k] = v
+}
+
+var (
+	mu    sync.Mutex
+	count int
+)
+
+// incLocked bumps the package counter.
+//
+//freehw:guardedby mu
+func incLocked() { count++ }

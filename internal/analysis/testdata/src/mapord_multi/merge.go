@@ -1,0 +1,13 @@
+// Package mapord_multi exercises mapord across a multi-file package:
+// violations and their sorted twins live in different files.
+package mapord_multi
+
+func merge(ms []map[string]string) []string {
+	var keys []string
+	for _, m := range ms {
+		for k := range m {
+			keys = append(keys, k) // want `range over map m appends to keys`
+		}
+	}
+	return keys
+}

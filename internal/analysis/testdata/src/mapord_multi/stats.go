@@ -1,0 +1,36 @@
+package mapord_multi
+
+import "sort"
+
+func mergeSorted(ms []map[string]string) []string {
+	var keys []string
+	for _, m := range ms {
+		for k := range m {
+			keys = append(keys, k) // ok: sorted before returning
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sizesReversed(buckets map[string][]int) []int {
+	var sizes []int
+	for _, ids := range buckets {
+		sizes = append(sizes, len(ids)) // ok: sorted below, wrapped form
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}
+
+func mean(counts map[string]float64) float64 {
+	n := 0
+	var sum float64
+	for _, v := range counts {
+		n++
+		sum = sum + v // want `accumulates float sum`
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

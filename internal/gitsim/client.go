@@ -133,7 +133,7 @@ func (c *Client) DiscoverRepos(ctx context.Context, baseQuery string, t0, t1 tim
 	}
 	out := make([]RepoMeta, 0, len(found))
 	for _, m := range found {
-		out = append(out, m)
+		out = append(out, m) //freehw:nolint mapord -- sortMetas canonicalizes out by FullName right below
 	}
 	sortMetas(out)
 	return out, nil

@@ -145,6 +145,27 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// Save must emit byte-identical output for the same model: artifacts are
+// checksummed and diffed, and the tables are maps, so serialization walks
+// them in sorted key order rather than leaking iteration order into the
+// gob stream.
+func TestSaveBytesDeterministic(t *testing.T) {
+	m := trainedModel(t, 0.001)
+	var first bytes.Buffer
+	if err := m.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again bytes.Buffer
+		if err := m.Save(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("save %d produced different bytes (%d vs %d): map order leaked into the gob stream", i, first.Len(), again.Len())
+		}
+	}
+}
+
 func TestStopSequence(t *testing.T) {
 	m := trainedModel(t, 0.001)
 	out := m.Generate("module mux2(input a, b, sel,", 400)

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"freehw/internal/tokenizer"
 )
@@ -34,7 +35,15 @@ func (m *Model) Save(w io.Writer) error {
 			Starts: make([]uint32, 1, len(t)+1),
 			Totals: make([]uint64, 0, len(t)),
 		}
-		for k, nd := range t {
+		// Walk contexts in sorted key order: gob output must be
+		// byte-identical for the same model, and map order is not.
+		keys := make([]uint64, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			nd := t[k]
 			td.Keys = append(td.Keys, k)
 			td.Totals = append(td.Totals, nd.total)
 			td.Toks = append(td.Toks, nd.toks...)

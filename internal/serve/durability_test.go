@@ -650,3 +650,30 @@ func TestRollbackRetentionSweepRace(t *testing.T) {
 		}
 	}
 }
+
+// An injected fault at the enqueue failpoint must answer 500 without
+// leaking the pooled job or wedging the queue: the very next audit on the
+// same server succeeds.
+func TestEnqueueFaultAnswersAndRecovers(t *testing.T) {
+	defer failpoint.DisableAll()
+	s := NewServer(DefaultConfig())
+	defer s.Close()
+	if _, _, err := s.PublishDocuments([]string{"d"}, []string{"module d(input x, output y); assign y = x; endmodule"}); err != nil {
+		t.Fatal(err)
+	}
+	req := AuditRequest{Code: "module b(input a, output y); assign y = a; endmodule"}
+
+	failpoint.EnableError(FPEnqueue)
+	if got := postJSON(t, s.Handler(), "/v1/audit", req, nil); got != http.StatusInternalServerError {
+		t.Fatalf("injected enqueue = %d, want 500", got)
+	}
+	failpoint.DisableAll()
+
+	var resp AuditResponse
+	if got := postJSON(t, s.Handler(), "/v1/audit", req, &resp); got != http.StatusOK {
+		t.Fatalf("audit after injected enqueue fault = %d — queue or job pool wedged", got)
+	}
+	if resp.Best == nil {
+		t.Fatal("recovered audit returned no verdict")
+	}
+}

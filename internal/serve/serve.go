@@ -418,6 +418,8 @@ func (s *Server) publish(snap *similarity.Snapshot) (version uint64, indexed int
 // the rollback path, which must keep the lock across its snapshot load so
 // the retention sweep (which only runs inside Save, under this same lock)
 // cannot remove the version between validation and republish.
+//
+//freehw:guardedby pubMu
 func (s *Server) publishLocked(snap *similarity.Snapshot) (version uint64, indexed int, err error) {
 	version = s.current().version + 1
 	if s.snaps != nil {
@@ -490,6 +492,9 @@ func (s *Server) kickDispatch() {
 
 // pumpLocked drains one batch (up to MaxBatch) and scores it. Caller
 // holds pumpMu. Reports whether any job was processed.
+//
+//freehw:guardedby pumpMu
+//freehw:hotpath
 func (s *Server) pumpLocked() bool {
 	batch := s.batchBuf[:0]
 drain:
@@ -518,6 +523,8 @@ drain:
 // share a single deduplicated BestBatch pass; top-k jobs fan out over the
 // same snapshot. Every verdict lands in the content-hash memo under the
 // snapshot version that produced it.
+//
+//freehw:hotpath
 func (s *Server) runBatch(batch []*auditJob) {
 	if s.batchGate != nil {
 		s.batchGate()
@@ -622,6 +629,8 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, out any) bool {
 // exotic numbers), and the caller falls back to json.Unmarshal, so
 // behavior — including every error message — is unchanged; the fast path
 // only accelerates the overwhelmingly common well-formed case.
+//
+//freehw:hotpath
 func parseAuditRequest(b []byte, out *AuditRequest) bool {
 	i, n := skipJSONSpace(b, 0), len(b)
 	if i >= n || b[i] != '{' {
@@ -679,6 +688,7 @@ func parseAuditRequest(b []byte, out *AuditRequest) bool {
 	return skipJSONSpace(b, i) == n
 }
 
+//freehw:hotpath
 func skipJSONSpace(b []byte, i int) int {
 	for i < len(b) && (b[i] == ' ' || b[i] == '\t' || b[i] == '\n' || b[i] == '\r') {
 		i++
@@ -691,6 +701,8 @@ func skipJSONSpace(b []byte, i int) int {
 // non-surrogate \uXXXX — anything else (raw control bytes, non-ASCII,
 // invalid escapes) reports !ok so the encoding/json fallback, with its
 // UTF-8 coercion and exact error text, handles it instead.
+//
+//freehw:hotpath
 func parseJSONString(b []byte, i int) (s string, next int, ok bool) {
 	n := len(b)
 	if i >= n || b[i] != '"' {
@@ -789,6 +801,8 @@ func parseJSONString(b []byte, i int) (s string, next int, ok bool) {
 
 // parseJSONInt accepts plain decimal integers only; fractions, exponents,
 // and overflow fall back (json's int-field errors must come from json).
+//
+//freehw:hotpath
 func parseJSONInt(b []byte, i int) (v, next int, ok bool) {
 	n, neg := len(b), false
 	if i < n && b[i] == '-' {
@@ -821,6 +835,8 @@ func parseJSONInt(b []byte, i int) (v, next int, ok bool) {
 // encoding/json rejects them — then defers the conversion to strconv,
 // the same parser encoding/json uses, bailing on range errors so their
 // message comes from the fallback.
+//
+//freehw:hotpath
 func parseJSONFloat(b []byte, i int) (v float64, next int, ok bool) {
 	n, start := len(b), i
 	if i < n && b[i] == '-' {
@@ -940,6 +956,12 @@ func matchJSON(m similarity.Match) *AuditMatch {
 	return &AuditMatch{Name: m.Name, Index: m.Index, Score: m.Score}
 }
 
+// handleAudit is the request side of the audit hot path: admission, memo
+// lookup, enqueue, the inline pump steal, and the response. The latency
+// histogram's wall-clock reads are the one sanctioned exception, annotated
+// below; everything else stays allocation- and reflection-free.
+//
+//freehw:hotpath
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	if !post(w, r) {
 		return
@@ -948,7 +970,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	startT := time.Now()
+	startT := time.Now() //freehw:nolint hotpath -- one wall-clock read per request anchors the latency histogram
 	s.m.audits.Add(1)
 	s.m.rate.tick(startT)
 	threshold := req.Threshold
@@ -964,7 +986,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		if m, ok := entry.CachedBestMatch(st.version); ok {
 			s.m.auditCacheHits.Add(1)
 			s.respondAudit(w, req, auditResult{best: m, version: st.version, length: st.snap.Len()}, threshold, true)
-			s.m.lat.record(time.Since(startT))
+			s.m.lat.record(time.Since(startT)) //freehw:nolint hotpath -- latency metric needs the second read; boundary cost, not per-posting
 			return
 		}
 	}
@@ -999,7 +1021,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		job.text, job.entry = "", nil
 		jobPool.Put(job)
 		s.respondAudit(w, req, res, threshold, false)
-		s.m.lat.record(time.Since(startT))
+		s.m.lat.record(time.Since(startT)) //freehw:nolint hotpath -- latency metric needs the second read; boundary cost, not per-posting
 	case <-r.Context().Done():
 		// Client gone; the dispatcher's buffered send still completes.
 	case <-s.stop:
@@ -1039,6 +1061,8 @@ var respBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return 
 // any value the hand encoder cannot prove it renders identically (names
 // needing escaping, non-finite floats) reports false so the caller falls
 // back to encoding/json.
+//
+//freehw:hotpath
 func writeAuditFast(w http.ResponseWriter, res *auditResult, threshold float64, violation, cached bool) bool {
 	if res.best.Index >= 0 && (!jsonPlainASCII(res.best.Name) || !finite(res.best.Score)) {
 		return false
@@ -1091,6 +1115,7 @@ func writeAuditFast(w http.ResponseWriter, res *auditResult, threshold float64, 
 	return true
 }
 
+//freehw:hotpath
 func appendAuditMatch(b []byte, m *similarity.Match) []byte {
 	b = append(b, `{"name":"`...)
 	b = append(b, m.Name...)
@@ -1104,6 +1129,8 @@ func appendAuditMatch(b []byte, m *similarity.Match) []byte {
 // jsonPlainASCII reports whether s renders into a JSON string verbatim:
 // printable ASCII with nothing encoding/json escapes (quotes, backslash,
 // or its HTML-safe set <, >, &).
+//
+//freehw:hotpath
 func jsonPlainASCII(s string) bool {
 	for i := 0; i < len(s); i++ {
 		c := s[i]
@@ -1114,11 +1141,14 @@ func jsonPlainASCII(s string) bool {
 	return true
 }
 
+//freehw:hotpath
 func finite(f float64) bool { return !math.IsInf(f, 0) && !math.IsNaN(f) }
 
 // appendJSONFloat formats exactly as encoding/json's floatEncoder does:
 // shortest round-trip form, 'f' in the human range, 'e' outside it with
 // the two-digit exponent squeezed ("e-09" → "e-9").
+//
+//freehw:hotpath
 func appendJSONFloat(b []byte, f float64) []byte {
 	abs := math.Abs(f)
 	format := byte('f')

@@ -1,3 +1,5 @@
+//freehw:hotpath
+
 package similarity
 
 // Block-max pruned scoring: exact top-k retrieval that skips most of the

@@ -128,7 +128,7 @@ func termCounts(text string) (counts map[string]float64, order []string) {
 func normOf(counts map[string]float64) float64 {
 	var sum float64
 	for _, f := range counts {
-		sum += f * f
+		sum += f * f //freehw:nolint mapord -- term counts are integer-valued; float64 sums of small ints are exact in any order
 	}
 	return math.Sqrt(sum)
 }
@@ -153,7 +153,7 @@ func Cosine(a, b Vector) float64 {
 	var dot float64
 	for t, f := range small {
 		if g, ok := large[t]; ok {
-			dot += f * g
+			dot += f * g //freehw:nolint mapord -- raw counts are integers, products and sums stay exact in any order
 		}
 	}
 	return dot / (a.norm * b.norm)
@@ -337,7 +337,7 @@ func (c *Corpus) addToks(name string, toks []string) {
 	// Counts are integers, so the norm is exact regardless of sum order.
 	var sum float64
 	for _, v := range counts {
-		sum += v * v
+		sum += v * v //freehw:nolint mapord -- integer counts, exact in any order (see comment above)
 	}
 	norm := math.Sqrt(sum)
 	for _, id := range order {

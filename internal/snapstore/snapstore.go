@@ -99,7 +99,7 @@ func Open(dir string, retain int) (*Store, error) {
 	}
 	for _, e := range entries {
 		if strings.HasSuffix(e.Name(), tmpSuffix) {
-			os.Remove(filepath.Join(dir, e.Name()))
+			os.Remove(filepath.Join(dir, e.Name())) //freehw:nolint failsafe -- startup sweep of orphaned temp files; recovery never reads them, so a kill here loses nothing
 		}
 	}
 	return &Store{dir: dir, retain: retain}, nil

@@ -342,6 +342,12 @@ func (s *Store) Entry(content string) *Entry {
 }
 
 // Len returns the number of distinct contents seen.
+//
+// Like Stats, Len is weakly consistent: shards are counted one at a time
+// under their own locks, so concurrent Get/Set/eviction traffic can be
+// double-counted or missed across the walk. The result is exact only in
+// quiescence; under load it is a monitoring figure, never a linearizable
+// snapshot.
 func (s *Store) Len() int {
 	n := 0
 	for i := range s.shards {
@@ -364,6 +370,15 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the store's traffic counters.
+//
+// The snapshot is weakly consistent, not a point-in-time view: the atomic
+// counters are read before the per-shard walk, and each shard is summed
+// under its own lock while the others keep moving. Invariants callers may
+// rely on: every field is non-negative, Entries/Bytes never exceed what
+// the store has ever admitted, and once the store is quiescent Stats
+// agrees exactly with the final contents. Callers must not expect
+// Hits+Misses to equal the Get calls observed at any single instant, nor
+// Entries to match a Len() racing with writers.
 func (s *Store) Stats() Stats {
 	st := Stats{
 		Hits:      s.hits.Load(),

@@ -283,3 +283,80 @@ func TestBestMatchMemoVersioning(t *testing.T) {
 		t.Fatal("dropped stale write still visible")
 	}
 }
+
+// TestStatsWeaklyConsistentUnderLoad hammers Stats and Len while writers
+// race Entry lookups, pinning the documented contract: every mid-flight
+// read satisfies the weak invariants (non-negative fields, residency
+// bounded by what was ever admitted), and once the writers stop the
+// counters are exact. Run under -race this also proves the shard walk
+// itself is data-race free against concurrent admissions.
+func TestStatsWeaklyConsistentUnderLoad(t *testing.T) {
+	s := NewStore(dedup.Options{})
+	const (
+		writers  = 8
+		perW     = 200
+		distinct = 64
+	)
+	content := func(i int) string {
+		return fmt.Sprintf("module m%d(input a, output y); assign y = a; endmodule", i%distinct)
+	}
+
+	stop := make(chan struct{})
+	var readErr sync.Map
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.Stats()
+				n := s.Len()
+				switch {
+				case st.Hits < 0 || st.Misses < 0 || st.Entries < 0 || st.Bytes < 0 || st.Evictions < 0:
+					readErr.Store(r, fmt.Sprintf("negative field: %+v", st))
+				case st.Entries > distinct || n > distinct:
+					readErr.Store(r, fmt.Sprintf("residency above everything ever admitted: Entries=%d Len=%d", st.Entries, n))
+				case st.Hits+st.Misses > writers*perW:
+					readErr.Store(r, fmt.Sprintf("traffic above total Entry calls: %+v", st))
+				}
+			}
+		}(r)
+	}
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perW; i++ {
+				if e := s.Entry(content(w*perW + i)); e == nil {
+					readErr.Store(100+w, "nil entry")
+				}
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+	readErr.Range(func(k, v any) bool {
+		t.Errorf("goroutine %v: %s", k, v)
+		return true
+	})
+
+	// Quiescent: Stats and Len agree exactly with the final contents.
+	st := s.Stats()
+	if st.Entries != distinct || s.Len() != distinct {
+		t.Fatalf("final residency: Entries=%d Len=%d, want %d", st.Entries, s.Len(), distinct)
+	}
+	if got := st.Hits + st.Misses; got != writers*perW {
+		t.Fatalf("final traffic: hits+misses=%d, want %d", got, writers*perW)
+	}
+	if st.Misses != distinct {
+		t.Fatalf("final misses=%d, want one per distinct content (%d)", st.Misses, distinct)
+	}
+}

@@ -2,6 +2,7 @@ package vsim
 
 import (
 	"fmt"
+	"sort"
 
 	"freehw/internal/vlog"
 )
@@ -189,10 +190,13 @@ func Elaborate(f *vlog.SourceFile, top string, overrides map[string]Value) (*Des
 }
 
 func overridesToConns(overrides map[string]Value) []paramOverride {
-	var list []paramOverride
+	list := make([]paramOverride, 0, len(overrides))
 	for name, v := range overrides {
 		list = append(list, paramOverride{name: name, val: v})
 	}
+	// Overrides are looked up by name, but elaboration must still not
+	// depend on map order: apply them in one canonical sequence.
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
 	return list
 }
 
