@@ -15,6 +15,7 @@
 //	              [-workers 0] [-queue 256] [-batch 32]
 //	              [-threshold 0.8] [-cache-budget 0]
 //	              [-data-dir dir] [-retain 3] [-shutdown-grace 15s]
+//	              [-merge-max-segs 8] [-merge-dead-frac 0.5] [-merge-disable]
 //
 // With -data-dir the served corpus is durable: every publish is saved
 // crash-safely before it serves, and a restart replays the newest good
@@ -59,6 +60,9 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "directory for durable corpus snapshots (empty = in-memory only)")
 		retain    = flag.Int("retain", 3, "snapshot versions kept on disk for rollback (<= 0 keeps all)")
 		grace     = flag.Duration("shutdown-grace", 15*time.Second, "graceful-shutdown drain budget after SIGINT/SIGTERM")
+		mergeMax  = flag.Int("merge-max-segs", 0, "background merger's target segment count (0 = default 8)")
+		mergeDead = flag.Float64("merge-dead-frac", 0, "tombstoned fraction that triggers segment compaction (0 = default 0.5)")
+		mergeOff  = flag.Bool("merge-disable", false, "disable the background segment merger")
 	)
 	flag.Parse()
 
@@ -70,6 +74,9 @@ func main() {
 		cfg.Threshold = *threshold
 	}
 	cfg.CacheBudget = *budget
+	cfg.MergeMaxSegments = *mergeMax
+	cfg.MergeDeadFraction = *mergeDead
+	cfg.DisableAutoMerge = *mergeOff
 	if *dataDir != "" {
 		st, err := snapstore.Open(*dataDir, *retain)
 		if err != nil {

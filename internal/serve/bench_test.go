@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"freehw/internal/similarity"
+	"freehw/internal/snapstore"
 )
 
 // BenchmarkServeAudit measures end-to-end /audit throughput through the
@@ -239,6 +240,63 @@ func BenchmarkServeAuditLargeCorpus(b *testing.B) {
 			}
 			if b.N > 0 {
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "audits/s")
+			}
+		})
+	}
+}
+
+// BenchmarkDeltaPublish measures adding ONE document to an established
+// corpus through /v1/corpus?mode=delta, durably, across base corpus sizes.
+// This is the tentpole property of the segmented index: the publish builds
+// and persists only the one-document segment, so the reported latency
+// should stay essentially flat from 1k to 16k base documents — where a
+// full republish would grow linearly. The merger is disabled so every
+// iteration measures exactly one segment build + descriptor save + swap.
+func BenchmarkDeltaPublish(b *testing.B) {
+	for _, nDocs := range []int{1000, 4000, 16000} {
+		b.Run(fmt.Sprintf("base=%d", nDocs), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(9))
+			names := make([]string, nDocs)
+			texts := make([]string, nDocs)
+			for i := range texts {
+				names[i] = fmt.Sprintf("d%d.v", i)
+				texts[i] = diverseVerilog(rng, i)
+			}
+			st, err := snapstore.Open(b.TempDir(), 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Store = st
+			cfg.DisableAutoMerge = true
+			s := NewServer(cfg)
+			defer s.Close()
+			if _, _, err := s.PublishDocuments(names, texts); err != nil {
+				b.Fatal(err)
+			}
+
+			bodies := make([][]byte, b.N)
+			for i := range bodies {
+				req := CorpusRequest{Mode: "delta", Documents: []CorpusDocument{{
+					Name: fmt.Sprintf("delta%d.v", i),
+					Text: diverseVerilog(rng, nDocs+i),
+				}}}
+				bodies[i], _ = json.Marshal(req)
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := httptest.NewRequest(http.MethodPost, "/v1/corpus", bytes.NewReader(bodies[i]))
+				w := httptest.NewRecorder()
+				s.Handler().ServeHTTP(w, r)
+				if w.Code != http.StatusOK {
+					b.Fatalf("delta publish status %d: %s", w.Code, w.Body.String())
+				}
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "publishes/s")
 			}
 		})
 	}

@@ -95,6 +95,12 @@ var (
 	// retention sweep) can remove the target. Tests arm it with an action
 	// that publishes, turning the race deterministic.
 	FPRollbackLoad = failpoint.Register("serve/rollback-load")
+	// FPMergeSwap fires after a background merge has rebuilt a compacted
+	// segment and revalidated its inputs, immediately before the merged
+	// segment replaces the run. A fault here abandons the merge — the
+	// writer index is untouched, serving continues on the unmerged
+	// segments, and verdicts are unchanged (merges never alter scores).
+	FPMergeSwap = failpoint.Register("serve/merge-swap")
 )
 
 // Config tunes the service.
@@ -135,6 +141,20 @@ type Config struct {
 	// back to any retained version. Nil keeps the PR 4 in-memory-only
 	// behavior.
 	Store *snapstore.Store
+	// MergeMaxSegments is the background merger's target segment count:
+	// while the index holds more segments, the merger compacts the
+	// adjacent pair with the fewest live documents (0 = 8). Delta
+	// publishes append one segment each, so this bounds per-query
+	// overhead without ever blocking a publish.
+	MergeMaxSegments int
+	// MergeDeadFraction triggers single-segment compaction: a segment
+	// whose tombstoned fraction exceeds it is rebuilt without the dead
+	// documents (0 = 0.5).
+	MergeDeadFraction float64
+	// DisableAutoMerge turns the background merger off (benchmarks, and
+	// deployments that prefer an external compaction trigger). Deltas
+	// then accumulate one segment per publish indefinitely.
+	DisableAutoMerge bool
 }
 
 // DefaultConfig returns production-ish defaults with the paper's curation
@@ -169,6 +189,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxInflightBulk <= 0 {
 		c.MaxInflightBulk = 4
+	}
+	if c.MergeMaxSegments <= 0 {
+		c.MergeMaxSegments = 8
+	}
+	if c.MergeDeadFraction <= 0 {
+		c.MergeDeadFraction = 0.5
 	}
 }
 
@@ -225,7 +251,23 @@ type Server struct {
 	snaps *snapstore.Store
 
 	state atomic.Pointer[corpusState]
-	pubMu sync.Mutex // serializes index builds/publishes
+	pubMu sync.Mutex // serializes publishes and guards idx
+
+	// idx is the single-writer segmented view behind the served snapshot:
+	// delta publishes append segments and tombstone removals here, the
+	// background merger compacts runs here, and every successful publish
+	// snapshots it. Guarded by pubMu; the snapshots it emits are immutable.
+	idx *similarity.Index
+
+	// deltaMu guards deltaPend, the group-commit staging list: concurrent
+	// delta uploads enqueue here, and whichever upload wins pubMu commits
+	// the whole batch under one Save and one pointer swap.
+	deltaMu   sync.Mutex
+	deltaPend []*deltaOp
+
+	// mergeKick wakes the background merger after a publish changes the
+	// segment set; the 1-token channel coalesces bursts.
+	mergeKick chan struct{}
 
 	queue chan *auditJob
 	bulk  chan struct{} // bulkhead: in-flight /v1/audit/batch + /v1/filter slots
@@ -276,21 +318,24 @@ func NewServer(cfg Config) *Server {
 		cfg:   cfg,
 		store: vcache.NewStore(cfg.Curation.Dedup),
 		snaps: cfg.Store,
-		queue: make(chan *auditJob, cfg.QueueDepth),
-		bulk:  make(chan struct{}, cfg.MaxInflightBulk),
-		stop:  make(chan struct{}),
-		kick:  make(chan struct{}, 1),
-		start: time.Now(),
+		queue:     make(chan *auditJob, cfg.QueueDepth),
+		bulk:      make(chan struct{}, cfg.MaxInflightBulk),
+		stop:      make(chan struct{}),
+		kick:      make(chan struct{}, 1),
+		mergeKick: make(chan struct{}, 1),
+		start:     time.Now(),
 	}
 	if cfg.CacheBudget > 0 {
 		s.store.SetBudget(cfg.CacheBudget)
 	}
-	s.state.Store(&corpusState{snap: similarity.SealCorpus(nil, nil, 1)})
+	s.idx = similarity.NewIndex()
+	s.state.Store(&corpusState{snap: s.idx.Snapshot()})
 	if s.snaps != nil {
 		snap, version, skipped, err := s.snaps.LoadLatest()
 		s.replay = ReplayInfo{Skipped: skipped, Err: err}
 		if snap != nil {
 			s.replay.Version, s.replay.Docs = version, snap.Len()
+			s.idx = similarity.IndexFromSnapshot(snap)
 			s.state.Store(&corpusState{snap: snap, version: version})
 		}
 	}
@@ -323,6 +368,9 @@ func NewServer(cfg Config) *Server {
 		writeErr(w, http.StatusNotFound, "not_found", "no such endpoint: "+r.URL.Path)
 	})
 	go s.dispatch()
+	if !cfg.DisableAutoMerge {
+		go s.merger()
+	}
 	return s
 }
 
@@ -387,8 +435,16 @@ func (s *Server) Replay() ReplayInfo { return s.replay }
 // current returns the live index generation.
 func (s *Server) current() *corpusState { return s.state.Load() }
 
+// errVersionConflict is an If-Version precondition failure: the client's
+// expected corpus version no longer matches the published one.
+type errVersionConflict struct{ current uint64 }
+
+func (e *errVersionConflict) Error() string {
+	return "corpus version precondition failed (current version " + strconv.FormatUint(e.current, 10) + ")"
+}
+
 // PublishDocuments replaces the served index with the given documents and
-// returns the new generation. The index builds off to the side — audits
+// returns the new generation. The segment builds off to the side — audits
 // keep answering against the old snapshot, and the publish lock is NOT
 // held during the build, so a huge upload never delays a concurrent
 // publish — then publishes atomically. Concurrent publishes are ordered by
@@ -397,21 +453,31 @@ func (s *Server) current() *corpusState { return s.state.Load() }
 // before it serves its first audit; a persist failure keeps the previous
 // snapshot serving and returns the error.
 func (s *Server) PublishDocuments(names, texts []string) (version uint64, indexed int, err error) {
-	snap := similarity.SealCorpus(names, texts, s.cfg.Workers)
+	return s.publishDocuments(names, texts, nil)
+}
+
+// publishDocuments is PublishDocuments plus an optional If-Version
+// precondition, checked under the publish lock against the live version.
+func (s *Server) publishDocuments(names, texts []string, ifVersion *uint64) (version uint64, indexed int, err error) {
+	ix := similarity.NewIndex()
+	if len(names) > 0 {
+		ix.Append(similarity.BuildSegment(names, texts, s.cfg.Workers))
+	}
 	if s.buildGate != nil {
 		s.buildGate()
 	}
-	return s.publish(snap)
-}
-
-// publish installs a sealed snapshot as the next generation. Only the
-// version bump, the durability write, and the pointer store happen under
-// the lock — persistence must be ordered by version, and the swap must
-// not outrun the disk: a version never serves before it is durable.
-func (s *Server) publish(snap *similarity.Snapshot) (version uint64, indexed int, err error) {
 	s.pubMu.Lock()
 	defer s.pubMu.Unlock()
-	return s.publishLocked(snap)
+	if ifVersion != nil && *ifVersion != s.current().version {
+		return 0, 0, &errVersionConflict{current: s.current().version}
+	}
+	version, indexed, err = s.publishLocked(ix.Snapshot())
+	if err != nil {
+		return 0, 0, err
+	}
+	// The replacement index is now the writer state for future deltas.
+	s.idx = ix
+	return version, indexed, nil
 }
 
 // publishLocked is publish's body for callers that already hold pubMu —
@@ -434,6 +500,242 @@ func (s *Server) publishLocked(snap *similarity.Snapshot) (version uint64, index
 	}
 	s.state.Store(&corpusState{snap: snap, version: version})
 	return version, snap.Len(), nil
+}
+
+// deltaOp is one delta upload staged for group commit: a pre-built
+// segment of added documents (nil when the delta only removes), the names
+// to tombstone, and an optional If-Version precondition.
+type deltaOp struct {
+	seg       *similarity.Segment
+	remove    []string
+	ifVersion *uint64
+	res       deltaResult
+	done      chan struct{}
+}
+
+// deltaResult is what a committed (or failed) delta op reports back.
+type deltaResult struct {
+	version   uint64
+	persisted bool
+	added     int
+	removed   int
+	live      int
+	err       error
+}
+
+// errPublishAborted surfaces to delta ops whose group leader crashed
+// before their results were decided.
+var errPublishAborted = errors.New("corpus publish aborted")
+
+// applyDelta publishes one delta through the group-commit path: the op
+// joins the staging list, and whichever goroutine wins the publish lock
+// commits every staged op under a single Save and pointer swap. Uploads
+// that arrive while a commit is in flight coalesce into the next batch,
+// so N concurrent deltas cost O(batches), not O(N), durability writes.
+func (s *Server) applyDelta(op *deltaOp) deltaResult {
+	op.done = make(chan struct{})
+	s.deltaMu.Lock()
+	s.deltaPend = append(s.deltaPend, op)
+	s.deltaMu.Unlock()
+
+	s.commitPending()
+	<-op.done
+	return op.res
+}
+
+// commitPending contends for the publish lock and commits whatever delta
+// batch is staged by then. An empty batch means a previous leader already
+// drained this goroutine's op — its result arrives via op.done. The defer
+// keeps pubMu released even when a commit panics out of an injected crash
+// (commitDeltaBatchLocked completes every op before re-panicking).
+func (s *Server) commitPending() {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	s.deltaMu.Lock()
+	batch := s.deltaPend
+	s.deltaPend = nil
+	s.deltaMu.Unlock()
+	if len(batch) > 0 {
+		s.commitDeltaBatchLocked(batch)
+	}
+}
+
+// commitDeltaBatchLocked applies a staged delta batch to the writer index
+// and publishes the result as one new generation. Ops whose If-Version
+// precondition fails are skipped (they report the conflict); the rest
+// mutate idx — O(delta + segments), never O(corpus) — and share a single
+// publishLocked. On a persist failure, or a panic out of an injected
+// crash, the writer index is rebuilt from the still-serving snapshot so
+// no half-applied batch ever leaks into a later publish; every op is
+// always completed, then a panic resumes unwinding.
+//
+//freehw:guardedby pubMu
+func (s *Server) commitDeltaBatchLocked(batch []*deltaOp) {
+	cur := s.current()
+	committed := false
+	defer func() {
+		r := recover()
+		if !committed {
+			s.idx = similarity.IndexFromSnapshot(cur.snap)
+			for _, op := range batch {
+				if op.res.err == nil && op.res.version == 0 {
+					op.res.err = errPublishAborted
+				}
+			}
+		}
+		for _, op := range batch {
+			close(op.done)
+		}
+		if r != nil {
+			panic(r)
+		}
+	}()
+
+	var applied []*deltaOp
+	for _, op := range batch {
+		if op.ifVersion != nil && *op.ifVersion != cur.version {
+			op.res.err = &errVersionConflict{current: cur.version}
+			continue
+		}
+		op.res.removed = s.idx.Remove(op.remove)
+		if op.seg != nil && op.seg.Docs() > 0 {
+			s.idx.Append(op.seg)
+			op.res.added = op.seg.Docs()
+		}
+		applied = append(applied, op)
+	}
+	if len(applied) == 0 {
+		committed = true // nothing touched idx; nothing to roll back
+		return
+	}
+	version, _, err := s.publishLocked(s.idx.Snapshot())
+	if err != nil {
+		for _, op := range applied {
+			op.res.err = err
+		}
+		return
+	}
+	committed = true
+	live := s.idx.Live()
+	for _, op := range applied {
+		op.res.version, op.res.persisted, op.res.live = version, s.snaps != nil, live
+	}
+	s.kickMerge()
+}
+
+// kickMerge wakes the background merger (no-op when auto-merge is off or
+// a wake-up is already pending).
+func (s *Server) kickMerge() {
+	if s.cfg.DisableAutoMerge {
+		return
+	}
+	select {
+	case s.mergeKick <- struct{}{}:
+	default:
+	}
+}
+
+// merger is the background compaction loop: each kick, it runs merge
+// steps until the segment set satisfies the merge policy. Merges never
+// block publishes — the expensive rebuild happens outside the publish
+// lock, revalidated before the swap — and never change verdicts, so the
+// swap reuses the live version rather than minting a new one.
+func (s *Server) merger() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.mergeKick:
+			for s.mergeOnce() {
+				select {
+				case <-s.stop:
+					return
+				default:
+				}
+			}
+		}
+	}
+}
+
+// mergeOnce plans one compaction under the publish lock, rebuilds the
+// merged segment outside it, then revalidates the plan and swaps it in.
+// Reports whether it changed the segment set. A panic (injected crash, or
+// a bug in the merge path) abandons the step: background compaction must
+// never take serving down.
+func (s *Server) mergeOnce() (changed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("serve: background merge abandoned: %v", r)
+			changed = false
+		}
+	}()
+	i, j, segs, deads, ok := s.planMerge()
+	if !ok {
+		return false
+	}
+	merged := similarity.MergeSegments(segs, deads) // outside the lock: O(run)
+	return s.swapMerge(i, j, segs, deads, merged)
+}
+
+// planMerge picks the next run to compact, returning its ordinals plus
+// the frozen inputs MergeSegments consumes outside the lock.
+func (s *Server) planMerge() (i, j int, segs []*similarity.Segment, deads [][]uint64, ok bool) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	i, j, ok = pickMergeRun(s.idx, s.cfg.MergeMaxSegments, s.cfg.MergeDeadFraction)
+	if !ok {
+		return 0, 0, nil, nil, false
+	}
+	segs, deads = s.idx.Run(i, j)
+	return i, j, segs, deads, true
+}
+
+// pickMergeRun applies the merge policy: drop or compact any segment that
+// is fully or mostly dead (tombstoned fraction above deadFrac), then
+// bound the segment count by merging the adjacent pair with the fewest
+// combined live documents while more than maxSegs segments remain.
+func pickMergeRun(ix *similarity.Index, maxSegs int, deadFrac float64) (int, int, bool) {
+	n := ix.Segments()
+	for i := 0; i < n; i++ {
+		docs, live := ix.SegInfo(i)
+		if live == 0 || float64(docs-live) > deadFrac*float64(docs) {
+			return i, i, true
+		}
+	}
+	if n > maxSegs {
+		best, at := -1, 0
+		for i := 0; i+1 < n; i++ {
+			_, a := ix.SegInfo(i)
+			_, b := ix.SegInfo(i + 1)
+			if best < 0 || a+b < best {
+				best, at = a+b, i
+			}
+		}
+		return at, at + 1, true
+	}
+	return 0, 0, false
+}
+
+// swapMerge installs a rebuilt segment over run [i, j] if the run is
+// still current, republishing the live snapshot in place (same version:
+// a merge changes physical layout, never verdicts, so audits memoized
+// under this version stay exact). A stale plan — a publish or removal
+// raced the rebuild — is dropped; the merger replans on its next kick.
+func (s *Server) swapMerge(i, j int, segs []*similarity.Segment, deads [][]uint64, merged *similarity.Segment) bool {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	if !s.idx.RunStable(i, j, segs, deads) {
+		return false
+	}
+	if err := failpoint.Inject(FPMergeSwap); err != nil {
+		// Injected crash at the swap boundary: the merged segment is
+		// dropped, the index is untouched, serving continues unchanged.
+		return false
+	}
+	s.idx.ReplaceRun(i, j, merged)
+	cur := s.current()
+	s.state.Store(&corpusState{snap: s.idx.Snapshot(), version: cur.version})
+	return true
 }
 
 // dispatch is the background half of the micro-batching pump: it sleeps
@@ -1378,9 +1680,19 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 // handleCorpus serves /corpus and /v1/corpus — one handler, so the two
 // paths behave byte-identically. A JSON body carries one CorpusRequest; a
 // streaming NDJSON body (Content-Type application/x-ndjson, index mode
-// via the ?index= query parameter) carries one document or repo per line
-// — the shape a crawler pipes without buffering the whole upload in the
-// client. Either way the next index builds outside the publish lock.
+// via the ?index= query parameter, publish mode via ?mode=) carries one
+// document, removal, or repo per line — the shape a crawler pipes without
+// buffering the whole upload in the client. Either way the next index
+// builds outside the publish lock.
+//
+// mode=replace (the default) rebuilds the corpus from the request alone.
+// mode=delta (alias: append) publishes an incremental generation: the
+// uploaded documents become one new segment, removals tombstone existing
+// names, and the publish costs O(delta + segments) — never O(corpus). In
+// NDJSON delta uploads, document lines stream straight into the segment
+// builder, so peak memory is O(segment), not O(upload). An If-Version
+// request header makes either mode conditional: the publish applies only
+// if the live corpus version still matches, else 409 version_conflict.
 func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	if !post(w, r) {
 		return
@@ -1389,12 +1701,44 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		s.handleRollback(w, v)
 		return
 	}
-	var req CorpusRequest
-	if strings.Contains(r.Header.Get("Content-Type"), "ndjson") {
-		if !s.decodeNDJSON(w, r, &req) {
+	var ifVersion *uint64
+	if h := r.Header.Get("If-Version"); h != "" {
+		v, err := strconv.ParseUint(h, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad_if_version", "If-Version must be a decimal corpus version")
 			return
 		}
+		ifVersion = &v
+	}
+	var req CorpusRequest
+	var builder *similarity.SegmentBuilder
+	streamed := 0
+	if strings.Contains(r.Header.Get("Content-Type"), "ndjson") {
+		req.Index = r.URL.Query().Get("index")
+		req.Mode = r.URL.Query().Get("mode")
+		if req.Mode == "delta" || req.Mode == "append" {
+			// Delta NDJSON is the O(segment)-memory path: document lines
+			// go straight into the builder instead of accumulating.
+			builder = similarity.NewSegmentBuilder()
+		}
+		if !s.decodeNDJSON(w, r, &req, builder) {
+			return
+		}
+		streamed = builderLen(builder)
 	} else if !s.decode(w, r, &req) {
+		return
+	}
+	var delta bool
+	switch req.Mode {
+	case "", "replace":
+	case "delta", "append":
+		delta = true
+	default:
+		writeErr(w, http.StatusBadRequest, "bad_mode", `mode must be "replace" or "delta"`)
+		return
+	}
+	if !delta && len(req.Remove) > 0 {
+		writeErr(w, http.StatusBadRequest, "bad_mode", `"remove" requires mode "delta"`)
 		return
 	}
 	mode := req.Index
@@ -1405,9 +1749,11 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad_index", `index must be "protected", "curated", or "all"`)
 		return
 	}
-	if len(req.Documents) == 0 && len(req.Repos) == 0 {
-		writeErr(w, http.StatusBadRequest, "empty_corpus", "no documents or repos")
-		return
+	if len(req.Documents) == 0 && len(req.Repos) == 0 && streamed == 0 {
+		if !delta || len(req.Remove) == 0 {
+			writeErr(w, http.StatusBadRequest, "empty_corpus", "no documents or repos")
+			return
+		}
 	}
 	s.m.corpusPosts.Add(1)
 	s.m.rate.tick(time.Now())
@@ -1468,8 +1814,45 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	version, indexed, err := s.PublishDocuments(names, texts)
+	if delta {
+		if builder == nil {
+			builder = similarity.NewSegmentBuilder()
+		}
+		for i := range names {
+			builder.Add(names[i], texts[i])
+		}
+		var seg *similarity.Segment
+		added := builder.Len()
+		if added > 0 {
+			seg = builder.Seal()
+		}
+		res := s.applyDelta(&deltaOp{seg: seg, remove: req.Remove, ifVersion: ifVersion})
+		if res.err != nil {
+			var vc *errVersionConflict
+			if errors.As(res.err, &vc) {
+				writeVersionConflict(w, vc.current)
+				return
+			}
+			// The previous snapshot keeps serving; nothing half-published.
+			writeErr(w, http.StatusInternalServerError, "persist_failed", "publish not durable: "+res.err.Error())
+			return
+		}
+		resp.Version = int64(res.version)
+		resp.Indexed = res.live
+		resp.Added = res.added
+		resp.Removed = res.removed
+		resp.Persisted = res.persisted
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	version, indexed, err := s.publishDocuments(names, texts, ifVersion)
 	if err != nil {
+		var vc *errVersionConflict
+		if errors.As(err, &vc) {
+			writeVersionConflict(w, vc.current)
+			return
+		}
 		// The previous snapshot keeps serving; nothing half-published.
 		writeErr(w, http.StatusInternalServerError, "persist_failed", "publish not durable: "+err.Error())
 		return
@@ -1478,6 +1861,26 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	resp.Indexed = indexed
 	resp.Persisted = s.snaps != nil
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// builderLen is builder.Len() tolerating nil (non-delta NDJSON uploads
+// have no builder).
+func builderLen(b *similarity.SegmentBuilder) int {
+	if b == nil {
+		return 0
+	}
+	return b.Len()
+}
+
+// writeVersionConflict answers an If-Version precondition failure with
+// the structured 409, naming the live version so the client can re-read
+// and retry (PR 5's conditional-publish contract, completed).
+func writeVersionConflict(w http.ResponseWriter, current uint64) {
+	writeJSON(w, http.StatusConflict, ErrorResponse{Error: ErrorDetail{
+		Code:           "version_conflict",
+		Message:        "corpus version changed; re-read and retry (current version " + strconv.FormatUint(current, 10) + ")",
+		CurrentVersion: current,
+	}})
 }
 
 // handleRollback serves POST /v1/corpus?version=N: point-in-time rollback
@@ -1536,6 +1939,8 @@ func (s *Server) handleRollback(w http.ResponseWriter, verStr string) {
 		writeErr(w, http.StatusInternalServerError, "persist_failed", "rollback not durable: "+err.Error())
 		return
 	}
+	// Future deltas build on the rolled-back generation's segments.
+	s.idx = similarity.IndexFromSnapshot(snap)
 	writeJSON(w, http.StatusOK, CorpusResponse{
 		Version:        int64(newVersion),
 		Indexed:        indexed,
@@ -1578,12 +1983,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 // decodeNDJSON reads a streaming newline-delimited corpus upload into req:
-// each line is one CorpusLine (a document or a repo), decoded
-// incrementally under the body-size cap; the index mode comes from the
-// ?index= query parameter. It replies on failure and reports whether the
-// handler should continue.
-func (s *Server) decodeNDJSON(w http.ResponseWriter, r *http.Request, req *CorpusRequest) bool {
-	req.Index = r.URL.Query().Get("index")
+// each line is one CorpusLine (a document, a removal, or a repo), decoded
+// incrementally under the body-size cap; index and publish modes come from
+// the ?index= and ?mode= query parameters. With a non-nil builder (delta
+// mode), document lines feed the segment builder directly — the upload is
+// tokenized line by line and never accumulated, so peak memory is one
+// segment's postings, not the request body. It replies on failure and
+// reports whether the handler should continue.
+func (s *Server) decodeNDJSON(w http.ResponseWriter, r *http.Request, req *CorpusRequest, builder *similarity.SegmentBuilder) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	for line := 1; ; line++ {
 		var l CorpusLine
@@ -1603,10 +2010,16 @@ func (s *Server) decodeNDJSON(w http.ResponseWriter, r *http.Request, req *Corpu
 		switch {
 		case l.Repo != nil:
 			req.Repos = append(req.Repos, *l.Repo)
+		case l.Remove != "":
+			req.Remove = append(req.Remove, l.Remove)
 		case l.Name != "" || l.Text != "":
-			req.Documents = append(req.Documents, CorpusDocument{Name: l.Name, Text: l.Text})
+			if builder != nil {
+				builder.Add(l.Name, l.Text)
+			} else {
+				req.Documents = append(req.Documents, CorpusDocument{Name: l.Name, Text: l.Text})
+			}
 		default:
-			writeErr(w, http.StatusBadRequest, "bad_record", "NDJSON record "+strconv.Itoa(line)+" has neither document fields nor a repo")
+			writeErr(w, http.StatusBadRequest, "bad_record", "NDJSON record "+strconv.Itoa(line)+" has neither document fields, a removal, nor a repo")
 			return false
 		}
 	}
@@ -1626,6 +2039,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:  uptime,
 		CorpusVersion:  st.version,
 		CorpusLen:      st.snap.Len(),
+		Segments:       st.snap.Segments(),
 		Audits:         s.m.audits.Load(),
 		AuditCacheHits: s.m.auditCacheHits.Load(),
 		SyntaxChecks:   s.m.syntaxChecks.Load(),

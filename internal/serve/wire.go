@@ -104,10 +104,25 @@ type CorpusRepo struct {
 //   - "curated": the FreeSet funnel output (license gate, dedup,
 //     copyright screen, syntax check)
 //   - "all": every extracted Verilog file
+// Mode selects the publish semantics:
+//
+//   - "replace" (default): the request's documents become the whole
+//     corpus, as before
+//   - "delta" (alias "append"): the documents become ONE new segment
+//     appended to the served corpus and Remove tombstones existing
+//     names — the publish costs O(delta + segments), never O(corpus)
+//
+// An If-Version request header makes either mode conditional on the
+// live corpus version (mismatch answers 409 version_conflict naming the
+// current version).
 type CorpusRequest struct {
 	Index     string           `json:"index,omitempty"`
+	Mode      string           `json:"mode,omitempty"`
 	Documents []CorpusDocument `json:"documents,omitempty"`
 	Repos     []CorpusRepo     `json:"repos,omitempty"`
+	// Remove lists document names to tombstone (delta mode only). Every
+	// live occurrence of each name is removed.
+	Remove []string `json:"remove,omitempty"`
 }
 
 // FunnelCounts mirrors the curation funnel stages for uploaded repos.
@@ -135,6 +150,12 @@ type CorpusResponse struct {
 	// RolledBackFrom, on a /v1/corpus?version=N rollback, is the retained
 	// version whose contents the new generation republished.
 	RolledBackFrom uint64 `json:"rolled_back_from,omitempty"`
+	// Added and Removed report a delta publish's effect: documents
+	// appended as the new segment, and live documents tombstoned. In
+	// delta responses Indexed is the TOTAL live corpus size after the
+	// publish, not the per-request count.
+	Added   int `json:"added,omitempty"`
+	Removed int `json:"removed,omitempty"`
 }
 
 // HealthResponse is the GET /v1/healthz payload: process liveness.
@@ -163,10 +184,13 @@ type CacheStats struct {
 
 // StatsResponse is the /stats and /v1/stats payload.
 type StatsResponse struct {
-	UptimeSeconds  float64 `json:"uptime_s"`
-	CorpusVersion  uint64  `json:"corpus_version"`
-	CorpusLen      int     `json:"corpus_len"`
-	Audits         int64   `json:"audits"`
+	UptimeSeconds float64 `json:"uptime_s"`
+	CorpusVersion uint64  `json:"corpus_version"`
+	CorpusLen     int     `json:"corpus_len"`
+	// Segments is the served snapshot's segment count — delta publishes
+	// append one each; the background merger compacts them back down.
+	Segments       int   `json:"segments"`
+	Audits         int64 `json:"audits"`
 	AuditCacheHits int64   `json:"audit_cache_hits"`
 	SyntaxChecks   int64   `json:"syntax_checks"`
 	Scans          int64   `json:"scans"`
@@ -196,6 +220,11 @@ type ErrorDetail struct {
 	// queue-pressure-derived backoff hint as the Retry-After header, for
 	// clients that only parse the JSON body.
 	RetryAfterSeconds int `json:"retry_after_s,omitempty"`
+	// CurrentVersion accompanies 409 version_conflict responses: the live
+	// corpus version the If-Version precondition was compared against, so
+	// conditional publishers can re-read and retry without a second round
+	// trip.
+	CurrentVersion uint64 `json:"current_version,omitempty"`
 }
 
 // ErrorResponse is the uniform structured envelope of every non-2xx reply,
@@ -285,10 +314,14 @@ type FilterResponse struct {
 	CorpusVersion uint64 `json:"corpus_version"`
 }
 
-// CorpusLine is one NDJSON line of a streaming /v1/corpus upload: either a
-// verbatim document (name/text) or a repository to run through the funnel.
+// CorpusLine is one NDJSON line of a streaming /v1/corpus upload: a
+// verbatim document (name/text), a removal (delta mode), or a repository
+// to run through the funnel. In delta mode document lines stream straight
+// into the new segment's builder, so an arbitrarily large upload peaks at
+// one segment's memory.
 type CorpusLine struct {
-	Name string      `json:"name,omitempty"`
-	Text string      `json:"text,omitempty"`
-	Repo *CorpusRepo `json:"repo,omitempty"`
+	Name   string      `json:"name,omitempty"`
+	Text   string      `json:"text,omitempty"`
+	Remove string      `json:"remove,omitempty"`
+	Repo   *CorpusRepo `json:"repo,omitempty"`
 }

@@ -25,6 +25,11 @@ import (
 // and a document derived from the query itself (near-dup pressure), and
 // is built with a fuzzed worker count so parallel indexing stays
 // deterministic too.
+//
+// A third phase pins the segmented index (PR 9): the same documents split
+// into a fuzzed number of segments, with a fuzzed tombstone pattern and a
+// fuzzed adjacent merge, must return Best/TopK BIT-identical (== on the
+// float64 scores) to a single-segment full rebuild of the live documents.
 func FuzzScoringEquivalence(f *testing.F) {
 	f.Add(int64(1), uint8(8), "module top(input clk); wire a = b ^ c; endmodule")
 	f.Add(int64(42), uint8(3), "assign out = in1 & in2;")
@@ -92,6 +97,67 @@ func FuzzScoringEquivalence(f *testing.F) {
 		for i := 0; i < best.Index; i++ {
 			if oracle[i] > best.Score+tol {
 				t.Fatalf("doc %d scores %v > winner %d at %v", i, oracle[i], best.Index, best.Score)
+			}
+		}
+
+		// Phase 3: segmented snapshot equivalence. Split, tombstone, merge —
+		// then demand bit-identity against the filtered full rebuild.
+		srng := rand.New(rand.NewSource(seed ^ 0x5e9))
+		parts := 1 + srng.Intn(n)
+		ix := NewIndex()
+		off := 0
+		for p := 0; p < parts; p++ {
+			sz := (n - off) / (parts - p)
+			if p == parts-1 {
+				sz = n - off
+			}
+			b := NewSegmentBuilder()
+			for i := off; i < off+sz; i++ {
+				b.Add(names[i], texts[i])
+			}
+			if b.Len() > 0 {
+				ix.Append(b.Seal())
+			}
+			off += sz
+		}
+		dead := make([]bool, n)
+		var removeNames []string
+		for i := range names {
+			if srng.Intn(3) == 0 {
+				removeNames = append(removeNames, names[i])
+				dead[i] = true
+			}
+		}
+		ix.Remove(removeNames)
+		if ix.Segments() > 1 && srng.Intn(2) == 0 {
+			lo := srng.Intn(ix.Segments() - 1)
+			segs, deads := ix.Run(lo, lo+1)
+			ix.ReplaceRun(lo, lo+1, MergeSegments(segs, deads))
+		}
+		var liveNames, liveTexts []string
+		for i := range names {
+			if !dead[i] {
+				liveNames = append(liveNames, names[i])
+				liveTexts = append(liveTexts, texts[i])
+			}
+		}
+		snap := ix.Snapshot()
+		full := SealCorpus(liveNames, liveTexts, workers)
+		if snap.Len() != full.Len() {
+			t.Fatalf("segmented live %d != rebuilt %d", snap.Len(), full.Len())
+		}
+		if sb, fb := snap.Best(query), full.Best(query); sb != fb {
+			t.Fatalf("segmented Best %+v != rebuilt %+v (parts=%d)", sb, fb, parts)
+		}
+		for _, k := range []int{1, 3, n} {
+			sk, fk := snap.TopK(query, k), full.TopK(query, k)
+			if len(sk) != len(fk) {
+				t.Fatalf("k=%d: segmented %d matches, rebuilt %d", k, len(sk), len(fk))
+			}
+			for i := range sk {
+				if sk[i] != fk[i] {
+					t.Fatalf("k=%d rank %d: segmented %+v != rebuilt %+v", k, i, sk[i], fk[i])
+				}
 			}
 		}
 	})

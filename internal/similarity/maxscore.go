@@ -35,10 +35,12 @@ package similarity
 //     exact gathered sum; documents that straddle the threshold have the
 //     block bound replaced by their exact dense contribution before the
 //     search pays a full evaluation.
-//   - Survivors are evaluated fully — every query term, in ascending
-//     postings-id order, the same canonical order the exhaustive
-//     accumulator uses — with early abandonment against canonical-order
-//     tail bounds. On a selective audit that is one document: the match.
+//   - Survivors are evaluated fully — every query term, in canonical
+//     query order (first appearance in the query — a property of the
+//     query alone, so the same order in every segment), the same order
+//     the exhaustive accumulator uses — with early abandonment against
+//     canonical-order tail bounds. On a selective audit that is one
+//     document: the match.
 //   - Documents touched by no essential list are never visited: absorbed
 //     lists are covered by the absorption invariant, and dense lists by a
 //     final sweep asserting every dense block bound ends strictly below
@@ -257,10 +259,26 @@ func getAcc(n int) *[]float64 {
 	return p
 }
 
+// deadBit reports whether doc d is tombstoned in the bitmap (nil = no
+// tombstones). Bit d of word d/64, the layout Snapshot and Index share.
+func deadBit(dead []uint64, d int32) bool {
+	return dead != nil && dead[d>>6]&(1<<(uint32(d)&63)) != 0
+}
+
 // searchTopK is the one scoring engine behind Best and TopK: exact top-k
 // matches, best first. mode selects the path (searchAuto decides by corpus
 // size); both paths return bit-identical results.
 func (c *Corpus) searchTopK(text string, k int, mode int) []Match {
+	return c.searchTopKDead(text, k, mode, nil)
+}
+
+// searchTopKDead is searchTopK with a tombstone bitmap: dead documents
+// never reach the heap AND never set the pruning threshold (a dead doc's
+// score raising theta could wrongly prune a live doc), so the result is
+// bit-identical to scoring a corpus that never contained them. dead may
+// be nil (no tombstones — the common case, zero overhead on the scan
+// loops beyond one predictable branch).
+func (c *Corpus) searchTopKDead(text string, k int, mode int, dead []uint64) []Match {
 	if k <= 0 || len(c.names) == 0 {
 		return nil
 	}
@@ -276,9 +294,10 @@ func (c *Corpus) searchTopK(text string, k int, mode int) []Match {
 		return nil
 	}
 
-	// Build cursors in ascending postings-id order (qts is sorted): the
-	// canonical evaluation order. Terms with empty posting lists cannot
-	// contribute and are dropped.
+	// Build cursors in canonical query order (qts is in the query's
+	// first-appearance order): the canonical evaluation order. Terms with
+	// empty posting lists cannot contribute and are dropped — dropping
+	// preserves the relative order, so per-document sums stay canonical.
 	curs := sc.curs[:0]
 	totalPostings := 0
 	for _, qt := range qts {
@@ -317,11 +336,11 @@ func (c *Corpus) searchTopK(text string, k int, mode int) []Match {
 
 	switch {
 	case !usePruned:
-		h = c.finishExhaustive(curs, -1, h, k, qnorm, statsOn)
+		h = c.finishExhaustive(curs, -1, h, k, qnorm, statsOn, dead)
 	case k == 1:
-		h = c.searchPrunedBest(sc, totalPostings, h, qnorm, statsOn)
+		h = c.searchPrunedBest(sc, totalPostings, h, qnorm, statsOn, dead)
 	default:
-		h = c.searchPrunedDAAT(sc, totalPostings, h, k, qnorm, statsOn)
+		h = c.searchPrunedDAAT(sc, totalPostings, h, k, qnorm, statsOn, dead)
 	}
 	sc.h = h
 
@@ -370,7 +389,7 @@ func canonicalTails(sc *searchScratch, inflate float64) []float64 {
 }
 
 // evalCanonical computes document d's exact dot product — every query
-// term, in ascending postings-id order, the bit-identical twin of the
+// term, in canonical query order, the bit-identical twin of the
 // exhaustive accumulator's per-doc sum — without moving any cursor
 // position. Dense lists (len == nDocs, so posting position == doc id) are
 // read directly; the rest binary-search. With theta >= 0 it abandons
@@ -396,7 +415,7 @@ func evalCanonical(curs []pruneCursor, tail []float64, nDocs int, d int32, theta
 // canonical evaluation per touched document. The size-1 heap makes every
 // push of an already-known document a no-op, which is what lets priming
 // and the exhaustive fallbacks re-score documents freely.
-func (c *Corpus) searchPrunedBest(sc *searchScratch, totalPostings int, h matchHeap, qnorm float64, statsOn bool) matchHeap {
+func (c *Corpus) searchPrunedBest(sc *searchScratch, totalPostings int, h matchHeap, qnorm float64, statsOn bool, dead []uint64) matchHeap {
 	curs := sc.curs
 	n := len(curs)
 	nDocs := len(c.names)
@@ -459,7 +478,7 @@ func (c *Corpus) searchPrunedBest(sc *searchScratch, totalPostings int, h matchH
 	if len(ord) == 0 {
 		// Every list is dense: no sparse list to surface candidates, so
 		// the whole corpus must be scored anyway.
-		return c.finishExhaustive(curs, -1, h, 1, qnorm, statsOn)
+		return c.finishExhaustive(curs, -1, h, 1, qnorm, statsOn, dead)
 	}
 	sortSparseByRatio(ord, curs)
 
@@ -509,7 +528,7 @@ func (c *Corpus) searchPrunedBest(sc *searchScratch, totalPostings int, h matchH
 		// The gather never moved cursor positions, so the accumulator
 		// streams the whole corpus; re-pushing the document the heap
 		// already holds is a no-op (same score, same index).
-		return c.finishExhaustive(curs, -1, h, 1, qnorm, statsOn)
+		return c.finishExhaustive(curs, -1, h, 1, qnorm, statsOn, dead)
 	}
 	// hopeless reports whether the final completeness sweep could ever
 	// pass: it can only if every dense block bound ends strictly below the
@@ -567,6 +586,10 @@ func (c *Corpus) searchPrunedBest(sc *searchScratch, totalPostings int, h matchH
 					j++
 				}
 				run := j - i
+				if deadBit(dead, collect[i]) {
+					i = j // tombstoned doc: must not seed the threshold
+					continue
+				}
 				if nPrime < primeBudget {
 					primeDocs[nPrime], cnts[nPrime] = collect[i], run
 					nPrime++
@@ -592,6 +615,9 @@ func (c *Corpus) searchPrunedBest(sc *searchScratch, totalPostings int, h matchH
 				for _, d := range cur.docs {
 					if nPrime >= primeBudget {
 						break
+					}
+					if deadBit(dead, d) {
+						continue
 					}
 					dup := false
 					for _, p := range primeDocs[:nPrime] {
@@ -689,8 +715,13 @@ func (c *Corpus) searchPrunedBest(sc *searchScratch, totalPostings int, h matchH
 	visited += uint64(essPostings)
 
 	// Score the touched documents: cheap bound, exact dense refinement
-	// for straddlers, canonical evaluation for survivors.
+	// for straddlers, canonical evaluation for survivors. Tombstoned docs
+	// are skipped before any bound or evaluation — they can neither match
+	// nor raise the threshold.
 	for _, d := range touched {
+		if deadBit(dead, d) {
+			continue
+		}
 		if thetaAcc >= 0 {
 			bound := denseBmax[d>>blockShift] + prefPart + acc[d]
 			if bound*inflate < thetaAcc {
@@ -767,7 +798,7 @@ func (c *Corpus) searchPrunedBest(sc *searchScratch, totalPostings int, h matchH
 // essential reads, and canonical full evaluation for survivors. It bails
 // to the exhaustive accumulator for the remaining document range when
 // pruning is not paying.
-func (c *Corpus) searchPrunedDAAT(sc *searchScratch, totalPostings int, h matchHeap, k int, qnorm float64, statsOn bool) matchHeap {
+func (c *Corpus) searchPrunedDAAT(sc *searchScratch, totalPostings int, h matchHeap, k int, qnorm float64, statsOn bool, dead []uint64) matchHeap {
 	curs := sc.curs
 	n := len(curs)
 
@@ -868,6 +899,17 @@ func (c *Corpus) searchPrunedDAAT(sc *searchScratch, totalPostings int, h matchH
 			break // essential cursors exhausted
 		}
 		lastDoc = d
+		if deadBit(dead, d) {
+			// Tombstoned: advance past it without scoring — its score must
+			// never reach the heap or set the threshold.
+			for _, ci := range ord[nonEss:] {
+				cur := &curs[ci]
+				if cur.pos < len(cur.docs) && cur.docs[cur.pos] == d {
+					cur.pos++
+				}
+			}
+			continue
+		}
 		candidates++
 
 		// Candidate bound: everything the absorbed prefix could add plus
@@ -895,9 +937,9 @@ func (c *Corpus) searchPrunedDAAT(sc *searchScratch, totalPostings int, h matchH
 			}
 		}
 
-		// Full evaluation in canonical ascending-postings-id order — the
-		// bit-identical twin of the exhaustive accumulator's per-doc sum —
-		// with early abandonment against the canonical-order tail bounds.
+		// Full evaluation in canonical query order — the bit-identical
+		// twin of the exhaustive accumulator's per-doc sum — with early
+		// abandonment against the canonical-order tail bounds.
 		acc := 0.0
 		abandoned := false
 		fullEvals++
@@ -938,7 +980,7 @@ func (c *Corpus) searchPrunedDAAT(sc *searchScratch, totalPostings int, h matchH
 				pruneCounters.bailouts.Add(1)
 			}
 			flushStats()
-			return c.finishExhaustive(curs, lastDoc, h, k, qnorm, statsOn)
+			return c.finishExhaustive(curs, lastDoc, h, k, qnorm, statsOn, dead)
 		}
 	}
 	flushStats()
@@ -1008,7 +1050,7 @@ func sortSparseByRatio(ord []int32, curs []pruneCursor) {
 // the heap in ascending doc order (so tie resolution matches the pruned
 // paths and the historical TopK exactly). from = -1 scores the whole
 // corpus: that IS the exhaustive path Best/TopK always had.
-func (c *Corpus) finishExhaustive(curs []pruneCursor, from int32, h matchHeap, k int, qnorm float64, statsOn bool) matchHeap {
+func (c *Corpus) finishExhaustive(curs []pruneCursor, from int32, h matchHeap, k int, qnorm float64, statsOn bool, dead []uint64) matchHeap {
 	nDocs := len(c.names)
 	accp := getAcc(nDocs)
 	defer accPool.Put(accp)
@@ -1089,6 +1131,9 @@ func (c *Corpus) finishExhaustive(curs []pruneCursor, from int32, h matchHeap, k
 		bestRaw, bestScore, bestIdx := 0.0, 0.0, -1
 		for i := start; i < nDocs; i++ {
 			if a := acc[i]; a > bestRaw {
+				if deadBit(dead, int32(i)) {
+					continue // tombstoned: must not win or raise the bar
+				}
 				bestRaw = a
 				if s := a / qnorm; s > bestScore {
 					bestScore, bestIdx = s, i
@@ -1102,7 +1147,7 @@ func (c *Corpus) finishExhaustive(curs []pruneCursor, from int32, h matchHeap, k
 	}
 	for i := start; i < nDocs; i++ {
 		a := acc[i]
-		if a == 0 {
+		if a == 0 || deadBit(dead, int32(i)) {
 			continue
 		}
 		pushMatch(&h, k, Match{Name: c.names[i], Index: i, Score: a / qnorm})

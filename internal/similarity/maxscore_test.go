@@ -298,15 +298,16 @@ func TestPruneStatsMajoritySkipped(t *testing.T) {
 func TestDecodeRebuildsBlockMeta(t *testing.T) {
 	_, texts, c := buildDiverse(41, 300)
 	s := c.Seal()
-	dec, err := DecodeSnapshot(s.EncodeSections())
+	seg, err := DecodeSegment(s.EncodeSections())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dec.c.postings) != len(c.postings) {
-		t.Fatalf("postings count %d != %d", len(dec.c.postings), len(c.postings))
+	dc := seg.c
+	if len(dc.postings) != len(c.postings) {
+		t.Fatalf("postings count %d != %d", len(dc.postings), len(c.postings))
 	}
 	for i := range c.postings {
-		a, b := &c.postings[i], &dec.c.postings[i]
+		a, b := &c.postings[i], &dc.postings[i]
 		if a.tmax != b.tmax {
 			t.Fatalf("postings %d: tmax %v != %v", i, b.tmax, a.tmax)
 		}
@@ -321,7 +322,7 @@ func TestDecodeRebuildsBlockMeta(t *testing.T) {
 	}
 	// And the decoded corpus answers pruned queries identically.
 	for _, q := range []string{texts[12], texts[99] + " extra"} {
-		matchesEqual(t, "decoded", dec.c.searchTopK(q, 5, searchPruned), c.searchTopK(q, 5, searchPruned))
+		matchesEqual(t, "decoded", dc.searchTopK(q, 5, searchPruned), c.searchTopK(q, 5, searchPruned))
 	}
 }
 

@@ -1,0 +1,51 @@
+package similarity
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSegmentMerge measures compacting an adjacent segment run (with
+// ~25% of documents tombstoned) into one fresh segment — the background
+// merger's unit of work. Total corpus size is held constant across the
+// sub-benchmarks, so the segs axis isolates the per-segment overhead of
+// dictionary recovery and re-interning.
+func BenchmarkSegmentMerge(b *testing.B) {
+	const total = 2000
+	for _, nSegs := range []int{2, 8} {
+		b.Run(fmt.Sprintf("segs=%d", nSegs), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(11))
+			per := total / nSegs
+			segs := make([]*Segment, nSegs)
+			deads := make([][]uint64, nSegs)
+			for s := range segs {
+				names := make([]string, per)
+				texts := make([]string, per)
+				for i := range texts {
+					names[i] = fmt.Sprintf("s%d_d%d.v", s, i)
+					texts[i] = randomDoc(rng, s*per+i)
+				}
+				segs[s] = BuildSegment(names, texts, 0)
+				dead := make([]uint64, (per+63)/64)
+				for i := 0; i < per; i++ {
+					if rng.Intn(4) == 0 {
+						dead[i/64] |= 1 << (i % 64)
+					}
+				}
+				deads[s] = dead
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if MergeSegments(segs, deads) == nil {
+					b.Fatal("merge produced no live documents")
+				}
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				b.ReportMetric(float64(b.N*total)/b.Elapsed().Seconds(), "docs/s")
+			}
+		})
+	}
+}

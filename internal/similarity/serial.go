@@ -7,24 +7,29 @@ import (
 	"sort"
 )
 
-// Snapshot serialization: the sealed index structure — names, the unigram
+// Segment serialization: the sealed index structure — names, the unigram
 // and bigram dictionaries, and the postings lists with their precomputed
 // unit-normalized weights — flattened into four independent byte sections.
 // Serializing the index rather than the source texts is what makes restart
 // instant (no re-tokenization, no dictionary rebuild) and byte-identical
-// (float64 weights round-trip as raw bits, so a recovered snapshot scores
+// (float64 weights round-trip as raw bits, so a recovered segment scores
 // every query exactly like the one that was saved).
 //
 // The sections are deliberately free of file framing: internal/snapstore
 // owns the on-disk format (magic, format version, per-section lengths and
 // checksums, crash-safe rename), and this file owns only the structural
 // encoding. Encoding is deterministic — dictionaries are written in
-// postings-id order, not map order — so equal snapshots produce equal
+// postings-id order, not map order — so equal segments produce equal
 // bytes and tests can compare encodings directly.
+//
+// The same four sections served as the whole-snapshot encoding before the
+// index went segmented; a pre-segmentation snapshot file is therefore
+// exactly one segment's sections, which is how internal/snapstore loads
+// old files byte-identically.
 
-// SnapshotSections is the number of sections EncodeSections produces and
-// DecodeSnapshot consumes: names, unigram dictionary, bigram dictionary,
-// postings.
+// SnapshotSections is the number of sections Segment.EncodeSections
+// produces and DecodeSegment consumes: names, unigram dictionary, bigram
+// dictionary, postings.
 const SnapshotSections = 4
 
 // ErrCorruptSnapshot reports a structurally invalid section payload —
@@ -74,12 +79,12 @@ func (r *reader) bytes(n int) []byte {
 
 func (r *reader) done() bool { return !r.err && r.off == len(r.b) }
 
-// EncodeSections serializes the snapshot into its four structural
-// sections. The result aliases nothing in the snapshot; it is safe to
-// write while concurrent queries run, because a sealed snapshot is
+// EncodeSections serializes the segment into its four structural
+// sections. The result aliases nothing in the segment; it is safe to
+// write while concurrent queries run, because a sealed segment is
 // immutable.
-func (s *Snapshot) EncodeSections() [][]byte {
-	c := s.c
+func (g *Segment) EncodeSections() [][]byte {
+	c := g.c
 
 	// Section 0: document names.
 	names := appendU32(nil, uint32(len(c.names)))
@@ -139,13 +144,36 @@ func (s *Snapshot) EncodeSections() [][]byte {
 	return [][]byte{names, uni, bi, post}
 }
 
-// DecodeSnapshot reconstructs a sealed snapshot from EncodeSections
+// EncodeSections on a single-segment, tombstone-free snapshot returns the
+// segment's sections — the legacy whole-snapshot encoding. Multi-segment
+// or tombstoned snapshots have no single-blob encoding (internal/snapstore
+// persists them as a descriptor over per-segment files), so this panics
+// for them; it exists for tests and tools that round-trip one segment.
+func (s *Snapshot) EncodeSections() [][]byte {
+	if len(s.segs) != 1 || s.segs[0].dead != nil {
+		panic("similarity: EncodeSections requires a single tombstone-free segment")
+	}
+	return s.segs[0].seg.EncodeSections()
+}
+
+// DecodeSnapshot reconstructs a single-segment snapshot from
+// EncodeSections output — the shape every pre-segmentation snapshot file
+// decodes to.
+func DecodeSnapshot(sections [][]byte) (*Snapshot, error) {
+	seg, err := DecodeSegment(sections)
+	if err != nil {
+		return nil, err
+	}
+	return newSnapshot([]*Segment{seg}, nil), nil
+}
+
+// DecodeSegment reconstructs a sealed segment from EncodeSections
 // output. Every structural invariant is re-validated — section count,
 // lengths, id ranges, postings/dictionary agreement — so a section that
 // passed its checksum but was encoded by a buggy or hostile writer still
 // fails with ErrCorruptSnapshot instead of producing an index that
 // panics at query time.
-func DecodeSnapshot(sections [][]byte) (*Snapshot, error) {
+func DecodeSegment(sections [][]byte) (*Segment, error) {
 	if len(sections) != SnapshotSections {
 		return nil, ErrCorruptSnapshot
 	}
@@ -248,5 +276,5 @@ func DecodeSnapshot(sections [][]byte) (*Snapshot, error) {
 	}
 
 	c.buildByteIDs()
-	return &Snapshot{c: c}, nil
+	return &Segment{c: c}, nil
 }

@@ -14,7 +14,6 @@ package similarity
 
 import (
 	"math"
-	"slices"
 	"strings"
 	"sync"
 	"unicode/utf8"
@@ -370,8 +369,8 @@ const unknownBase = uint64(1) << 31
 var maxUnknownIDs = uint64(1) << 30
 
 // A resolved query term packs a postings id (upper 32 bits) and its
-// integer query count (lower 32 bits) into one uint64, so the term list
-// sorts by id with slices.Sort — no interface or closure per comparison.
+// integer query count (lower 32 bits) into one uint64 — one word per term,
+// no interface or closure per comparison.
 func qtermID(qt uint64) int32  { return int32(qt >> 32) }
 func qtermW(qt uint64) float64 { return float64(uint32(qt)) }
 
@@ -469,9 +468,14 @@ var unknownPool = sync.Pool{New: func() any { return make(map[string]uint64) }}
 
 // resolveQuery streams a query's tokens and resolves them against the
 // index in one pass: the returned terms are the query's corpus-known
-// unigrams and bigrams with their counts, sorted by postings id — the
-// canonical accumulation order every scoring path shares, which is what
-// keeps Best, TopK, and BestBatch byte-identical to each other. qnorm is
+// unigrams and bigrams with their counts, in the query's first-appearance
+// order — the canonical accumulation order every scoring path shares,
+// which is what keeps Best, TopK, and BestBatch byte-identical to each
+// other. Crucially that order is a property of the QUERY alone, not of
+// the dictionary it resolved against: a document's contributions sum in
+// the same sequence whether its postings live in one big corpus or in a
+// small segment, which is what keeps segmented scoring (see Snapshot)
+// bit-identical to a single-segment full rebuild. qnorm is
 // the norm over ALL query terms, corpus-known or not. A token the corpus
 // has never seen cannot appear in any corpus bigram either, so its
 // bigrams are skipped without a lookup. qts reuses buf's capacity when it
@@ -591,12 +595,11 @@ func (c *Corpus) resolveQuery(text string, buf []uint64) (qts []uint64, qnorm fl
 			}
 		}
 	}
-	slices.Sort(qts)
 	return qts, math.Sqrt(sum)
 }
 
 // score accumulates per-document dot products for the query's terms, in
-// ascending postings-id order. Only documents sharing at least one term
+// canonical query order. Only documents sharing at least one term
 // with the query are touched; the returned accumulator holds
 // dot(query, doc)/norm(doc), so dividing by the query norm yields cosine.
 // qnorm is 0 for empty queries.

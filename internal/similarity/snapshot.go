@@ -1,25 +1,117 @@
 package similarity
 
-import "freehw/internal/par"
+import (
+	"math/bits"
+	"slices"
 
-// Snapshot is an immutable, sealed view of a Corpus, safe for any number
-// of concurrent readers. It is the unit the serving layer swaps RCU-style:
-// build a Corpus off to the side, Seal it, publish the Snapshot through an
-// atomic pointer, and in-flight queries keep answering against whichever
-// snapshot they loaded — never a half-built index.
+	"freehw/internal/par"
+)
+
+// Snapshot is an immutable, ordered set of segments with tombstones, safe
+// for any number of concurrent readers. It is the unit the serving layer
+// swaps RCU-style: build segments off to the side, compose a Snapshot,
+// publish it through an atomic pointer, and in-flight queries keep
+// answering against whichever snapshot they loaded — never a half-built
+// index.
+//
+// Documents are globally indexed by LIVE rank: index i is the i-th live
+// document in (segment-ordinal, doc-id) order. That is exactly the index
+// a single-segment full rebuild of the live documents would assign, so
+// Match.Index — and therefore tie-breaking, which prefers the lower
+// index — is identical across any segmentation or merge state.
 type Snapshot struct {
-	c *Corpus
+	segs  []snapSeg
+	total int // total live documents
 }
 
-// Seal freezes the corpus and returns its immutable read view. Sealing
-// transfers ownership: any later Add on the underlying Corpus panics, so a
-// writer cannot silently mutate an index that concurrent readers hold.
-func (c *Corpus) Seal() *Snapshot {
-	c.sealed = true
-	if c.byteIDs == nil {
-		c.buildByteIDs()
+// snapSeg is one segment's read-side state inside a snapshot.
+type snapSeg struct {
+	seg    *Segment
+	dead   []uint64 // immutable tombstone bitmap (nil = none); bit d of word d/64
+	live   int      // live docs in this segment
+	offset int      // global live rank of this segment's first live doc
+	rank   []int32  // per 64-doc word: live docs before that word; nil when dead == nil
+}
+
+// newSnapshot composes segments and tombstone bitmaps into a snapshot,
+// precomputing the live-rank tables. segs and deads are owned by the
+// snapshot from here on (callers pass clones or immutable slices).
+func newSnapshot(segs []*Segment, deads [][]uint64) *Snapshot {
+	s := &Snapshot{segs: make([]snapSeg, len(segs))}
+	for i, g := range segs {
+		var dead []uint64
+		if i < len(deads) {
+			dead = deads[i]
+		}
+		ss := &s.segs[i]
+		ss.seg = g
+		ss.dead = dead
+		ss.offset = s.total
+		n := g.Docs()
+		if dead == nil {
+			ss.live = n
+		} else {
+			words := (n + 63) >> 6
+			ss.rank = make([]int32, words)
+			live := 0
+			for w := 0; w < words; w++ {
+				ss.rank[w] = int32(live)
+				m := ^dead[w]
+				if hi := n - w<<6; hi < 64 {
+					m &= 1<<uint(hi) - 1 // bits past the last doc are not live
+				}
+				live += bits.OnesCount64(m)
+			}
+			ss.live = live
+		}
+		s.total += ss.live
 	}
-	return &Snapshot{c: c}
+	return s
+}
+
+// liveRank maps a segment-local doc id to its live rank within the
+// segment (the number of live docs before it). d must itself be live.
+//
+//freehw:hotpath
+func (ss *snapSeg) liveRank(d int32) int {
+	if ss.dead == nil {
+		return int(d)
+	}
+	w := d >> 6
+	return int(ss.rank[w]) + bits.OnesCount64(^ss.dead[w]&(1<<(uint32(d)&63)-1))
+}
+
+// selectLive maps a live rank back to the segment-local doc id — the
+// inverse of liveRank. r must be in [0, live).
+func (ss *snapSeg) selectLive(r int) int32 {
+	if ss.dead == nil {
+		return int32(r)
+	}
+	// Find the word containing the r-th live doc (rank is nondecreasing),
+	// then select the bit within it.
+	w := 0
+	for w+1 < len(ss.rank) && int(ss.rank[w+1]) <= r {
+		w++
+	}
+	need := r - int(ss.rank[w])
+	m := ^ss.dead[w]
+	for b := 0; b < 64; b++ {
+		if m&(1<<uint(b)) != 0 {
+			if need == 0 {
+				return int32(w<<6 + b)
+			}
+			need--
+		}
+	}
+	panic("similarity: live rank out of range")
+}
+
+// Seal freezes the corpus and returns its immutable read view as a
+// single-segment snapshot. Sealing transfers ownership: any later Add on
+// the underlying Corpus panics, so a writer cannot silently mutate an
+// index that concurrent readers hold.
+func (c *Corpus) Seal() *Snapshot {
+	return newSnapshot([]*Segment{c.sealSegment()}, nil)
 }
 
 // SealCorpus builds and seals a corpus in one step (see NewCorpusWorkers).
@@ -27,19 +119,113 @@ func SealCorpus(names, texts []string, workers int) *Snapshot {
 	return NewCorpusWorkers(names, texts, workers).Seal()
 }
 
-// Len returns the number of indexed documents.
-func (s *Snapshot) Len() int { return s.c.Len() }
+// SnapshotOf composes pre-built segments and tombstone bitmaps into a
+// snapshot. The slices are cloned; the segments and bitmaps themselves
+// must be immutable from here on.
+func SnapshotOf(segs []*Segment, deads [][]uint64) *Snapshot {
+	return newSnapshot(slices.Clone(segs), slices.Clone(deads))
+}
 
-// Name returns the name of document i.
-func (s *Snapshot) Name(i int) string { return s.c.names[i] }
+// Len returns the number of live documents.
+func (s *Snapshot) Len() int { return s.total }
 
-// Best returns the closest corpus document to the query text; identical to
-// Corpus.Best on the sealed corpus.
-func (s *Snapshot) Best(text string) Match { return s.c.Best(text) }
+// Segments returns the number of segments.
+func (s *Snapshot) Segments() int { return len(s.segs) }
 
-// TopK returns the k closest matches, best first; identical to
-// Corpus.TopK on the sealed corpus.
-func (s *Snapshot) TopK(text string, k int) []Match { return s.c.TopK(text, k) }
+// Segment returns segment i (for persistence; immutable).
+func (s *Snapshot) Segment(i int) *Segment { return s.segs[i].seg }
+
+// SegmentDead returns segment i's tombstone bitmap (nil = none). The
+// returned slice is shared and must not be mutated.
+func (s *Snapshot) SegmentDead(i int) []uint64 { return s.segs[i].dead }
+
+// SegmentLive returns the number of live documents in segment i.
+func (s *Snapshot) SegmentLive(i int) int { return s.segs[i].live }
+
+// Name returns the name of live document i.
+func (s *Snapshot) Name(i int) string {
+	for si := range s.segs {
+		ss := &s.segs[si]
+		if i < ss.offset+ss.live {
+			return ss.seg.c.names[ss.selectLive(i-ss.offset)]
+		}
+	}
+	panic("similarity: document index out of range")
+}
+
+// Best returns the closest live document to the query text, or
+// Match{Name: "", Index: -1, Score: 0} when nothing scores above zero.
+// Each segment runs the exact block-max scorer with its tombstone bitmap;
+// candidates merge on (score descending, global index ascending) — the
+// same tie rule as a single corpus, made consistent by the global
+// live-rank indexing.
+//
+//freehw:hotpath
+func (s *Snapshot) Best(text string) Match {
+	if len(s.segs) == 1 && s.segs[0].dead == nil {
+		// Single segment, no tombstones: the pre-segmentation fast path.
+		return s.segs[0].seg.c.Best(text)
+	}
+	best := Match{Index: -1}
+	for si := range s.segs {
+		ss := &s.segs[si]
+		if ss.live == 0 {
+			continue
+		}
+		ms := ss.seg.c.searchTopKDead(text, 1, searchAuto, ss.dead)
+		if len(ms) == 0 {
+			continue
+		}
+		m := ms[0]
+		m.Index = ss.offset + ss.liveRank(int32(m.Index))
+		if best.Index < 0 || m.Score > best.Score {
+			best = m
+		}
+	}
+	return best
+}
+
+// TopK returns the k closest live matches, best first (score descending,
+// index ascending on ties). Only documents sharing at least one term with
+// the query qualify — identical semantics to Corpus.TopK.
+//
+//freehw:hotpath
+func (s *Snapshot) TopK(text string, k int) []Match {
+	if k <= 0 || s.total == 0 {
+		return nil
+	}
+	if len(s.segs) == 1 && s.segs[0].dead == nil {
+		return s.segs[0].seg.c.TopK(text, k)
+	}
+	var all []Match
+	for si := range s.segs {
+		ss := &s.segs[si]
+		if ss.live == 0 {
+			continue
+		}
+		ms := ss.seg.c.searchTopKDead(text, k, searchAuto, ss.dead)
+		for _, m := range ms {
+			m.Index = ss.offset + ss.liveRank(int32(m.Index))
+			all = append(all, m)
+		}
+	}
+	// Per-segment lists carry exact scores (bit-identical to the full
+	// rebuild's), so a plain sort on (score desc, index asc) reproduces
+	// the single-corpus heap order exactly.
+	slices.SortFunc(all, func(a, b Match) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
+		}
+		return a.Index - b.Index
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
 
 // BestBatch scores a batch of queries in one pass over the snapshot:
 // identical texts are deduplicated — generation pipelines resample the
@@ -55,7 +241,7 @@ func (s *Snapshot) BestBatch(workers int, texts []string) []Match {
 	if len(texts) == 1 {
 		// Single query — the serving fast path: no dedup table, no
 		// fan-out, same result.
-		return []Match{s.c.Best(texts[0])}
+		return []Match{s.Best(texts[0])}
 	}
 	slot := make([]int, len(texts))
 	index := make(map[string]int, len(texts))
@@ -70,7 +256,7 @@ func (s *Snapshot) BestBatch(workers int, texts []string) []Match {
 		slot[i] = j
 	}
 	scored := par.Map(workers, len(distinct), func(i int) Match {
-		return s.c.Best(distinct[i])
+		return s.Best(distinct[i])
 	})
 	out := make([]Match, len(texts))
 	for i := range texts {

@@ -5,25 +5,41 @@
 //
 // On-disk layout (one directory per store):
 //
-//	snap-<version, 16 hex>.fhs   one immutable snapshot per published version
-//	MANIFEST                     pointer to the current version
+//	seg-<segment id, 16 hex>.fhs   one immutable segment, shared by versions
+//	snap-<version, 16 hex>.fhs     one descriptor per published version
+//	MANIFEST                       pointer to the current version
 //
-// A snapshot file is a format-versioned, length-prefixed, per-section
-// checksummed container around similarity's structural encoding:
+// Segments are written once and referenced by every later version that
+// still contains them, which is what makes an incremental publish O(delta)
+// on disk: saving a version that adds one segment writes that segment file
+// plus a small descriptor, never the whole corpus. A descriptor lists the
+// live segment ids in order together with each segment's tombstone bitmap.
 //
-//	magic "FHSS" | format byte | u64 corpus version | u32 section count
+// Every file is a format-versioned, length-prefixed, per-section
+// checksummed container:
+//
+//	magic | format byte | u64 id/version | u32 section count
 //	per section: u32 length | u32 CRC32-C
 //	u32 CRC32-C over the header above
 //	section payloads, concatenated
 //
+// Segment files (magic "FHSG") carry similarity's four structural
+// sections; descriptors (magic "FHSV") carry one section — the segment
+// list. Files written before the index went segmented (magic "FHSS")
+// carry a whole snapshot's sections and still load byte-identically as a
+// single-segment version.
+//
 // Every write is crash-safe: full contents to a temp file in the same
 // directory, fsync, atomic rename over the final name, fsync the
-// directory. The manifest is written the same way after the snapshot file
-// is durable, so at every instant the manifest names a fully-written
-// file. Readers trust nothing: a truncated, torn, or bit-flipped file
-// fails its checksums and LoadLatest falls back to the newest older
-// version that verifies — a crashed writer can lose its in-flight publish
-// but can never corrupt what was already served.
+// directory. Segment files become durable before the descriptor that
+// references them, and the manifest is written last, so at every instant
+// the manifest names a fully-written, fully-referenced version. Readers
+// trust nothing: a truncated, torn, or bit-flipped file fails its
+// checksums and LoadLatest falls back to the newest older version that
+// verifies — a crashed writer can lose its in-flight publish but can
+// never corrupt what was already served. Segment files unreferenced by
+// any descriptor (a crash between segment commit and descriptor rename,
+// or a retention sweep) are garbage-collected.
 //
 // The write path is instrumented with failpoints (see internal/failpoint)
 // at each crash-relevant boundary; the recovery test suite crashes a
@@ -50,26 +66,34 @@ import (
 // here is automatically covered.
 var (
 	FPBeforeTempWrite   = failpoint.Register("snapstore/before-temp-write")
+	FPAfterSegWrite     = failpoint.Register("snapstore/after-seg-write")
+	FPAfterSegSync      = failpoint.Register("snapstore/after-seg-sync")
+	FPAfterSegCommit    = failpoint.Register("snapstore/after-seg-commit")
 	FPAfterTempWrite    = failpoint.Register("snapstore/after-temp-write")
 	FPAfterTempSync     = failpoint.Register("snapstore/after-temp-sync")
 	FPAfterSnapRename   = failpoint.Register("snapstore/after-snap-rename")
 	FPAfterManifestTemp = failpoint.Register("snapstore/after-manifest-temp")
 	FPAfterManifestSync = failpoint.Register("snapstore/after-manifest-sync")
 	FPAfterSave         = failpoint.Register("snapstore/after-save")
+	FPBeforeSegGC       = failpoint.Register("snapstore/before-seg-gc")
 )
 
 const (
-	snapMagic     = "FHSS"
+	legacyMagic   = "FHSS" // pre-segmentation whole-snapshot file
+	segMagic      = "FHSG" // one immutable segment
+	descMagic     = "FHSV" // versioned descriptor over segments
 	manifestMagic = "FHSM"
 	formatVersion = 1
 	manifestName  = "MANIFEST"
 	snapPrefix    = "snap-"
+	segPrefix     = "seg-"
 	snapSuffix    = ".fhs"
 	tmpSuffix     = ".tmp"
 )
 
-// ErrCorrupt reports a snapshot or manifest file that failed validation:
-// bad magic, unknown format version, checksum mismatch, or truncation.
+// ErrCorrupt reports a snapshot, segment, or manifest file that failed
+// validation: bad magic, unknown format version, checksum mismatch, or
+// truncation.
 var ErrCorrupt = errors.New("snapstore: corrupt file")
 
 // ErrNotFound reports a requested version with no file on disk.
@@ -77,18 +101,21 @@ var ErrNotFound = errors.New("snapstore: version not found")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Store is a directory of versioned snapshot files plus a manifest.
-// Save calls must be serialized by the caller (the serving layer already
-// serializes publishes); loads are safe at any time.
+// Store is a directory of segment files, versioned descriptors, and a
+// manifest. Save calls must be serialized by the caller (the serving
+// layer already serializes publishes); loads are safe at any time.
 type Store struct {
-	dir    string
-	retain int
+	dir     string
+	retain  int
+	nextSeg uint64 // next segment id to assign; always past every id on disk
 }
 
 // Open creates or reopens a store directory. retain bounds how many
 // snapshot versions Save keeps on disk (<= 0 keeps every version).
-// Leftover temp files from a crashed writer are removed — they were never
-// part of the durable state.
+// Leftover temp files from a crashed writer are removed, as are segment
+// files no descriptor references — a crash between segment commit and
+// descriptor rename leaves exactly such an orphan, and the retried
+// publish rewrites it.
 func Open(dir string, retain int) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -102,13 +129,24 @@ func Open(dir string, retain int) (*Store, error) {
 			os.Remove(filepath.Join(dir, e.Name())) //freehw:nolint failsafe -- startup sweep of orphaned temp files; recovery never reads them, so a kill here loses nothing
 		}
 	}
-	return &Store{dir: dir, retain: retain}, nil
+	st := &Store{dir: dir, retain: retain, nextSeg: 1}
+	segs, err := st.segIDs()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range segs {
+		if id >= st.nextSeg {
+			st.nextSeg = id + 1
+		}
+	}
+	st.gcSegments(segs)
+	return st, nil
 }
 
 // Dir returns the store's directory.
 func (st *Store) Dir() string { return st.dir }
 
-// Path returns the on-disk path of one version's snapshot file — for
+// Path returns the on-disk path of one version's descriptor file — for
 // operators and tests inspecting durable state; the file may not exist.
 func (st *Store) Path(version uint64) string { return st.snapPath(version) }
 
@@ -116,13 +154,18 @@ func (st *Store) snapPath(version uint64) string {
 	return filepath.Join(st.dir, fmt.Sprintf("%s%016x%s", snapPrefix, version, snapSuffix))
 }
 
-// encodeFile builds the complete checksummed snapshot file image.
-func encodeFile(version uint64, snap *similarity.Snapshot) []byte {
-	sections := snap.EncodeSections()
+// SegPath returns the on-disk path of one segment file.
+func (st *Store) SegPath(id uint64) string {
+	return filepath.Join(st.dir, fmt.Sprintf("%s%016x%s", segPrefix, id, snapSuffix))
+}
+
+// encodeContainer builds the checksummed file image shared by every store
+// file: magic, format version, a u64 identity, and checksummed sections.
+func encodeContainer(magic string, id uint64, sections [][]byte) []byte {
 	header := make([]byte, 0, 4+1+8+4+len(sections)*8+4)
-	header = append(header, snapMagic...)
+	header = append(header, magic...)
 	header = append(header, formatVersion)
-	header = binary.LittleEndian.AppendUint64(header, version)
+	header = binary.LittleEndian.AppendUint64(header, id)
 	header = binary.LittleEndian.AppendUint32(header, uint32(len(sections)))
 	total := 0
 	for _, sec := range sections {
@@ -139,51 +182,168 @@ func encodeFile(version uint64, snap *similarity.Snapshot) []byte {
 	return out
 }
 
-// decodeFile validates every checksum and reconstructs the snapshot.
-func decodeFile(data []byte) (*similarity.Snapshot, uint64, error) {
+// decodeContainer validates every checksum and returns the magic, the
+// identity word, and the section payloads.
+func decodeContainer(data []byte) (magic string, id uint64, sections [][]byte, err error) {
 	fixed := 4 + 1 + 8 + 4
-	if len(data) < fixed+4 || string(data[:4]) != snapMagic {
-		return nil, 0, ErrCorrupt
+	if len(data) < fixed+4 {
+		return "", 0, nil, ErrCorrupt
+	}
+	magic = string(data[:4])
+	switch magic {
+	case legacyMagic, segMagic, descMagic:
+	default:
+		return "", 0, nil, ErrCorrupt
 	}
 	if data[4] != formatVersion {
-		return nil, 0, fmt.Errorf("%w: unknown format version %d", ErrCorrupt, data[4])
+		return "", 0, nil, fmt.Errorf("%w: unknown format version %d", ErrCorrupt, data[4])
 	}
-	version := binary.LittleEndian.Uint64(data[5:])
+	id = binary.LittleEndian.Uint64(data[5:])
 	nsec := int(binary.LittleEndian.Uint32(data[13:]))
 	if nsec < 0 || nsec > 1024 {
-		return nil, 0, ErrCorrupt
+		return "", 0, nil, ErrCorrupt
 	}
 	headerLen := fixed + nsec*8
 	if len(data) < headerLen+4 {
-		return nil, 0, ErrCorrupt
+		return "", 0, nil, ErrCorrupt
 	}
 	wantHdrCRC := binary.LittleEndian.Uint32(data[headerLen:])
 	if crc32.Checksum(data[:headerLen], castagnoli) != wantHdrCRC {
-		return nil, 0, fmt.Errorf("%w: header checksum mismatch", ErrCorrupt)
+		return "", 0, nil, fmt.Errorf("%w: header checksum mismatch", ErrCorrupt)
 	}
-	sections := make([][]byte, nsec)
+	sections = make([][]byte, nsec)
 	off := headerLen + 4
 	for i := 0; i < nsec; i++ {
 		secLen := int(binary.LittleEndian.Uint32(data[fixed+i*8:]))
 		secCRC := binary.LittleEndian.Uint32(data[fixed+i*8+4:])
 		if secLen < 0 || off+secLen > len(data) {
-			return nil, 0, fmt.Errorf("%w: section %d truncated", ErrCorrupt, i)
+			return "", 0, nil, fmt.Errorf("%w: section %d truncated", ErrCorrupt, i)
 		}
 		sec := data[off : off+secLen]
 		if crc32.Checksum(sec, castagnoli) != secCRC {
-			return nil, 0, fmt.Errorf("%w: section %d checksum mismatch", ErrCorrupt, i)
+			return "", 0, nil, fmt.Errorf("%w: section %d checksum mismatch", ErrCorrupt, i)
 		}
 		sections[i] = sec
 		off += secLen
 	}
 	if off != len(data) {
-		return nil, 0, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-off)
+		return "", 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-off)
 	}
-	snap, err := similarity.DecodeSnapshot(sections)
+	return magic, id, sections, nil
+}
+
+// encodeSegFile builds one segment's file image.
+func encodeSegFile(g *similarity.Segment) []byte {
+	return encodeContainer(segMagic, g.ID(), g.EncodeSections())
+}
+
+// decodeSegFile validates and reconstructs one segment.
+func decodeSegFile(data []byte) (*similarity.Segment, uint64, error) {
+	magic, id, sections, err := decodeContainer(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if magic != segMagic {
+		return nil, 0, fmt.Errorf("%w: not a segment file", ErrCorrupt)
+	}
+	seg, err := similarity.DecodeSegment(sections)
 	if err != nil {
 		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	return snap, version, nil
+	if id != 0 {
+		seg.SetID(id)
+	}
+	return seg, id, nil
+}
+
+// encodeFile builds one version's descriptor file image: the ordered
+// segment list with per-segment doc counts and tombstone bitmaps.
+func encodeFile(version uint64, snap *similarity.Snapshot) []byte {
+	desc := binary.LittleEndian.AppendUint32(nil, uint32(snap.Segments()))
+	for i := 0; i < snap.Segments(); i++ {
+		g := snap.Segment(i)
+		desc = binary.LittleEndian.AppendUint64(desc, g.ID())
+		desc = binary.LittleEndian.AppendUint32(desc, uint32(g.Docs()))
+		dead := snap.SegmentDead(i)
+		desc = binary.LittleEndian.AppendUint32(desc, uint32(len(dead)))
+		for _, w := range dead {
+			desc = binary.LittleEndian.AppendUint64(desc, w)
+		}
+	}
+	return encodeContainer(descMagic, version, [][]byte{desc})
+}
+
+// segRef is one descriptor entry: a segment id plus the tombstones the
+// version applies to it.
+type segRef struct {
+	id   uint64
+	docs int
+	dead []uint64
+}
+
+// decodeDescriptor parses a descriptor payload into segment references.
+func decodeDescriptor(desc []byte) ([]segRef, error) {
+	off := 0
+	u32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(desc[off:])
+		off += 4
+		return v
+	}
+	if len(desc) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := int(u32())
+	if n < 0 || n > 1<<20 {
+		return nil, ErrCorrupt
+	}
+	refs := make([]segRef, 0, n)
+	for i := 0; i < n; i++ {
+		if off+16 > len(desc) {
+			return nil, fmt.Errorf("%w: descriptor truncated", ErrCorrupt)
+		}
+		id := binary.LittleEndian.Uint64(desc[off:])
+		off += 8
+		docs := int(u32())
+		words := int(u32())
+		if id == 0 || docs < 0 || words < 0 || off+words*8 > len(desc) {
+			return nil, fmt.Errorf("%w: descriptor entry %d invalid", ErrCorrupt, i)
+		}
+		if words != 0 && words != (docs+63)/64 {
+			return nil, fmt.Errorf("%w: descriptor entry %d bitmap size", ErrCorrupt, i)
+		}
+		var dead []uint64
+		if words > 0 {
+			dead = make([]uint64, words)
+			for w := range dead {
+				dead[w] = binary.LittleEndian.Uint64(desc[off:])
+				off += 8
+			}
+		}
+		refs = append(refs, segRef{id: id, docs: docs, dead: dead})
+	}
+	if off != len(desc) {
+		return nil, fmt.Errorf("%w: %d trailing descriptor bytes", ErrCorrupt, len(desc)-off)
+	}
+	return refs, nil
+}
+
+// loadSegment reads and fully validates one segment file.
+func (st *Store) loadSegment(id uint64) (*similarity.Segment, error) {
+	data, err := os.ReadFile(st.SegPath(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: segment %d", ErrNotFound, id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	seg, fileID, err := decodeSegFile(data)
+	if err != nil {
+		return nil, err
+	}
+	if fileID != id {
+		return nil, fmt.Errorf("%w: segment file claims id %d, name says %d", ErrCorrupt, fileID, id)
+	}
+	return seg, nil
 }
 
 // writeDurable writes data crash-safely to path: temp file in the same
@@ -229,23 +389,50 @@ func (st *Store) syncDir() error {
 	return d.Sync()
 }
 
-// Save durably persists one snapshot version and points the manifest at
-// it. On return without error the version survives any crash; on error
-// the previous durable state is untouched — with one documented
-// exception: a crash after the snapshot file is durable but before the
-// manifest rename leaves the new version on disk unreferenced, and
-// LoadLatest will prefer it (at-least-once publish semantics, exercised
-// by the recovery suite).
+// Save durably persists one snapshot version: first any segment files not
+// yet on disk (cost O(delta) — segments shared with earlier versions are
+// skipped by existence check), then the descriptor, then the manifest
+// pointer. Segments without a storage id are assigned one here, mutating
+// the snapshot's segments (ids are write-once; see similarity.SetID).
+//
+// On return without error the version survives any crash; on error the
+// previous durable state is untouched — with one documented exception: a
+// crash after the descriptor is durable but before the manifest rename
+// leaves the new version on disk unreferenced, and LoadLatest will prefer
+// it (at-least-once publish semantics, exercised by the recovery suite).
+// Committed segment files whose descriptor never landed are orphans; Open
+// garbage-collects them and a retried publish rewrites them.
 func (st *Store) Save(version uint64, snap *similarity.Snapshot) error {
 	if err := failpoint.Inject(FPBeforeTempWrite); err != nil {
 		return err
+	}
+	for i := 0; i < snap.Segments(); i++ {
+		g := snap.Segment(i)
+		if g.ID() == 0 {
+			g.SetID(st.nextSeg)
+			st.nextSeg++
+		} else if g.ID() >= st.nextSeg {
+			// A segment persisted elsewhere (e.g. by a store reopened on the
+			// same directory): never hand out its id again.
+			st.nextSeg = g.ID() + 1
+		}
+		path := st.SegPath(g.ID())
+		if _, err := os.Stat(path); err == nil {
+			continue // already durable from an earlier version
+		}
+		if err := st.writeDurable(path, encodeSegFile(g), FPAfterSegWrite, FPAfterSegSync); err != nil {
+			return err
+		}
+		if err := failpoint.Inject(FPAfterSegCommit); err != nil {
+			return err // crash: segment durable, descriptor absent — orphan until retry
+		}
 	}
 	path := st.snapPath(version)
 	if err := st.writeDurable(path, encodeFile(version, snap), FPAfterTempWrite, FPAfterTempSync); err != nil {
 		return err
 	}
 	if err := failpoint.Inject(FPAfterSnapRename); err != nil {
-		return err // crash: snapshot durable, manifest still names the old version
+		return err // crash: descriptor durable, manifest still names the old version
 	}
 	manifest := make([]byte, 0, 4+1+8+4)
 	manifest = append(manifest, manifestMagic...)
@@ -259,12 +446,21 @@ func (st *Store) Save(version uint64, snap *similarity.Snapshot) error {
 		return err // crash: fully durable, retention sweep skipped
 	}
 	st.sweep(version)
+	if err := failpoint.Inject(FPBeforeSegGC); err != nil {
+		return err // crash: sweep done, orphaned segments linger until next GC
+	}
+	if st.retain > 0 {
+		segs, err := st.segIDs()
+		if err == nil {
+			st.gcSegments(segs)
+		}
+	}
 	return nil
 }
 
-// sweep removes snapshot files beyond the retention bound, never touching
-// current or the retain-1 newest versions below it. Best-effort: a failed
-// unlink costs disk, not correctness.
+// sweep removes descriptor files beyond the retention bound, never
+// touching current or the retain-1 newest versions below it. Best-effort:
+// a failed unlink costs disk, not correctness.
 func (st *Store) sweep(current uint64) {
 	if st.retain <= 0 {
 		return
@@ -283,6 +479,66 @@ func (st *Store) sweep(current uint64) {
 			os.Remove(st.snapPath(versions[i]))
 		}
 	}
+}
+
+// gcSegments removes segment files no descriptor references. A descriptor
+// that fails to parse contributes no references — it can never be loaded,
+// so its segments are live only if another version names them.
+// Best-effort, like sweep.
+func (st *Store) gcSegments(onDisk []uint64) {
+	if len(onDisk) == 0 {
+		return
+	}
+	versions, err := st.Versions()
+	if err != nil {
+		return
+	}
+	live := map[uint64]bool{}
+	for _, v := range versions {
+		data, err := os.ReadFile(st.snapPath(v))
+		if err != nil {
+			continue
+		}
+		magic, _, sections, err := decodeContainer(data)
+		if err != nil || magic != descMagic || len(sections) != 1 {
+			continue // legacy file (no segment refs) or unreadable descriptor
+		}
+		refs, err := decodeDescriptor(sections[0])
+		if err != nil {
+			continue
+		}
+		for _, ref := range refs {
+			live[ref.id] = true
+		}
+	}
+	for _, id := range onDisk {
+		if !live[id] {
+			os.Remove(st.SegPath(id)) //freehw:nolint failsafe -- best-effort GC of unreferenced segment files; a kill here leaves an orphan the next Open collects
+		}
+	}
+}
+
+// segIDs lists the segment ids present on disk (by filename), ascending.
+func (st *Store) segIDs() ([]uint64, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), snapSuffix)
+		v, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil || len(hex) != 16 {
+			continue
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
 }
 
 // manifestVersion reads the manifest pointer. ErrCorrupt or a read error
@@ -325,7 +581,9 @@ func (st *Store) Versions() ([]uint64, error) {
 	return out, nil
 }
 
-// Load reads and fully validates one version.
+// Load reads and fully validates one version: the descriptor, every
+// referenced segment file, and the agreement between them (doc counts,
+// bitmap sizes, ids). Pre-segmentation files decode directly.
 func (st *Store) Load(version uint64) (*similarity.Snapshot, error) {
 	data, err := os.ReadFile(st.snapPath(version))
 	if errors.Is(err, os.ErrNotExist) {
@@ -334,14 +592,46 @@ func (st *Store) Load(version uint64) (*similarity.Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	snap, fileVersion, err := decodeFile(data)
+	magic, fileVersion, sections, err := decodeContainer(data)
 	if err != nil {
 		return nil, err
 	}
 	if fileVersion != version {
 		return nil, fmt.Errorf("%w: file claims version %d, name says %d", ErrCorrupt, fileVersion, version)
 	}
-	return snap, nil
+	switch magic {
+	case legacyMagic:
+		snap, err := similarity.DecodeSnapshot(sections)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return snap, nil
+	case descMagic:
+		if len(sections) != 1 {
+			return nil, fmt.Errorf("%w: descriptor section count %d", ErrCorrupt, len(sections))
+		}
+		refs, err := decodeDescriptor(sections[0])
+		if err != nil {
+			return nil, err
+		}
+		segs := make([]*similarity.Segment, len(refs))
+		deads := make([][]uint64, len(refs))
+		for i, ref := range refs {
+			seg, err := st.loadSegment(ref.id)
+			if err != nil {
+				return nil, err
+			}
+			if seg.Docs() != ref.docs {
+				return nil, fmt.Errorf("%w: segment %d has %d docs, descriptor says %d",
+					ErrCorrupt, ref.id, seg.Docs(), ref.docs)
+			}
+			segs[i] = seg
+			deads[i] = ref.dead
+		}
+		return similarity.SnapshotOf(segs, deads), nil
+	default:
+		return nil, fmt.Errorf("%w: not a snapshot file", ErrCorrupt)
+	}
 }
 
 // LoadLatest returns the newest snapshot that validates, preferring the

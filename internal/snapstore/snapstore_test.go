@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"freehw/internal/failpoint"
 	"freehw/internal/similarity"
@@ -82,12 +83,13 @@ func TestLoadLatestEmptyStore(t *testing.T) {
 
 // Corruption table: every kind of file damage — truncation at each region
 // boundary, bit flips in header and payload, bad magic — must be detected
-// by checksum and skipped in favor of the previous good version.
+// by checksum and skipped in favor of the previous good version. The
+// table runs twice: once mangling the version-2 descriptor, once mangling
+// the segment file it references.
 func TestCorruptionFallsBackToPreviousVersion(t *testing.T) {
 	snapA, texts := testSnapshot(t, 2, 20)
 	snapB, _ := testSnapshot(t, 3, 25)
 
-	goodB := encodeFile(2, snapB)
 	cases := []struct {
 		name   string
 		mangle func([]byte) []byte
@@ -100,56 +102,84 @@ func TestCorruptionFallsBackToPreviousVersion(t *testing.T) {
 		{"truncated one byte", func(b []byte) []byte { return b[:len(b)-1] }},
 		{"header bit flip", func(b []byte) []byte { b[9] ^= 0x40; return b }},
 		{"section table bit flip", func(b []byte) []byte { b[20] ^= 0x01; return b }},
-		{"payload bit flip early", func(b []byte) []byte { b[60] ^= 0x80; return b }},
+		{"payload bit flip early", func(b []byte) []byte { b[30] ^= 0x80; return b }},
 		{"payload bit flip late", func(b []byte) []byte { b[len(b)-2] ^= 0x04; return b }},
 		{"trailing garbage", func(b []byte) []byte { return append(b, 0xAA) }},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			dir := t.TempDir()
-			st, err := Open(dir, 0)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := st.Save(1, snapA); err != nil {
-				t.Fatal(err)
-			}
-			if err := st.Save(2, snapB); err != nil {
-				t.Fatal(err)
-			}
-			// Damage version 2 in place, as a torn disk write would.
-			mangled := tc.mangle(append([]byte(nil), goodB...))
-			if err := os.WriteFile(st.snapPath(2), mangled, 0o644); err != nil {
-				t.Fatal(err)
-			}
-			if _, err := st.Load(2); !errors.Is(err, ErrCorrupt) {
-				t.Fatalf("Load(corrupt) err = %v, want ErrCorrupt", err)
-			}
-			snap, v, skipped, err := st.LoadLatest()
-			if err != nil || v != 1 {
-				t.Fatalf("LoadLatest = v%d err %v, want fallback to v1", v, err)
-			}
-			if len(skipped) != 1 || skipped[0] != 2 {
-				t.Fatalf("skipped = %v, want [2]", skipped)
-			}
-			sameVerdicts(t, snap, snapA, texts[:8])
-		})
+	for _, target := range []string{"descriptor", "segment"} {
+		for _, tc := range cases {
+			t.Run(target+"/"+tc.name, func(t *testing.T) {
+				dir := t.TempDir()
+				st, err := Open(dir, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := st.Save(1, snapA); err != nil {
+					t.Fatal(err)
+				}
+				if err := st.Save(2, snapB); err != nil {
+					t.Fatal(err)
+				}
+				// Damage version 2 in place, as a torn disk write would.
+				path := st.snapPath(2)
+				if target == "segment" {
+					path = st.SegPath(snapB.Segment(0).ID())
+				}
+				good, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, tc.mangle(good), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := st.Load(2); !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrNotFound) {
+					t.Fatalf("Load(corrupt) err = %v, want ErrCorrupt", err)
+				}
+				snap, v, skipped, err := st.LoadLatest()
+				if err != nil || v != 1 {
+					t.Fatalf("LoadLatest = v%d err %v, want fallback to v1", v, err)
+				}
+				if len(skipped) != 1 || skipped[0] != 2 {
+					t.Fatalf("skipped = %v, want [2]", skipped)
+				}
+				sameVerdicts(t, snap, snapA, texts[:8])
+			})
+		}
 	}
 }
 
-// Exhaustive truncation: a snapshot file cut at EVERY possible length
-// either loads as the intact file would or fails with ErrCorrupt — no
-// panic, no silently wrong index.
+// Exhaustive truncation: a segment or descriptor file cut at EVERY
+// possible length either loads as the intact file would or fails with
+// ErrCorrupt — no panic, no silently wrong index.
 func TestTruncationEveryOffset(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	snap, _ := testSnapshot(t, 4, 6)
-	full := encodeFile(1, snap)
-	for cut := 0; cut < len(full); cut++ {
-		if _, _, err := decodeFile(full[:cut]); !errors.Is(err, ErrCorrupt) {
-			t.Fatalf("truncation at %d/%d: err = %v, want ErrCorrupt", cut, len(full), err)
+	if err := st.Save(1, snap); err != nil {
+		t.Fatal(err)
+	}
+	segFull, err := os.ReadFile(st.SegPath(snap.Segment(0).ID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	descFull, err := os.ReadFile(st.snapPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, full := range map[string][]byte{"segment": segFull, "descriptor": descFull} {
+		for cut := 0; cut < len(full); cut++ {
+			if _, _, _, err := decodeContainer(full[:cut]); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%s truncated at %d/%d: err = %v, want ErrCorrupt", name, cut, len(full), err)
+			}
+		}
+		if _, _, _, err := decodeContainer(full); err != nil {
+			t.Fatalf("intact %s: %v", name, err)
 		}
 	}
-	if _, _, err := decodeFile(full); err != nil {
-		t.Fatalf("intact file: %v", err)
+	if _, _, err := decodeSegFile(segFull); err != nil {
+		t.Fatalf("intact segment decode: %v", err)
 	}
 }
 
@@ -315,6 +345,173 @@ func TestPanicCrashRecovers(t *testing.T) {
 		if strings.HasSuffix(e.Name(), tmpSuffix) {
 			t.Fatalf("stale temp file survived reopen: %s", e.Name())
 		}
+	}
+}
+
+// Files written by the pre-segmentation store (magic FHSS, the whole
+// snapshot in one container) must keep loading byte-identically: the
+// sections are exactly one segment's sections, so the legacy file decodes
+// as a single-segment version.
+func TestLegacyFormatLoads(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, texts := testSnapshot(t, 13, 18)
+	legacy := encodeContainer(legacyMagic, 3, snap.EncodeSections())
+	if err := os.WriteFile(st.snapPath(3), legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.Load(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameVerdicts(t, back, snap, append(texts[:6:6], "module nothere(); endmodule"))
+	if back.Segments() != 1 {
+		t.Fatalf("legacy file decoded to %d segments", back.Segments())
+	}
+
+	// A segmented publish on top of the legacy file coexists with it.
+	snapB, textsB := testSnapshot(t, 14, 9)
+	if err := st.Save(4, snapB); err != nil {
+		t.Fatal(err)
+	}
+	got, v, skipped, err := st.LoadLatest()
+	if err != nil || v != 4 || len(skipped) != 0 {
+		t.Fatalf("LoadLatest over mixed formats = v%d skipped %v err %v", v, skipped, err)
+	}
+	sameVerdicts(t, got, snapB, textsB[:4])
+	if back, err = st.Load(3); err != nil {
+		t.Fatalf("legacy version unreadable after segmented publish: %v", err)
+	}
+	sameVerdicts(t, back, snap, texts[:4])
+}
+
+// The O(delta) property on disk: a version sharing segments with an
+// earlier one must not rewrite their files — only absent segments and the
+// (small) descriptor are written.
+func TestDeltaSaveSharesSegmentFiles(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a.v", "b.v"}
+	texts := []string{"module a(input x); endmodule", "module b(output y); endmodule"}
+	ix := similarity.NewIndex()
+	ix.Append(similarity.BuildSegment(names[:1], texts[:1], 1))
+	if err := st.Save(1, ix.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	base := ix.Snapshot().Segment(0)
+	segPath := st.SegPath(base.ID())
+	// Pin a sentinel mtime; an unwanted rewrite would reset it.
+	old := time.Unix(1_000_000, 0)
+	if err := os.Chtimes(segPath, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	ix.Append(similarity.BuildSegment(names[1:], texts[1:], 1))
+	if err := st.Save(2, ix.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fi.ModTime().Equal(old) {
+		t.Fatal("delta save rewrote a segment file already on disk")
+	}
+	back, err := st.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.Segments() != 2 {
+		t.Fatalf("loaded delta version: len=%d segs=%d", back.Len(), back.Segments())
+	}
+}
+
+// Tombstones round-trip through the descriptor: removed docs stay removed
+// after a cold load, verdict-identically.
+func TestTombstonesPersist(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, texts := testSnapshot(t, 15, 12)
+	ix := similarity.IndexFromSnapshot(snap)
+	ix.Remove([]string{"doc3.v", "doc7.v"})
+	pruned := ix.Snapshot()
+	if err := st.Save(1, pruned); err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.Load(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != pruned.Len() {
+		t.Fatalf("loaded %d live docs, want %d", back.Len(), pruned.Len())
+	}
+	sameVerdicts(t, back, pruned, texts)
+	for _, q := range []string{texts[3], texts[7]} {
+		if m := back.Best(q); m.Name == "doc3.v" || m.Name == "doc7.v" {
+			t.Fatalf("tombstoned doc resurrected after load: %+v", m)
+		}
+	}
+}
+
+// Retention sweep plus segment GC: once no retained descriptor references
+// a segment, its file is collected.
+func TestSegmentGC(t *testing.T) {
+	st, err := Open(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapA, _ := testSnapshot(t, 16, 8)
+	snapB, _ := testSnapshot(t, 17, 8)
+	if err := st.Save(1, snapA); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(2, snapB); err != nil {
+		t.Fatal(err)
+	}
+	// retain=1: v1 swept, and snapA's segment is now unreferenced.
+	if versions, _ := st.Versions(); len(versions) != 1 || versions[0] != 2 {
+		t.Fatalf("retained versions = %v, want [2]", versions)
+	}
+	if _, err := os.Stat(st.SegPath(snapA.Segment(0).ID())); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("unreferenced segment survived GC: %v", err)
+	}
+	if _, err := os.Stat(st.SegPath(snapB.Segment(0).ID())); err != nil {
+		t.Fatalf("live segment missing after GC: %v", err)
+	}
+}
+
+// A segment file committed by a crashed publish whose descriptor never
+// landed is an orphan: reopening the store collects it, and the retried
+// publish rewrites it.
+func TestOpenCollectsOrphanSegments(t *testing.T) {
+	defer failpoint.DisableAll()
+	dir := t.TempDir()
+	st, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := testSnapshot(t, 18, 10)
+	failpoint.EnableError(FPAfterSegCommit)
+	if err := st.Save(1, snap); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("injected Save err = %v", err)
+	}
+	failpoint.DisableAll()
+	segPath := st.SegPath(snap.Segment(0).ID())
+	if _, err := os.Stat(segPath); err != nil {
+		t.Fatalf("crashed publish should have committed the segment: %v", err)
+	}
+	if _, err := Open(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(segPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphan segment survived reopen: %v", err)
 	}
 }
 
