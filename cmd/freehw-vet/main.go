@@ -1,14 +1,21 @@
 // Command freehw-vet machine-checks the repo's correctness conventions:
 // determinism of anything derived from map iteration (mapord), the
-// *Locked mutex discipline (lockheld), failpoint coverage of filesystem
-// crash sites (failsafe), and the allocation/syscall hygiene of
-// //freehw:hotpath code (hotpath). CI runs it over ./... and requires a
-// clean exit; see internal/analysis for the analyzer suite and the
+// *Locked mutex discipline on every control-flow path (lockheld),
+// lock/unlock balance and double-acquire freedom (lockbalance),
+// one-snapshot-per-request RCU reads (rcusnap), durable-write errors that
+// must reach a check on all paths (errflow), failpoint coverage of
+// filesystem crash sites (failsafe), and the allocation/syscall hygiene
+// of //freehw:hotpath code (hotpath). CI runs it over ./... and requires
+// a clean exit; see internal/analysis for the analyzer suite and the
 // marker/suppression syntax.
+//
+// Packages are analyzed in parallel (-workers, default GOMAXPROCS);
+// findings are position-sorted after the fan-in, so output is
+// byte-identical at any worker count.
 //
 // Usage:
 //
-//	freehw-vet [-json] [-analyzers mapord,lockheld,...] ./...
+//	freehw-vet [-json] [-workers n] [-analyzers mapord,lockheld,...] ./...
 //
 // Exit status: 0 clean, 1 findings, 2 load or usage errors.
 package main
@@ -26,10 +33,11 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	list := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	workers := flag.Int("workers", 0, "packages analyzed concurrently (0 = GOMAXPROCS)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: freehw-vet [-json] [-analyzers names] packages...\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: freehw-vet [-json] [-workers n] [-analyzers names] packages...\n\nanalyzers:\n")
 		for _, a := range analysis.All() {
-			fmt.Fprintf(os.Stderr, "  %-9s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
@@ -44,25 +52,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	loader := analysis.NewLoader()
-	pkgs, err := loader.Load(patterns)
+	diags, npkgs, err := analysis.LoadAndRun(patterns, analyzers, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "freehw-vet:", err)
 		os.Exit(2)
 	}
 	cwd, _ := os.Getwd()
-	var findings []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		for _, d := range analysis.Run(pkg, analyzers) {
-			// Report paths relative to the invocation directory — stable
-			// across machines, so the -json artifact diffs cleanly.
-			if cwd != "" {
-				if rel, err := filepath.Rel(cwd, d.File); err == nil {
-					d.File = rel
-				}
+	findings := make([]analysis.Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		// Report paths relative to the invocation directory — stable
+		// across machines, so the -json artifact diffs cleanly.
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.File); err == nil {
+				d.File = rel
 			}
-			findings = append(findings, d)
 		}
+		findings = append(findings, d)
 	}
 	analysis.Sort(findings)
 
@@ -82,7 +87,7 @@ func main() {
 			fmt.Printf("%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 		}
 		if len(findings) > 0 {
-			fmt.Fprintf(os.Stderr, "freehw-vet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+			fmt.Fprintf(os.Stderr, "freehw-vet: %d finding(s) in %d package(s)\n", len(findings), npkgs)
 		}
 	}
 	if len(findings) > 0 {

@@ -7,23 +7,33 @@
 // analyzers in this package prove those conventions mechanically instead
 // of by review:
 //
-//	mapord    — a range over a map whose body appends to a slice, writes
-//	            to an io.Writer, or accumulates a float, with no
-//	            dominating sort/canonicalization afterwards, is a
-//	            determinism bug.
-//	lockheld  — *Locked functions may only be called with their guarding
-//	            mutex held (acquired in the caller or inherited by being
-//	            *Locked itself).
-//	failsafe  — os.Rename / (*os.File).Sync / os.Remove crash sites in
-//	            failpoint-instrumented packages must sit next to a
-//	            failpoint.Inject, and every registered failpoint must be
-//	            reachable from a test.
-//	hotpath   — //freehw:hotpath files and functions may not use
-//	            encoding/json, fmt.Sprint*, reflect, time.Now/Since, or
-//	            math/rand.
+//	mapord      — a range over a map whose body appends to a slice,
+//	              writes to an io.Writer, or accumulates a float, with no
+//	              dominating sort/canonicalization afterwards, is a
+//	              determinism bug.
+//	lockheld    — *Locked functions may only be called with their
+//	              guarding mutex held on every CFG path reaching the
+//	              call (or from a *Locked caller sharing the guard).
+//	lockbalance — every mutex acquisition reaches a matching release on
+//	              all paths to return; no path double-locks.
+//	rcusnap     — an RCU-published atomic.Pointer snapshot is Loaded at
+//	              most once per path and threaded by value after.
+//	errflow     — in failpoint-importing packages, durable-call errors
+//	              (Sync, Rename, Write, Close on writable files) must be
+//	              checked, returned, or panicked on, on every path.
+//	failsafe    — os.Rename / (*os.File).Sync / os.Remove crash sites in
+//	              failpoint-instrumented packages must sit next to a
+//	              failpoint.Inject, and every registered failpoint must
+//	              be reachable from a test.
+//	hotpath     — //freehw:hotpath files and functions may not use
+//	              encoding/json, fmt.Sprint*, reflect, time.Now/Since,
+//	              or math/rand.
 //
-// Everything is built on go/parser + go/types with go/importer's source
-// mode, so go.mod stays dependency-free.
+// The flow-sensitive analyzers (lockheld, lockbalance, rcusnap, errflow)
+// run on intraprocedural CFGs (cfg.go) solved by a generic bitset
+// worklist engine (dataflow.go). Everything is built on go/parser +
+// go/types with go/importer's source mode, so go.mod stays
+// dependency-free.
 //
 // # Markers and suppression
 //
@@ -42,7 +52,10 @@
 //	    Suppresses the named analyzers (comma-separated) on the same
 //	    line and the line below, so it works both as a trailing comment
 //	    and as a comment above the offending line. The reason is
-//	    mandatory: a nolint without one is itself reported.
+//	    mandatory: a nolint without one is itself reported. A directive
+//	    that suppresses nothing in a run covering all its named
+//	    analyzers is reported as stale — annotation debt must shrink as
+//	    the code it excused moves.
 package analysis
 
 import (
@@ -78,7 +91,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrd, LockHeld, FailSafe, HotPath}
+	return []*Analyzer{MapOrd, LockHeld, LockBalance, RCUSnap, ErrFlow, FailSafe, HotPath}
 }
 
 // ByName resolves a comma-separated analyzer list ("mapord,hotpath").
@@ -135,10 +148,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	diags = append(diags, pkg.directives.malformed...)
+	pkg.directives.resetUsage()
 	for _, a := range analyzers {
 		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
 		a.Run(pass)
 	}
+	diags = append(diags, pkg.directives.stale(analyzers)...)
 	Sort(diags)
 	return diags
 }
@@ -161,9 +176,13 @@ func Sort(diags []Diagnostic) {
 	})
 }
 
-// nolintDirective is one parsed //freehw:nolint comment.
+// nolintDirective is one parsed //freehw:nolint comment. The same value
+// is shared between the two lines it registers on, so the used flag set
+// by one suppression is visible to the stale-directive check.
 type nolintDirective struct {
 	analyzers []string
+	pos       token.Position
+	used      bool
 }
 
 // directives holds every freehw comment directive of one package, indexed
@@ -172,7 +191,10 @@ type directives struct {
 	// nolint maps file -> line -> directives active on that line. A
 	// directive registers on its own line and the next, covering both
 	// trailing-comment and comment-above placement.
-	nolint map[string]map[int][]nolintDirective
+	nolint map[string]map[int][]*nolintDirective
+	// all lists every well-formed nolint directive once, for the
+	// stale-suppression sweep after a run.
+	all []*nolintDirective
 	// hotpathFiles marks files whose package clause is preceded by a
 	// //freehw:hotpath directive.
 	hotpathFiles map[*ast.File]bool
@@ -196,7 +218,7 @@ const (
 // into the package's directive index.
 func (d *directives) parseDirectives(fset *token.FileSet, f *ast.File) {
 	if d.nolint == nil {
-		d.nolint = map[string]map[int][]nolintDirective{}
+		d.nolint = map[string]map[int][]*nolintDirective{}
 		d.hotpathFiles = map[*ast.File]bool{}
 		d.hotpathFuncs = map[*ast.FuncDecl]bool{}
 		d.guardedBy = map[*ast.FuncDecl]string{}
@@ -262,12 +284,13 @@ func (d *directives) parseNolint(fset *token.FileSet, c *ast.Comment) {
 	}
 	byLine := d.nolint[pos.Filename]
 	if byLine == nil {
-		byLine = map[int][]nolintDirective{}
+		byLine = map[int][]*nolintDirective{}
 		d.nolint[pos.Filename] = byLine
 	}
-	dir := nolintDirective{analyzers: analyzers}
+	dir := &nolintDirective{analyzers: analyzers, pos: pos}
 	byLine[pos.Line] = append(byLine[pos.Line], dir)
 	byLine[pos.Line+1] = append(byLine[pos.Line+1], dir)
+	d.all = append(d.all, dir)
 }
 
 // suppressed reports whether a diagnostic from analyzer at position is
@@ -276,11 +299,56 @@ func (d *directives) suppressed(pos token.Position, analyzer string) bool {
 	for _, dir := range d.nolint[pos.Filename][pos.Line] {
 		for _, a := range dir.analyzers {
 			if a == analyzer {
+				dir.used = true
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// stale reports the directives that suppressed nothing during a run. A
+// directive is only judged when every analyzer it names actually ran —
+// a partial run (-analyzers mapord) cannot prove a lockheld suppression
+// stale. Reported under the "nolint" analyzer name, like malformed
+// directives: annotation debt is a directive-layer finding.
+func (d *directives) stale(analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, dir := range d.all {
+		if dir.used {
+			continue
+		}
+		judgeable := true
+		for _, name := range dir.analyzers {
+			if !ran[name] {
+				judgeable = false
+				break
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "nolint",
+			Pos:      dir.pos,
+			File:     dir.pos.Filename,
+			Line:     dir.pos.Line,
+			Col:      dir.pos.Column,
+			Message:  fmt.Sprintf("stale //freehw:nolint: no %s diagnostic here to suppress; delete the directive", strings.Join(dir.analyzers, ",")),
+		})
+	}
+	return out
+}
+
+// resetUsage clears the used flags so Run is idempotent on a package.
+func (d *directives) resetUsage() {
+	for _, dir := range d.all {
+		dir.used = false
+	}
 }
 
 // importsPath reports whether the package imports path in any file.

@@ -15,7 +15,8 @@ var loader = analysis.NewLoader()
 // TestDirectiveSemantics pins the nolint contract on testdata/src/directives_a:
 // a malformed directive (no "-- reason") is reported and suppresses
 // nothing, a well-formed one suppresses exactly the named analyzer, and a
-// directive naming a different analyzer suppresses nothing.
+// directive naming a different analyzer suppresses nothing — and, since it
+// suppresses nothing while its named analyzer ran, is reported as stale.
 func TestDirectiveSemantics(t *testing.T) {
 	pkg, err := loader.LoadDir("testdata/src/directives_a", "freehw/internal/analysis/testdata/src/directives_a")
 	if err != nil {
@@ -26,11 +27,15 @@ func TestDirectiveSemantics(t *testing.T) {
 		t.Logf("diag: %s", d)
 	}
 
-	var malformed, mapord []analysis.Diagnostic
+	var malformed, stale, mapord []analysis.Diagnostic
 	for _, d := range diags {
 		switch d.Analyzer {
 		case "nolint":
-			malformed = append(malformed, d)
+			if strings.Contains(d.Message, "stale") {
+				stale = append(stale, d)
+			} else {
+				malformed = append(malformed, d)
+			}
 		case "mapord":
 			mapord = append(mapord, d)
 		default:
@@ -39,6 +44,17 @@ func TestDirectiveSemantics(t *testing.T) {
 	}
 	if len(malformed) != 1 || !strings.Contains(malformed[0].Message, "malformed //freehw:nolint") {
 		t.Errorf("want exactly one malformed-nolint diagnostic, got %v", malformed)
+	}
+	// wrongName's directive names lockheld, which ran and reported nothing
+	// there; suppressedOK's names mapord, which it did suppress.
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "no lockheld diagnostic here") {
+		t.Errorf("want exactly one stale-nolint diagnostic (wrongName's), got %v", stale)
+	}
+	// Idempotence: a second run over the same package must not let the
+	// first run's usage marks leak into the stale sweep.
+	again := analysis.Run(pkg, analysis.All())
+	if len(again) != len(diags) {
+		t.Errorf("second Run returned %d diagnostics, first %d", len(again), len(diags))
 	}
 	// suppressedOK's append is silenced; unsuppressed's and wrongName's fire.
 	if len(mapord) != 2 {
@@ -56,8 +72,8 @@ func TestDirectiveSemantics(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(\"\") = %v, %v; want the 4-analyzer suite", all, err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("ByName(\"\") = %v, %v; want the 7-analyzer suite", all, err)
 	}
 	subset, err := analysis.ByName("mapord, hotpath")
 	if err != nil || len(subset) != 2 || subset[0].Name != "mapord" || subset[1].Name != "hotpath" {

@@ -1,0 +1,520 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file builds intraprocedural control-flow graphs from go/ast function
+// bodies. The CFG is the substrate for the flow-sensitive analyzers
+// (lockheld, lockbalance, rcusnap, errflow): instead of asking "does a lock
+// acquisition lexically precede this call", they ask "does it precede it on
+// every path", which is the question the invariant actually poses.
+//
+// Design points, chosen for the analyses this repo runs rather than for
+// generality:
+//
+//   - Blocks hold ast.Node slices in execution order. Composite statements
+//     are decomposed: an if contributes its Init and Cond as nodes of the
+//     preceding block and its branches as separate blocks; only range
+//     statements appear whole (as their loop-head node). Analyzer transfer
+//     functions therefore see each expression exactly once, provided they
+//     inspect nodes shallowly (see shallowInspect).
+//   - Edges carry the branch condition and its outcome (Cond, Negate), so
+//     an analysis can be edge-sensitive where it matters — lockheld uses
+//     this to learn that the then-edge of `if mu.TryLock()` holds the lock
+//     while the else-edge does not.
+//   - Two distinguished exits: Exit collects returns and normal fall-off,
+//     Panic collects panic/os.Exit/log.Fatal/runtime.Goexit terminations.
+//     Balance-style analyses (lockbalance, errflow) excuse the panic exit;
+//     must-held analyses treat both the same by never checking exits.
+//   - Defer calls are collected into Defers (they conceptually run at every
+//     exit); deferred closures are available for body inspection but their
+//     statements are not part of this function's CFG.
+//   - Function literals are likewise not inlined: each FuncLit body is its
+//     own CFG, built by the analyzer that wants it (see funcLits).
+
+// CFGEdge is one directed edge. When Cond is non-nil, the edge is taken
+// only when Cond evaluates to !Negate — e.g. the then-edge of
+// `if ok { ... }` has Cond=ok, Negate=false.
+type CFGEdge struct {
+	To     int
+	Cond   ast.Expr
+	Negate bool
+}
+
+// CFGBlock is one basic block: nodes that execute in order, with no jumps
+// in or out except at the boundaries.
+type CFGBlock struct {
+	Index int
+	Nodes []ast.Node
+	Succs []CFGEdge
+	Preds []int
+}
+
+// Well-known block indices. Every CFG has these three; Entry may also hold
+// the first straight-line statements of the body.
+const (
+	CFGEntry = 0 // execution starts here
+	CFGExit  = 1 // returns and normal fall-off converge here
+	CFGPanic = 2 // panic/os.Exit/log.Fatal terminations converge here
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*CFGBlock
+	// Defers lists every deferred call in the body, in lexical order. They
+	// run (in reverse order) at both Exit and Panic.
+	Defers []*ast.DeferStmt
+}
+
+// cfgBuilder carries the construction state: the current (possibly nil =
+// unreachable) block, the break/continue target stack, and goto labels.
+type cfgBuilder struct {
+	pkg *Package // optional; nil builds a CFG with name-only panic detection
+	cfg *CFG
+	cur *CFGBlock
+
+	targets  []cfgTarget
+	labels   map[string]*CFGBlock
+	fallNext *CFGBlock // fallthrough target inside a switch clause
+
+	pendingLabel string // label naming the next loop/switch, for break L
+}
+
+// cfgTarget is one enclosing breakable/continuable construct.
+type cfgTarget struct {
+	label      string
+	breakTo    *CFGBlock
+	continueTo *CFGBlock // nil for switch/select
+}
+
+// BuildCFG constructs the CFG of one function body. pkg may be nil (unit
+// tests build CFGs from bare parsed sources); with type info present,
+// panic-exit classification also resolves shadowed `panic` correctly.
+func BuildCFG(pkg *Package, body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{pkg: pkg, cfg: &CFG{}, labels: map[string]*CFGBlock{}}
+	entry := b.newBlock()
+	b.newBlock() // CFGExit
+	b.newBlock() // CFGPanic
+	b.cur = entry
+	b.stmtList(body.List)
+	b.jump(b.cfg.Blocks[CFGExit])
+	for _, blk := range b.cfg.Blocks {
+		for _, e := range blk.Succs {
+			to := b.cfg.Blocks[e.To]
+			to.Preds = append(to.Preds, blk.Index)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// add appends a node to the current block. A node added while unreachable
+// (after return/break/goto) opens a fresh, predecessor-less block so dead
+// code still has a home; dataflow never visits it.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jump adds an unconditional edge from the current block and leaves the
+// builder at no block (callers position cur next).
+func (b *cfgBuilder) jump(to *CFGBlock) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, CFGEdge{To: to.Index})
+	}
+	b.cur = nil
+}
+
+// branch ends the current block with a two-way conditional edge.
+func (b *cfgBuilder) branch(cond ast.Expr, then, els *CFGBlock) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs,
+			CFGEdge{To: then.Index, Cond: cond},
+			CFGEdge{To: els.Index, Cond: cond, Negate: true})
+	}
+	b.cur = nil
+}
+
+func (b *cfgBuilder) labelBlock(name string) *CFGBlock {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct being entered.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findTarget resolves a break/continue to its enclosing construct.
+func (b *cfgBuilder) findTarget(label string, needContinue bool) *cfgTarget {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if needContinue && t.continueTo == nil {
+			continue
+		}
+		if label == "" || t.label == label {
+			return t
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.pendingLabel = ""
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.pendingLabel = ""
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		then := b.newBlock()
+		after := b.newBlock()
+		els := after
+		if s.Else != nil {
+			els = b.newBlock()
+		}
+		b.branch(s.Cond, then, els)
+		b.cur = then
+		b.stmt(s.Body)
+		b.jump(after)
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else)
+			b.jump(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.jump(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.branch(s.Cond, body, after)
+		} else {
+			b.jump(body)
+		}
+		b.targets = append(b.targets, cfgTarget{label: label, breakTo: after, continueTo: post})
+		b.cur = body
+		b.stmt(s.Body)
+		b.targets = b.targets[:len(b.targets)-1]
+		if s.Post != nil {
+			b.jump(post)
+			b.cur = post
+			b.add(s.Post)
+		}
+		b.jump(head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		// The range statement itself is the head node: analyzers see the
+		// ranged expression and the key/value assignment there (and must
+		// not descend into Body, which has its own blocks).
+		b.add(s)
+		b.cur.Succs = append(b.cur.Succs, CFGEdge{To: body.Index}, CFGEdge{To: after.Index})
+		b.cur = nil
+		b.targets = append(b.targets, cfgTarget{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.jump(head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(label, s.Body, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock()
+		head := b.cur
+		if head == nil {
+			head = b.newBlock()
+			b.cur = head
+		}
+		hasDefault := false
+		var blocks []*CFGBlock
+		for _, cs := range s.Body.List {
+			cc := cs.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			cb := b.newBlock()
+			blocks = append(blocks, cb)
+			head.Succs = append(head.Succs, CFGEdge{To: cb.Index})
+		}
+		// A select without default blocks forever: there is no edge past it
+		// other than through a clause. (An empty select never proceeds.)
+		_ = hasDefault
+		b.targets = append(b.targets, cfgTarget{label: label, breakTo: after})
+		for i, cs := range s.Body.List {
+			cc := cs.(*ast.CommClause)
+			b.cur = blocks[i]
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(after)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.jump(lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.pendingLabel = ""
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(label, false); t != nil {
+				b.jump(t.breakTo)
+			} else {
+				b.cur = nil
+			}
+		case token.CONTINUE:
+			if t := b.findTarget(label, true); t != nil {
+				b.jump(t.continueTo)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			b.jump(b.labelBlock(label))
+		case token.FALLTHROUGH:
+			if b.fallNext != nil {
+				b.jump(b.fallNext)
+			} else {
+				b.cur = nil
+			}
+		}
+
+	case *ast.ReturnStmt:
+		b.pendingLabel = ""
+		b.add(s)
+		b.jump(b.cfg.Blocks[CFGExit])
+
+	case *ast.DeferStmt:
+		b.pendingLabel = ""
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.ExprStmt:
+		b.pendingLabel = ""
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.isTerminalCall(call) {
+			b.jump(b.cfg.Blocks[CFGPanic])
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements: plain
+		// straight-line nodes.
+		b.pendingLabel = ""
+		b.add(s)
+	}
+}
+
+// caseClauses builds the shared switch/type-switch clause structure. head
+// is the current block; every clause is a successor (clause guards are not
+// modeled as conditions — any clause may be the one taken). A missing
+// default adds a fall-past edge to after.
+func (b *cfgBuilder) caseClauses(label string, body *ast.BlockStmt, allowFallthrough bool) {
+	after := b.newBlock()
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	hasDefault := false
+	var blocks []*CFGBlock
+	for _, cs := range body.List {
+		cc := cs.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cb := b.newBlock()
+		blocks = append(blocks, cb)
+		head.Succs = append(head.Succs, CFGEdge{To: cb.Index})
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, CFGEdge{To: after.Index})
+	}
+	b.targets = append(b.targets, cfgTarget{label: label, breakTo: after})
+	savedFall := b.fallNext
+	for i, cs := range body.List {
+		cc := cs.(*ast.CaseClause)
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if allowFallthrough && i+1 < len(blocks) {
+			b.fallNext = blocks[i+1]
+		} else {
+			b.fallNext = nil
+		}
+		b.stmtList(cc.Body)
+		b.jump(after)
+	}
+	b.fallNext = savedFall
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+// isTerminalCall reports whether a call never returns: the panic builtin,
+// os.Exit, runtime.Goexit, or log.Fatal*.
+func (b *cfgBuilder) isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.pkg != nil {
+			// With type info, only the builtin counts (a local func named
+			// panic — legal, horrid — does not terminate).
+			_, isBuiltin := b.pkg.Info.Uses[fun].(*types.Builtin)
+			return isBuiltin
+		}
+		return true
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		name := fun.Sel.Name
+		if b.pkg != nil {
+			pkg := b.pkg.pkgNameOf(id)
+			if pkg == nil {
+				return false
+			}
+			switch pkg.Path() {
+			case "os":
+				return name == "Exit"
+			case "runtime":
+				return name == "Goexit"
+			case "log":
+				return strings.HasPrefix(name, "Fatal")
+			}
+			return false
+		}
+		switch id.Name {
+		case "os":
+			return name == "Exit"
+		case "runtime":
+			return name == "Goexit"
+		case "log":
+			return strings.HasPrefix(name, "Fatal")
+		}
+	}
+	return false
+}
+
+// funcLits returns the function literals directly contained in a CFG node:
+// the closures an analyzer should recurse into with their own CFGs. Like
+// shallowInspect, it does not look into a range statement's body (those
+// closures belong to other CFG nodes) or inside another FuncLit (those are
+// found when the outer literal is itself analyzed).
+func funcLits(n ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	shallowInspect(n, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok {
+			out = append(out, lit)
+		}
+		return true
+	})
+	return out
+}
+
+// shallowInspect visits n the way CFG-node consumers must: a nested
+// function literal is visited itself but not entered (its body is a
+// separate CFG), and a range statement contributes only its loop-head
+// parts (Key, Value, X) since Body statements live in their own blocks.
+func shallowInspect(n ast.Node, fn func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		for _, part := range []ast.Node{rs.Key, rs.Value, rs.X} {
+			if part != nil {
+				shallowInspect(part, fn)
+			}
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		ret := fn(m)
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return ret
+	})
+}

@@ -1,0 +1,553 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG parses a single function and builds its CFG without type
+// information — the shape tests care about blocks and edges only.
+func buildTestCFG(t *testing.T, fn string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", "package p\n"+fn, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return BuildCFG(nil, fd.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// reachable returns the set of block indices reachable from Entry.
+func reachable(c *CFG) map[int]bool {
+	seen := map[int]bool{CFGEntry: true}
+	work := []int{CFGEntry}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range c.Blocks[i].Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// blockWithCall finds the block containing a call to the named function.
+func blockWithCall(t *testing.T, c *CFG, name string) *CFGBlock {
+	t.Helper()
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			shallowInspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	t.Fatalf("no block contains a call to %s", name)
+	return nil
+}
+
+func hasEdge(from *CFGBlock, to int) bool {
+	for _, e := range from.Succs {
+		if e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGIfElse(t *testing.T) {
+	c := buildTestCFG(t, `
+func f(b bool) {
+	pre()
+	if b {
+		then()
+	} else {
+		els()
+	}
+	post()
+}`)
+	entry := c.Blocks[CFGEntry]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry succs = %d, want 2", len(entry.Succs))
+	}
+	if entry.Succs[0].Cond == nil || entry.Succs[0].Negate || entry.Succs[1].Cond == nil || !entry.Succs[1].Negate {
+		t.Fatalf("if edges should carry the condition with one negation: %+v", entry.Succs)
+	}
+	thenB, elsB, postB := blockWithCall(t, c, "then"), blockWithCall(t, c, "els"), blockWithCall(t, c, "post")
+	if !hasEdge(thenB, postB.Index) || !hasEdge(elsB, postB.Index) {
+		t.Fatal("both branches must join at the post block")
+	}
+	if !hasEdge(postB, CFGExit) {
+		t.Fatal("fall-off must reach Exit")
+	}
+}
+
+func TestCFGIfReturn(t *testing.T) {
+	c := buildTestCFG(t, `
+func f(b bool) {
+	if b {
+		return
+	}
+	post()
+}`)
+	// The then block (holding only the return) must edge to Exit, not to
+	// the join.
+	postB := blockWithCall(t, c, "post")
+	var thenB *CFGBlock
+	for _, e := range c.Blocks[CFGEntry].Succs {
+		if !e.Negate {
+			thenB = c.Blocks[e.To]
+		}
+	}
+	if thenB == nil || !hasEdge(thenB, CFGExit) || hasEdge(thenB, postB.Index) {
+		t.Fatal("return branch must exit without reaching the join")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	c := buildTestCFG(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		body()
+		if i == 2 {
+			continue
+		}
+		tail()
+	}
+	post()
+}`)
+	bodyB, tailB, postB := blockWithCall(t, c, "body"), blockWithCall(t, c, "tail"), blockWithCall(t, c, "post")
+	// Condition block branches to body and to after.
+	var headB *CFGBlock
+	for _, blk := range c.Blocks {
+		if len(blk.Succs) == 2 && blk.Succs[0].Cond != nil && blk.Succs[0].To == bodyB.Index {
+			headB = blk
+		}
+	}
+	if headB == nil {
+		t.Fatal("no loop head branching into the body")
+	}
+	if !hasEdge(headB, postB.Index) {
+		t.Fatal("loop head must branch to the after block")
+	}
+	// continue and tail both route through the post-statement block, which
+	// loops back to the head.
+	var postStmtB *CFGBlock
+	for _, blk := range c.Blocks {
+		if hasEdge(blk, headB.Index) && blk != c.Blocks[CFGEntry] && len(blk.Nodes) > 0 {
+			postStmtB = blk
+		}
+	}
+	if postStmtB == nil {
+		t.Fatal("no i++ block looping back to the head")
+	}
+	if !hasEdge(tailB, postStmtB.Index) {
+		t.Fatal("loop body tail must reach the post statement")
+	}
+}
+
+func TestCFGInfiniteForUnreachableAfter(t *testing.T) {
+	c := buildTestCFG(t, `
+func f() {
+	for {
+		spin()
+	}
+	post()
+}`)
+	postB := blockWithCall(t, c, "post")
+	if reachable(c)[postB.Index] {
+		t.Fatal("code after for{} must be unreachable")
+	}
+	if reachable(c)[CFGExit] {
+		t.Fatal("Exit must be unreachable for a function that never returns")
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	c := buildTestCFG(t, `
+func f(xs []int) {
+	for _, x := range xs {
+		body(x)
+	}
+	post()
+}`)
+	bodyB, postB := blockWithCall(t, c, "body"), blockWithCall(t, c, "post")
+	var headB *CFGBlock
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				headB = blk
+			}
+		}
+	}
+	if headB == nil {
+		t.Fatal("range statement must appear as a loop-head node")
+	}
+	if !hasEdge(headB, bodyB.Index) || !hasEdge(headB, postB.Index) {
+		t.Fatal("range head must branch to both body and after")
+	}
+	if !hasEdge(bodyB, headB.Index) {
+		t.Fatal("range body must loop back to the head")
+	}
+}
+
+func TestCFGSwitch(t *testing.T) {
+	c := buildTestCFG(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	}
+	post()
+}`)
+	oneB, twoB, postB := blockWithCall(t, c, "one"), blockWithCall(t, c, "two"), blockWithCall(t, c, "post")
+	if !hasEdge(oneB, twoB.Index) {
+		t.Fatal("fallthrough must edge into the next clause")
+	}
+	if !hasEdge(twoB, postB.Index) {
+		t.Fatal("clause end must reach the after block")
+	}
+	// No default: the switch head must have a fall-past edge to after.
+	headOK := false
+	for _, blk := range c.Blocks {
+		if hasEdge(blk, oneB.Index) && hasEdge(blk, twoB.Index) && hasEdge(blk, postB.Index) {
+			headOK = true
+		}
+	}
+	if !headOK {
+		t.Fatal("defaultless switch needs a fall-past edge")
+	}
+}
+
+func TestCFGSwitchWithDefault(t *testing.T) {
+	c := buildTestCFG(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		one()
+	default:
+		dflt()
+	}
+	post()
+}`)
+	oneB, postB := blockWithCall(t, c, "one"), blockWithCall(t, c, "post")
+	for _, blk := range c.Blocks {
+		if hasEdge(blk, oneB.Index) && hasEdge(blk, postB.Index) {
+			t.Fatal("switch with default must not fall past the clauses")
+		}
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	c := buildTestCFG(t, `
+func f(ch chan int) {
+	select {
+	case <-ch:
+		recv()
+	case ch <- 1:
+		send()
+	}
+	post()
+}`)
+	recvB, sendB, postB := blockWithCall(t, c, "recv"), blockWithCall(t, c, "send"), blockWithCall(t, c, "post")
+	if !hasEdge(recvB, postB.Index) || !hasEdge(sendB, postB.Index) {
+		t.Fatal("select clauses must join after the select")
+	}
+	// Without a default clause, the only way past the select is through a
+	// clause: no block may edge to post while also edging to both clauses.
+	for _, blk := range c.Blocks {
+		if hasEdge(blk, recvB.Index) && hasEdge(blk, sendB.Index) && hasEdge(blk, postB.Index) {
+			t.Fatal("defaultless select must not have a fall-past edge")
+		}
+	}
+}
+
+func TestCFGDeferAndPanic(t *testing.T) {
+	c := buildTestCFG(t, `
+func f(b bool) {
+	defer cleanup()
+	if b {
+		panic("boom")
+	}
+	post()
+}`)
+	if len(c.Defers) != 1 {
+		t.Fatalf("defers = %d, want 1", len(c.Defers))
+	}
+	var panicB *CFGBlock
+	for _, blk := range c.Blocks {
+		if hasEdge(blk, CFGPanic) {
+			panicB = blk
+		}
+	}
+	if panicB == nil {
+		t.Fatal("panic must edge to the Panic exit")
+	}
+	if hasEdge(panicB, CFGExit) {
+		t.Fatal("a panicking block must not also fall through to Exit")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	c := buildTestCFG(t, `
+func f(b bool) {
+	if b {
+		goto done
+	}
+	work()
+	goto done
+	dead()
+done:
+	post()
+}`)
+	postB, deadB := blockWithCall(t, c, "post"), blockWithCall(t, c, "dead")
+	workB := blockWithCall(t, c, "work")
+	if !hasEdge(workB, postB.Index) {
+		t.Fatal("goto must edge to its label block")
+	}
+	if reachable(c)[deadB.Index] {
+		t.Fatal("statements after an unconditional goto must be unreachable")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	c := buildTestCFG(t, `
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for {
+			if i > 2 {
+				break outer
+			}
+			inner()
+		}
+	}
+	post()
+}`)
+	postB := blockWithCall(t, c, "post")
+	// The break-outer block edges straight to the outer after block.
+	found := false
+	for _, blk := range c.Blocks {
+		if len(blk.Nodes) == 0 && hasEdge(blk, postB.Index) && blk.Index != postB.Index {
+			found = true
+		}
+	}
+	if !found && !reachable(c)[postB.Index] {
+		t.Fatal("break outer must make the post block reachable")
+	}
+}
+
+// TestDataflowMustJoin checks the must/intersection semantics the lockheld
+// analyzer depends on: a fact generated on only one branch does not survive
+// the join; one generated on both does.
+func TestDataflowMustJoin(t *testing.T) {
+	run := func(src string) bool {
+		c := buildTestCFG(t, src)
+		d := &dataflow{
+			cfg:   c,
+			nbits: 1,
+			transfer: func(n ast.Node, fact bitset) {
+				shallowInspect(n, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						switch id.Name {
+						case "gen":
+							fact.set(0)
+						case "kill":
+							fact.clear(0)
+						}
+					}
+					return true
+				})
+			},
+		}
+		res := d.solve()
+		held := false
+		probe := blockWithCall(t, c, "probe")
+		res.visit(probe.Index, func(n ast.Node, fact bitset) {
+			shallowInspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "probe" {
+						held = fact.has(0)
+					}
+				}
+				return true
+			})
+		})
+		return held
+	}
+	if run(`
+func f(b bool) {
+	if b {
+		gen()
+	}
+	probe()
+}`) {
+		t.Fatal("fact generated on one branch must not survive a must-join")
+	}
+	if !run(`
+func f(b bool) {
+	if b {
+		gen()
+	} else {
+		gen()
+	}
+	probe()
+}`) {
+		t.Fatal("fact generated on all branches must survive a must-join")
+	}
+	if run(`
+func f(b bool) {
+	gen()
+	if b {
+		kill()
+	}
+	probe()
+}`) {
+		t.Fatal("a kill on any branch must clear a must-fact")
+	}
+	// Loop back edge: a kill inside the loop body must drain the fact at
+	// the loop head on the second iteration.
+	if run(`
+func f(n int) {
+	gen()
+	for i := 0; i < n; i++ {
+		kill()
+	}
+	probe()
+}`) {
+		t.Fatal("a kill on the back edge must clear the fact after the loop")
+	}
+}
+
+// TestDataflowBackward checks the backward/must semantics errflow depends
+// on: a fact is "consumed on every path below" only when all downstream
+// paths consume it.
+func TestDataflowBackward(t *testing.T) {
+	run := func(src string) bool {
+		c := buildTestCFG(t, src)
+		d := &dataflow{
+			cfg:      c,
+			nbits:    1,
+			backward: true,
+			transfer: func(n ast.Node, fact bitset) {
+				shallowInspect(n, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" {
+							fact.set(0)
+						}
+					}
+					return true
+				})
+			},
+		}
+		res := d.solve()
+		used := false
+		probe := blockWithCall(t, c, "probe")
+		res.visit(probe.Index, func(n ast.Node, fact bitset) {
+			shallowInspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "probe" {
+						used = fact.has(0)
+					}
+				}
+				return true
+			})
+		})
+		return used
+	}
+	if run(`
+func f(b bool) {
+	probe()
+	if b {
+		use()
+	}
+}`) {
+		t.Fatal("a use on only one downstream path must not count as consumed")
+	}
+	if !run(`
+func f(b bool) {
+	probe()
+	if b {
+		use()
+	} else {
+		use()
+	}
+}`) {
+		t.Fatal("a use on every downstream path must count as consumed")
+	}
+	// A panicking path consumes everything (panic boundary is top).
+	if !run(`
+func f(b bool) {
+	probe()
+	if b {
+		use()
+	} else {
+		panic("boom")
+	}
+}`) {
+		t.Fatal("a panicking path must not break must-consumption")
+	}
+}
+
+func TestShallowInspectSkipsFuncLitAndRangeBody(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+func f(xs []int) {
+	for _, x := range probe(xs) {
+		inner(x)
+		g := func() { closure() }
+		g()
+	}
+}`
+	f, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rangeStmt *ast.RangeStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			rangeStmt = rs
+		}
+		return true
+	})
+	var calls []string
+	shallowInspect(rangeStmt, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				calls = append(calls, id.Name)
+			}
+		}
+		return true
+	})
+	got := strings.Join(calls, ",")
+	if got != "probe" {
+		t.Fatalf("shallowInspect over a range head saw calls %q, want only \"probe\"", got)
+	}
+}

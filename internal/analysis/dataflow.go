@@ -1,0 +1,249 @@
+package analysis
+
+import "go/ast"
+
+// This file is the generic dataflow half of the flow-sensitive layer: a
+// bitset lattice iterated to fixpoint over a CFG with a round-robin
+// worklist. Analyses are described declaratively — direction, meet
+// operator, boundary facts, a per-node transfer function, and optionally a
+// per-edge transfer (for condition-sensitive facts like TryLock results) —
+// and read back the solved facts by replaying transfers within a block.
+//
+// The unreachable-code story is handled by lattice initialization rather
+// than an explicit reachability pass: blocks the boundary never reaches
+// keep their initial value (top for must/intersection analyses, empty for
+// may/union ones), which makes every check on them vacuously silent.
+
+// bitset is a fixed-width bit vector. Width is fixed at allocation; all
+// operands of a binary op must come from the same analysis.
+type bitset []uint64
+
+func newBitset(nbits int) bitset { return make(bitset, (nbits+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) copyFrom(o bitset) {
+	copy(b, o)
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) union(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+func (b bitset) intersect(o bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+func (b bitset) fill() {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+}
+
+func (b bitset) any() bool {
+	for i := range b {
+		if b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// dataflow describes one analysis over one CFG.
+type dataflow struct {
+	cfg   *CFG
+	nbits int
+
+	// backward runs the analysis against edge direction (errflow); facts
+	// then mean "what happens downstream of this point".
+	backward bool
+	// union selects the meet operator: true = union (may-analysis,
+	// lockbalance/rcusnap), false = intersection (must-analysis,
+	// lockheld/errflow).
+	union bool
+
+	// boundary is the fact at the entry block (forward) or the Exit block
+	// (backward). nil means empty.
+	boundary bitset
+	// panicBoundary is the fact at the Panic block for backward analyses
+	// (e.g. errflow treats a panicking exit as consuming everything). nil
+	// means: top for must, empty for may.
+	panicBoundary bitset
+
+	// transfer mutates fact in place for one CFG node, in analysis
+	// direction (forward: fact holds before the node; backward: fact holds
+	// after/below it).
+	transfer func(n ast.Node, fact bitset)
+	// edgeTransfer, when set, further mutates the fact flowing along an
+	// edge (forward analyses only). It sees the fact after the source
+	// block's transfers.
+	edgeTransfer func(e CFGEdge, fact bitset)
+}
+
+// dataflowResult holds the solved per-block facts. in[i] is the fact at
+// block i's analysis-direction start: before the first node for forward,
+// below the last node for backward.
+type dataflowResult struct {
+	d  *dataflow
+	in []bitset
+}
+
+// solve iterates to fixpoint. CFGs here are function-sized (tens of
+// blocks), so a simple round-robin sweep is plenty.
+func (d *dataflow) solve() *dataflowResult {
+	n := len(d.cfg.Blocks)
+	in := make([]bitset, n)
+	out := make([]bitset, n)
+	for i := 0; i < n; i++ {
+		in[i] = newBitset(d.nbits)
+		out[i] = newBitset(d.nbits)
+		if !d.union {
+			in[i].fill()
+			out[i].fill()
+		}
+	}
+	boundaryBlock := CFGEntry
+	if d.backward {
+		boundaryBlock = CFGExit
+	}
+	setBoundary := func() {
+		b := in[boundaryBlock]
+		if d.boundary != nil {
+			b.copyFrom(d.boundary)
+		} else {
+			for i := range b {
+				b[i] = 0
+			}
+		}
+		if d.backward {
+			p := in[CFGPanic]
+			if d.panicBoundary != nil {
+				p.copyFrom(d.panicBoundary)
+			}
+			// else: keep init (top for must, empty for may).
+		}
+	}
+
+	// preds in analysis direction.
+	predsOf := func(i int) []int {
+		if d.backward {
+			var ps []int
+			for _, e := range d.cfg.Blocks[i].Succs {
+				ps = append(ps, e.To)
+			}
+			return ps
+		}
+		return d.cfg.Blocks[i].Preds
+	}
+
+	tmp := newBitset(d.nbits)
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			blk := d.cfg.Blocks[i]
+			// Meet incoming facts (skip for boundary blocks, whose in is
+			// fixed — except that a boundary block with predecessors still
+			// meets them in; entry never has preds by construction).
+			if i == boundaryBlock || (d.backward && i == CFGPanic) {
+				setBoundary()
+			} else if ps := predsOf(i); len(ps) > 0 {
+				acc := newBitset(d.nbits)
+				if !d.union {
+					acc.fill()
+				}
+				for _, p := range ps {
+					tmp.copyFrom(out[p])
+					if !d.backward && d.edgeTransfer != nil {
+						for _, e := range d.cfg.Blocks[p].Succs {
+							if e.To == i {
+								d.edgeTransfer(e, tmp)
+								break
+							}
+						}
+					}
+					if d.union {
+						acc.union(tmp)
+					} else {
+						acc.intersect(tmp)
+					}
+				}
+				if !acc.equal(in[i]) {
+					in[i].copyFrom(acc)
+					changed = true
+				}
+			}
+			// Transfer through the block.
+			tmp.copyFrom(in[i])
+			d.applyBlock(blk, tmp)
+			if !tmp.equal(out[i]) {
+				out[i].copyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+	return &dataflowResult{d: d, in: in}
+}
+
+// applyBlock runs the node transfers of one block in analysis direction.
+func (d *dataflow) applyBlock(blk *CFGBlock, fact bitset) {
+	if d.transfer == nil {
+		return
+	}
+	if d.backward {
+		for i := len(blk.Nodes) - 1; i >= 0; i-- {
+			d.transfer(blk.Nodes[i], fact)
+		}
+		return
+	}
+	for _, n := range blk.Nodes {
+		d.transfer(n, fact)
+	}
+}
+
+// visit replays the transfers of block i, calling fn with each node and the
+// fact holding at that node (before it for forward, below it for backward).
+// fn may read but must not retain the fact (it is reused).
+func (r *dataflowResult) visit(i int, fn func(n ast.Node, fact bitset)) {
+	blk := r.d.cfg.Blocks[i]
+	fact := r.in[i].clone()
+	if r.d.backward {
+		for j := len(blk.Nodes) - 1; j >= 0; j-- {
+			fn(blk.Nodes[j], fact)
+			if r.d.transfer != nil {
+				r.d.transfer(blk.Nodes[j], fact)
+			}
+		}
+		return
+	}
+	for _, n := range blk.Nodes {
+		fn(n, fact)
+		if r.d.transfer != nil {
+			r.d.transfer(n, fact)
+		}
+	}
+}
+
+// factAt returns the fact at a block's analysis-direction start.
+func (r *dataflowResult) factAt(i int) bitset { return r.in[i] }

@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrFlow proves that durable-write errors are never silently dropped in
+// the packages that opted into crash-consistency discipline (the
+// failpoint-importing ones: snapstore, serve). A dropped fsync or rename
+// error is silent corruption — the snapshot looks saved, the bytes are
+// not — so the error result of a durable call must reach a return, a
+// checked assignment, or a panic on every path.
+//
+// Durable calls: os.Rename, and (*os.File).Sync / Write / WriteString
+// always; (*os.File).Close only when the file is writable — Close on a
+// write path is the last chance to observe a flush failure, while Close
+// on an os.Open'd read-only handle (the directory-fsync idiom) is
+// legitimately best-effort. Writability is resolved from the handle's
+// origin in the same function (os.Create / os.OpenFile => writable,
+// os.Open => read-only) or, failing that, from whether the function
+// writes through the same handle.
+//
+// Two report shapes:
+//
+//   - the error is discarded outright — the call is a bare statement, a
+//     defer, a go statement, or assigned to _;
+//   - the error is bound to a variable that is not read on every path
+//     from the assignment to return (a backward must-consume dataflow:
+//     one bit per tracked variable, intersection over paths, with
+//     panicking exits counting as consumption).
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "durable-call errors must be checked, returned, or panicked on, on every path",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(pass *Pass) {
+	if !pass.Pkg.importsPath(failpointPath) {
+		return
+	}
+	forEachFunc(pass.Pkg, func(fn *ast.FuncDecl) {
+		checkErrFlowUnit(pass, fn.Body)
+	})
+}
+
+// durableCallName classifies a call as durable, given the set of writable
+// and read-only file handles in the enclosing function.
+func durableCallName(pkg *Package, call *ast.CallExpr, writable func(base string) bool) string {
+	if pkg.selectorPkgFunc(call, "os", "Rename") {
+		return "os.Rename"
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Sync", "Write", "WriteString", "Close":
+	default:
+		return ""
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return ""
+	}
+	if name == "Close" && !writable(types.ExprString(sel.X)) {
+		return ""
+	}
+	return "(*os.File)." + name
+}
+
+// fileWritability scans a function body for file-handle origins and writes,
+// returning a predicate for Close's writability gate.
+func fileWritability(pkg *Package, body *ast.BlockStmt) func(base string) bool {
+	const (
+		originWritable = 1
+		originReadOnly = 2
+	)
+	origins := map[string]int{}
+	writes := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, isCall := rhs.(*ast.CallExpr)
+				if !isCall || i >= len(n.Lhs) {
+					continue
+				}
+				kind := 0
+				switch {
+				case pkg.selectorPkgFunc(call, "os", "Create"), pkg.selectorPkgFunc(call, "os", "OpenFile"):
+					kind = originWritable
+				case pkg.selectorPkgFunc(call, "os", "Open"):
+					kind = originReadOnly
+				}
+				if kind != 0 {
+					origins[types.ExprString(n.Lhs[i])] = kind
+				}
+			}
+		case *ast.CallExpr:
+			if sel, isSel := n.Fun.(*ast.SelectorExpr); isSel {
+				switch sel.Sel.Name {
+				case "Write", "WriteString", "Sync":
+					writes[types.ExprString(sel.X)] = true
+				}
+			}
+		}
+		return true
+	})
+	return func(base string) bool {
+		switch origins[base] {
+		case originWritable:
+			return true
+		case originReadOnly:
+			return false
+		}
+		return writes[base]
+	}
+}
+
+// errResultIndex finds the position of the error result in a call's
+// signature (0 for Sync/Close/Rename, 1 for Write).
+func errResultIndex(pkg *Package, call *ast.CallExpr) int {
+	sig, ok := pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, isNamed := sig.Results().At(i).Type().(*types.Named); isNamed && named.Obj() == types.Universe.Lookup("error") {
+			return i
+		}
+	}
+	return -1
+}
+
+// errTrack is one durable error bound to a variable, awaiting proof of
+// consumption.
+type errTrack struct {
+	assign  *ast.AssignStmt
+	call    *ast.CallExpr
+	durable string
+	obj     types.Object
+}
+
+func checkErrFlowUnit(pass *Pass, body *ast.BlockStmt) {
+	pkg := pass.Pkg
+	writable := fileWritability(pkg, body)
+	durableOf := func(call *ast.CallExpr) string {
+		return durableCallName(pkg, call, writable)
+	}
+
+	// Classify every durable call's immediate consumption context.
+	// Anything not one of the discard/assign shapes below counts as
+	// consumed in an expression (returned, passed to a function, compared).
+	var tracks []*errTrack
+	report := func(call *ast.CallExpr, durable, how string) {
+		pass.Reportf(call.Pos(),
+			"error from %s is discarded (%s); durable-write errors must be checked, returned, or panicked on",
+			durable, how)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, isCall := n.X.(*ast.CallExpr); isCall {
+				if d := durableOf(call); d != "" {
+					report(call, d, "statement result unused")
+				}
+			}
+		case *ast.DeferStmt:
+			if d := durableOf(n.Call); d != "" {
+				report(n.Call, d, "deferred call")
+			}
+		case *ast.GoStmt:
+			if d := durableOf(n.Call); d != "" {
+				report(n.Call, d, "go statement")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, isCall := rhs.(*ast.CallExpr)
+				if !isCall {
+					continue
+				}
+				d := durableOf(call)
+				if d == "" {
+					continue
+				}
+				// Tuple assignment from a single call uses the error's
+				// result position; parallel assignment pairs by index.
+				var lhs ast.Expr
+				if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+					if idx := errResultIndex(pkg, call); idx >= 0 && idx < len(n.Lhs) {
+						lhs = n.Lhs[idx]
+					}
+				} else if i < len(n.Lhs) {
+					lhs = n.Lhs[i]
+				}
+				id, isIdent := lhs.(*ast.Ident)
+				if !isIdent {
+					continue
+				}
+				if id.Name == "_" {
+					report(call, d, "assigned to _")
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				if obj != nil {
+					tracks = append(tracks, &errTrack{assign: n, call: call, durable: d, obj: obj})
+				}
+			}
+		}
+		return true
+	})
+
+	cfg := BuildCFG(pkg, body)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			for _, lit := range funcLits(n) {
+				checkErrFlowUnit(pass, lit.Body)
+			}
+		}
+	}
+	if len(tracks) == 0 {
+		return
+	}
+
+	// One bit per tracked object: "read on every path below this point".
+	bitOf := map[types.Object]int{}
+	for _, tr := range tracks {
+		if _, seen := bitOf[tr.obj]; !seen {
+			bitOf[tr.obj] = len(bitOf)
+		}
+	}
+	objUse := func(id *ast.Ident) (int, bool) {
+		obj := pkg.Info.Uses[id]
+		if obj == nil {
+			return 0, false
+		}
+		bit, tracked := bitOf[obj]
+		return bit, tracked
+	}
+	genUses := func(n ast.Node, fact bitset) {
+		shallowInspect(n, func(m ast.Node) bool {
+			if id, isIdent := m.(*ast.Ident); isIdent {
+				if bit, tracked := objUse(id); tracked {
+					fact.set(bit)
+				}
+			}
+			return true
+		})
+	}
+	d := &dataflow{
+		cfg:      cfg,
+		nbits:    len(bitOf),
+		backward: true,
+		transfer: func(n ast.Node, fact bitset) {
+			if as, isAssign := n.(*ast.AssignStmt); isAssign {
+				// Overwriting kills (below the assignment the old value is
+				// unreadable), then RHS reads gen — `err = wrap(err)` still
+				// consumes the old value.
+				for _, lhs := range as.Lhs {
+					if id, isIdent := lhs.(*ast.Ident); isIdent {
+						obj := pkg.Info.Uses[id]
+						if obj == nil {
+							obj = pkg.Info.Defs[id]
+						}
+						if bit, tracked := bitOf[obj]; tracked && obj != nil {
+							fact.clear(bit)
+						}
+					}
+				}
+				for _, rhs := range as.Rhs {
+					genUses(rhs, fact)
+				}
+				return
+			}
+			genUses(n, fact)
+		},
+	}
+	res := d.solve()
+
+	byAssign := map[*ast.AssignStmt][]*errTrack{}
+	for _, tr := range tracks {
+		byAssign[tr.assign] = append(byAssign[tr.assign], tr)
+	}
+	for i := range cfg.Blocks {
+		res.visit(i, func(n ast.Node, fact bitset) {
+			as, isAssign := n.(*ast.AssignStmt)
+			if !isAssign {
+				return
+			}
+			for _, tr := range byAssign[as] {
+				if !fact.has(bitOf[tr.obj]) {
+					pass.Reportf(tr.call.Pos(),
+						"error from %s assigned to %s is not checked on every path to return; check, return, or panic on it",
+						tr.durable, tr.obj.Name())
+				}
+			}
+		})
+	}
+}

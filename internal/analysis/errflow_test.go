@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"freehw/internal/analysis"
+	"freehw/internal/analysis/analysistest"
+)
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, analysis.ErrFlow, "testdata/src/errflow_a")
+}
+
+func TestErrFlowMultiFile(t *testing.T) {
+	analysistest.Run(t, analysis.ErrFlow, "testdata/src/errflow_multi")
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockBalance proves two path properties of every mutex acquisition:
+//
+//  1. Balance — every Lock/RLock reaches a matching release on all paths
+//     to function return, either a per-path explicit Unlock or a deferred
+//     one (including releases inside deferred closures). A path that can
+//     return with the lock held starves every other goroutine sharing it.
+//  2. No double-acquire — no path re-locks a mutex it may already hold:
+//     Lock while any acquisition of the same cell is live, or RLock while
+//     a write acquisition is live, self-deadlocks. TryLock/TryRLock are
+//     exempt as acquirers (they fail gracefully) but their successful
+//     branch participates in balance like any other acquisition.
+//
+// The analysis is a forward may-held dataflow with one bit per acquisition
+// site; a site's bit is live on a path while that acquisition is
+// unreleased. Panic exits are excused from balance — a panic unwinds
+// through defers, and lock state after a crash is moot. Function literals
+// are separate CFGs with their own balance obligations (a goroutine body
+// that locks must itself unlock).
+var LockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "every mutex acquisition is released on all paths; no path double-locks",
+	Run:  runLockBalance,
+}
+
+func runLockBalance(pass *Pass) {
+	forEachFunc(pass.Pkg, func(fn *ast.FuncDecl) {
+		checkLockBalanceUnit(pass, fn.Body)
+	})
+}
+
+// lockSite is one acquisition call in a function unit.
+type lockSite struct {
+	call  *ast.CallExpr
+	cell  string
+	write bool // Lock/TryLock (write mode) vs RLock/TryRLock (read mode)
+	try   bool
+}
+
+// lockRelease is one release shape: which cell, in which mode.
+type lockRelease struct {
+	cell  string
+	write bool // Unlock releases write acquisitions, RUnlock read ones
+}
+
+func isWriteAcquire(name string) bool { return name == "Lock" || name == "TryLock" }
+
+func checkLockBalanceUnit(pass *Pass, body *ast.BlockStmt) {
+	pkg := pass.Pkg
+
+	// Collect acquisition sites (not descending into nested literals —
+	// they are their own units, recursed into below).
+	var sites []*lockSite
+	siteOf := map[*ast.CallExpr]int{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if cell, kind, ok := lockOpOf(pkg, call); ok && kind != lockRel {
+			name := call.Fun.(*ast.SelectorExpr).Sel.Name
+			siteOf[call] = len(sites)
+			sites = append(sites, &lockSite{
+				call:  call,
+				cell:  cell,
+				write: isWriteAcquire(name),
+				try:   kind == lockTryAcq,
+			})
+		}
+		return true
+	})
+
+	cfg := BuildCFG(pkg, body)
+
+	// Recurse into closures regardless of lock sites here.
+	defer func() {
+		for _, blk := range cfg.Blocks {
+			for _, n := range blk.Nodes {
+				for _, lit := range funcLits(n) {
+					checkLockBalanceUnit(pass, lit.Body)
+				}
+			}
+		}
+	}()
+
+	if len(sites) == 0 {
+		return
+	}
+
+	releaseOf := func(call *ast.CallExpr) (lockRelease, bool) {
+		cell, kind, ok := lockOpOf(pkg, call)
+		if !ok || kind != lockRel {
+			return lockRelease{}, false
+		}
+		name := call.Fun.(*ast.SelectorExpr).Sel.Name
+		return lockRelease{cell: cell, write: name == "Unlock"}, true
+	}
+
+	d := &dataflow{
+		cfg:   cfg,
+		nbits: len(sites),
+		union: true,
+		transfer: func(n ast.Node, fact bitset) {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				return // deferred releases run at exit, handled below
+			}
+			shallowInspect(n, func(m ast.Node) bool {
+				call, isCall := m.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				if idx, isSite := siteOf[call]; isSite {
+					if !sites[idx].try {
+						fact.set(idx)
+					}
+					return true
+				}
+				if rel, isRel := releaseOf(call); isRel {
+					for i, s := range sites {
+						if s.cell == rel.cell && s.write == rel.write {
+							fact.clear(i)
+						}
+					}
+				}
+				return true
+			})
+		},
+		edgeTransfer: func(e CFGEdge, fact bitset) {
+			cond, neg := e.Cond, e.Negate
+			if u, isNot := cond.(*ast.UnaryExpr); isNot && u.Op == token.NOT {
+				cond, neg = u.X, !neg
+			}
+			call, isCall := cond.(*ast.CallExpr)
+			if !isCall {
+				return
+			}
+			if idx, isSite := siteOf[call]; isSite && sites[idx].try {
+				if neg {
+					fact.clear(idx)
+				} else {
+					fact.set(idx)
+				}
+			}
+		},
+	}
+	res := d.solve()
+
+	// Double-acquire: at a non-try acquisition, any live same-cell site
+	// (write) or live same-cell write site (read) is a self-deadlock.
+	for i := range cfg.Blocks {
+		res.visit(i, func(n ast.Node, fact bitset) {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				return
+			}
+			shallowInspect(n, func(m ast.Node) bool {
+				call, isCall := m.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				idx, isSite := siteOf[call]
+				if !isSite || sites[idx].try {
+					return true
+				}
+				site := sites[idx]
+				for j, other := range sites {
+					if other.cell != site.cell || !fact.has(j) {
+						continue
+					}
+					if site.write || other.write {
+						verb := "Lock"
+						if !site.write {
+							verb = "RLock"
+						}
+						pass.Reportf(call.Pos(),
+							"%s.%s on a path where %s is already held; double-acquire self-deadlocks",
+							site.cell, verb, site.cell)
+						return true
+					}
+				}
+				return true
+			})
+		})
+	}
+
+	// Balance: a site live at Exit leaks unless a deferred release (or a
+	// release inside a deferred closure) covers its cell and mode. Panic
+	// exits are excused.
+	deferredRel := map[lockRelease]bool{}
+	for _, ds := range cfg.Defers {
+		if rel, ok := releaseOf(ds.Call); ok {
+			deferredRel[rel] = true
+		}
+		if lit, isLit := ds.Call.Fun.(*ast.FuncLit); isLit {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, isCall := n.(*ast.CallExpr); isCall {
+					if rel, ok := releaseOf(call); ok {
+						deferredRel[rel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	exitFact := res.factAt(CFGExit)
+	for i, s := range sites {
+		if !exitFact.has(i) || deferredRel[lockRelease{cell: s.cell, write: s.write}] {
+			continue
+		}
+		release := "Unlock"
+		verb := "Lock"
+		if !s.write {
+			release, verb = "RUnlock", "RLock"
+		}
+		if s.try {
+			verb = "Try" + verb
+		}
+		pass.Reportf(s.call.Pos(),
+			"%s.%s is not released on every path to return: add a deferred or per-path %s",
+			s.cell, verb, release)
+	}
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"freehw/internal/analysis"
+	"freehw/internal/analysis/analysistest"
+)
+
+func TestLockBalance(t *testing.T) {
+	analysistest.Run(t, analysis.LockBalance, "testdata/src/lockbalance_a")
+}
+
+func TestLockBalanceMultiFile(t *testing.T) {
+	analysistest.Run(t, analysis.LockBalance, "testdata/src/lockbalance_multi")
+}

@@ -10,8 +10,8 @@ import (
 // LockHeld enforces the *Locked naming discipline: a function named
 // fooLocked asserts "my guarding mutex is held on entry", so every call to
 // it must come from a context that holds that mutex — the caller either
-// acquires it (lexically before the call, with no non-deferred release in
-// between) or is itself a *Locked function sharing the same guard.
+// holds it on every control-flow path reaching the call, or is itself a
+// *Locked function sharing the same guard.
 //
 // The guard is resolved, in order: an explicit //freehw:guardedby <field>
 // directive in the callee's doc comment; the receiver's mutex field whose
@@ -20,150 +20,244 @@ import (
 // mutex field. When no guard resolves, holding any mutex of the receiver
 // satisfies the check, and the diagnostic suggests adding the directive.
 //
-// The analysis is lexical, not path-sensitive: an acquisition anywhere
-// before the call in the same function counts. That is deliberately
-// permissive — the analyzer's job is to catch the call with no lock in
-// sight, the bug that silently breaks publish ordering, not to re-prove
-// every branch.
+// The analysis is path-sensitive: a must-held forward dataflow over the
+// function's CFG. The guard counts as held at a call only if an
+// acquisition dominates it on every path — a branch that unlocks early and
+// falls through to the call is caught, and a lock acquired only under a
+// condition does not excuse a call after the join. TryLock is modeled on
+// branch edges: inside `if mu.TryLock() { ... }` the lock is held; on the
+// other edge it is not. Deferred unlocks never clear the held state (they
+// run at exit). Function literals are analyzed as their own CFGs, entered
+// with the locks held at the point the literal appears.
 var LockHeld = &Analyzer{
 	Name: "lockheld",
 	Doc:  "*Locked functions may only be called with their guarding mutex held",
 	Run:  runLockHeld,
 }
 
-func runLockHeld(pass *Pass) {
-	for _, f := range pass.Pkg.Files {
-		for _, decl := range f.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			checkLockHeldFunc(pass, fn)
-		}
-	}
-}
-
-// lockEvent is one mutex acquisition or release in a function body, in
-// lexical order.
-type lockEvent struct {
-	pos      token.Pos
-	lockee   string // printed receiver of Lock/Unlock, e.g. "s.pubMu"
-	acquire  bool
-	deferred bool
-}
-
 var acquireNames = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
 var releaseNames = map[string]bool{"Unlock": true, "RUnlock": true}
 
-func checkLockHeldFunc(pass *Pass, caller *ast.FuncDecl) {
-	pkg := pass.Pkg
-	events := collectLockEvents(pkg, caller.Body)
-	ast.Inspect(caller.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+func runLockHeld(pass *Pass) {
+	forEachFunc(pass.Pkg, func(fn *ast.FuncDecl) {
+		checkLockHeldUnit(pass, fn, fn.Body, nil)
+	})
+}
+
+// lockOpKind classifies a mutex-shaped call.
+type lockOpKind int
+
+const (
+	lockAcq    lockOpKind = iota // Lock, RLock: acquires unconditionally
+	lockTryAcq                   // TryLock, TryRLock: acquires only on true
+	lockRel                      // Unlock, RUnlock
+)
+
+// lockOpOf matches a call like x.mu.Lock() and returns the lock cell (the
+// printed receiver, "x.mu") and the kind of operation.
+func lockOpOf(pkg *Package, call *ast.CallExpr) (cell string, kind lockOpKind, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	name := sel.Sel.Name
+	if !acquireNames[name] && !releaseNames[name] {
+		return "", 0, false
+	}
+	if !isMutexType(pkg.Info.TypeOf(sel.X)) {
+		return "", 0, false
+	}
+	switch {
+	case releaseNames[name]:
+		kind = lockRel
+	case strings.HasPrefix(name, "Try"):
+		kind = lockTryAcq
+	default:
+		kind = lockAcq
+	}
+	return types.ExprString(sel.X), kind, true
+}
+
+// lockCells assigns a bit index to every lock cell touched in body (not
+// descending into nested function literals), plus any cells held at entry
+// (a closure inherits its parent's held set even when it has no lock
+// operations of its own).
+func lockCells(pkg *Package, body *ast.BlockStmt, entryHeld map[string]bool) map[string]int {
+	cells := map[string]int{}
+	add := func(cell string) {
+		if _, dup := cells[cell]; !dup {
+			cells[cell] = len(cells)
 		}
-		callee := calledFunc(pkg, call)
-		if callee == nil || !isLockedName(callee.Name()) {
-			return true
+	}
+	for cell := range entryHeld {
+		add(cell)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
 		}
-		guard, guardKnown := lockedGuard(pkg, callee)
-		// A *Locked caller inherits the lock when it shares the callee's
-		// guard (or when either guard is unresolvable — the benefit of the
-		// doubt goes to the convention, the directive removes the doubt).
-		if isLockedName(caller.Name.Name) {
-			callerGuard, callerKnown := lockedGuardOfDecl(pkg, caller)
-			if !guardKnown || !callerKnown || callerGuard == guard {
-				return true
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			if cell, _, ok := lockOpOf(pkg, call); ok {
+				add(cell)
 			}
 		}
-		base := receiverBase(call)
-		want := guard
-		if base != "" && guard != "" {
-			want = base + "." + guard
-		}
-		if heldAt(pkg, events, call.Pos(), want, base, guardKnown) {
-			return true
-		}
-		if guardKnown {
-			pass.Reportf(call.Pos(), "%s called without holding %s (its guard); lock it on every path to this call or make the caller *Locked",
-				callee.Name(), want)
-		} else {
-			pass.Reportf(call.Pos(), "%s called without any mutex held; no guard could be resolved — add //freehw:guardedby <field> to its doc",
-				callee.Name())
-		}
 		return true
 	})
+	return cells
 }
 
-// collectLockEvents gathers every mutex Lock/Unlock-shaped call in body in
-// lexical order, tagging releases that only run at function exit (defers).
-func collectLockEvents(pkg *Package, body *ast.BlockStmt) []lockEvent {
-	var events []lockEvent
-	deferred := map[*ast.CallExpr]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		if d, ok := n.(*ast.DeferStmt); ok {
-			deferred[d.Call] = true
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		name := sel.Sel.Name
-		if !acquireNames[name] && !releaseNames[name] {
-			return true
-		}
-		if !isMutexType(pkg.Info.TypeOf(sel.X)) {
-			return true
-		}
-		events = append(events, lockEvent{
-			pos:      call.Pos(),
-			lockee:   types.ExprString(sel.X),
-			acquire:  acquireNames[name],
-			deferred: deferred[call],
+// checkLockHeldUnit analyzes one function body (a declaration's or a
+// nested literal's). caller is the enclosing declaration, used for the
+// *Locked-caller inheritance rule; entryHeld names the lock cells held
+// when the body starts executing.
+func checkLockHeldUnit(pass *Pass, caller *ast.FuncDecl, body *ast.BlockStmt, entryHeld map[string]bool) {
+	pkg := pass.Pkg
+	cells := lockCells(pkg, body, entryHeld)
+	nbits := len(cells)
+	if nbits == 0 {
+		nbits = 1
+	}
+	cfg := BuildCFG(pkg, body)
+
+	boundary := newBitset(nbits)
+	for cell := range entryHeld {
+		boundary.set(cells[cell])
+	}
+
+	d := &dataflow{
+		cfg:      cfg,
+		nbits:    nbits,
+		boundary: boundary,
+		transfer: func(n ast.Node, fact bitset) {
+			// Deferred lock operations run at function exit, not here: a
+			// `defer mu.Unlock()` must not drain the held state for the
+			// statements after it.
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				return
+			}
+			shallowInspect(n, func(m ast.Node) bool {
+				call, isCall := m.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				cell, kind, ok := lockOpOf(pkg, call)
+				if !ok {
+					return true
+				}
+				bit, known := cells[cell]
+				if !known {
+					return true
+				}
+				switch kind {
+				case lockAcq:
+					fact.set(bit)
+				case lockRel:
+					fact.clear(bit)
+					// lockTryAcq: handled on branch edges below; the call
+					// itself proves nothing.
+				}
+				return true
+			})
+		},
+		edgeTransfer: func(e CFGEdge, fact bitset) {
+			cond, neg := e.Cond, e.Negate
+			if u, isNot := cond.(*ast.UnaryExpr); isNot && u.Op == token.NOT {
+				cond, neg = u.X, !neg
+			}
+			call, isCall := cond.(*ast.CallExpr)
+			if !isCall {
+				return
+			}
+			cell, kind, ok := lockOpOf(pkg, call)
+			if !ok || kind != lockTryAcq {
+				return
+			}
+			if bit, known := cells[cell]; known {
+				if neg {
+					fact.clear(bit)
+				} else {
+					fact.set(bit)
+				}
+			}
+		},
+	}
+	res := d.solve()
+
+	for i := range cfg.Blocks {
+		res.visit(i, func(n ast.Node, fact bitset) {
+			shallowInspect(n, func(m ast.Node) bool {
+				if call, isCall := m.(*ast.CallExpr); isCall {
+					checkLockedCall(pass, caller, cells, fact, call)
+				}
+				return true
+			})
+			// Closures inherit the held set at their point of appearance
+			// and are analyzed as independent CFGs.
+			for _, lit := range funcLits(n) {
+				inherited := map[string]bool{}
+				for cell, bit := range cells {
+					if fact.has(bit) {
+						inherited[cell] = true
+					}
+				}
+				checkLockHeldUnit(pass, caller, lit.Body, inherited)
+			}
 		})
-		return true
-	})
-	return events
+	}
 }
 
-// heldAt reports whether the wanted mutex is (lexically) held at pos: some
-// acquisition precedes it with no non-deferred release in between. With an
-// unresolved guard, any held mutex rooted at the callee's receiver counts.
-func heldAt(pkg *Package, events []lockEvent, pos token.Pos, want, base string, guardKnown bool) bool {
-	matches := func(lockee string) bool {
-		if guardKnown {
-			return lockee == want
-		}
-		if base == "" {
-			return true // unresolved guard on a plain function: any mutex
-		}
-		return lockee == base || strings.HasPrefix(lockee, base+".")
+// checkLockedCall reports a call to a *Locked function whose guard is not
+// held in fact.
+func checkLockedCall(pass *Pass, caller *ast.FuncDecl, cells map[string]int, fact bitset, call *ast.CallExpr) {
+	pkg := pass.Pkg
+	callee := calledFunc(pkg, call)
+	if callee == nil || !isLockedName(callee.Name()) {
+		return
 	}
-	held := map[string]bool{}
-	for _, ev := range events {
-		if ev.pos >= pos {
-			break
-		}
-		if !matches(ev.lockee) {
-			continue
-		}
-		if ev.acquire {
-			held[ev.lockee] = true
-		} else if !ev.deferred {
-			held[ev.lockee] = false
+	guard, guardKnown := lockedGuard(pkg, callee)
+	// A *Locked caller inherits the lock when it shares the callee's
+	// guard (or when either guard is unresolvable — the benefit of the
+	// doubt goes to the convention, the directive removes the doubt).
+	if isLockedName(caller.Name.Name) {
+		callerGuard, callerKnown := lockedGuardOfDecl(pkg, caller)
+		if !guardKnown || !callerKnown || callerGuard == guard {
+			return
 		}
 	}
-	for _, h := range held {
-		if h {
-			return true
+	base := receiverBase(call)
+	want := guard
+	if base != "" && guard != "" {
+		want = base + "." + guard
+	}
+	held := false
+	switch {
+	case guardKnown:
+		if bit, ok := cells[want]; ok {
+			held = fact.has(bit)
+		}
+	case base == "":
+		// Unresolved guard on a plain function: any held mutex counts.
+		held = fact.any()
+	default:
+		// Unresolved guard on a method: any held mutex rooted at the
+		// callee's receiver counts.
+		for cell, bit := range cells {
+			if (cell == base || strings.HasPrefix(cell, base+".")) && fact.has(bit) {
+				held = true
+				break
+			}
 		}
 	}
-	return false
+	if held {
+		return
+	}
+	if guardKnown {
+		pass.Reportf(call.Pos(), "%s called without holding %s (its guard); lock it on every path to this call or make the caller *Locked",
+			callee.Name(), want)
+	} else {
+		pass.Reportf(call.Pos(), "%s called without any mutex held; no guard could be resolved — add //freehw:guardedby <field> to its doc",
+			callee.Name())
+	}
 }
 
 // calledFunc resolves the function or method a call expression invokes.

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"freehw/internal/par"
+)
+
+// LoadAndRun expands patterns, loads every matched package, and runs the
+// analyzers over each, fanning packages out across workers (0 means
+// GOMAXPROCS). Each concurrent slot owns a private Loader — go/importer's
+// source mode is not safe for concurrent use, so loaders are pooled
+// rather than shared — and per-package results land at their input index
+// before a global sort. Output is therefore byte-identical at any worker
+// count: position-sorted diagnostics, first load error (by pattern order)
+// wins.
+//
+// The loader pool trades memory for wall time: each loader re-type-checks
+// the dependency closure once, but W loaders chew through N packages in
+// roughly serial/W. Returns the sorted findings and the number of
+// packages analyzed.
+func LoadAndRun(patterns []string, analyzers []*Analyzer, workers int) ([]Diagnostic, int, error) {
+	dirs, err := ExpandPatterns(patterns)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := len(dirs)
+	w := par.Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	// Loaders are created serially: NewLoader writes the global
+	// build.Default.CgoEnabled toggle, which must not race.
+	pool := make(chan *Loader, w)
+	for i := 0; i < w; i++ {
+		pool <- NewLoader()
+	}
+	perDir := make([][]Diagnostic, n)
+	errs := make([]error, n)
+	par.ForEach(w, n, func(i int) {
+		importPath, err := importPathOf(dirs[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		l := <-pool
+		defer func() { pool <- l }()
+		pkg, err := l.LoadDir(dirs[i], importPath)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		perDir[i] = Run(pkg, analyzers)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	var diags []Diagnostic
+	for _, ds := range perDir {
+		diags = append(diags, ds...)
+	}
+	Sort(diags)
+	return diags, n, nil
+}

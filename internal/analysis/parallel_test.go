@@ -1,0 +1,82 @@
+package analysis_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"freehw/internal/analysis"
+)
+
+// renderDiags formats diagnostics the way cmd/freehw-vet prints them, so
+// the byte-equality below covers exactly what users and CI artifacts see.
+func renderDiags(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	}
+	return b.String()
+}
+
+// TestLoadAndRunDeterministic runs the full suite over golden packages
+// that are known to produce findings, at several worker counts, and
+// requires byte-identical output. The golden dirs double as a fixed,
+// non-trivial workload: every flow-sensitive analyzer fires at least once.
+func TestLoadAndRunDeterministic(t *testing.T) {
+	patterns := []string{
+		"testdata/src/lockheld_a",
+		"testdata/src/lockbalance_a",
+		"testdata/src/lockbalance_multi",
+		"testdata/src/rcusnap_a",
+		"testdata/src/errflow_a",
+		"testdata/src/mapord_a",
+	}
+	var serial string
+	for _, workers := range []int{1, 4, 16} {
+		diags, npkgs, err := analysis.LoadAndRun(patterns, analysis.All(), workers)
+		if err != nil {
+			t.Fatalf("LoadAndRun(workers=%d): %v", workers, err)
+		}
+		if npkgs != len(patterns) {
+			t.Fatalf("LoadAndRun(workers=%d) analyzed %d packages, want %d", workers, npkgs, len(patterns))
+		}
+		got := renderDiags(diags)
+		// The want comments themselves guarantee findings exist; an empty
+		// render here would mean the workload silently loaded nothing.
+		for _, name := range []string{"lockheld", "lockbalance", "rcusnap", "errflow", "mapord"} {
+			if !strings.Contains(got, "["+name+"]") {
+				t.Errorf("workers=%d: no %s finding in output", workers, name)
+			}
+		}
+		if workers == 1 {
+			serial = got
+			continue
+		}
+		if got != serial {
+			t.Errorf("workers=%d output differs from serial:\n--- serial ---\n%s--- workers=%d ---\n%s", workers, serial, workers, got)
+		}
+	}
+}
+
+// TestLoadAndRunFirstError pins error determinism: with a nonexistent dir
+// mixed into the pattern list, the reported error is the same regardless
+// of worker count (lowest input index wins).
+func TestLoadAndRunFirstError(t *testing.T) {
+	patterns := []string{
+		"testdata/src/mapord_a",
+		"testdata/src/no_such_pkg",
+		"testdata/src/lockheld_a",
+	}
+	var first string
+	for _, workers := range []int{1, 8} {
+		_, _, err := analysis.LoadAndRun(patterns, analysis.All(), workers)
+		if err == nil {
+			t.Fatalf("LoadAndRun(workers=%d): expected error for missing dir", workers)
+		}
+		if workers == 1 {
+			first = err.Error()
+		} else if err.Error() != first {
+			t.Errorf("workers=%d error %q differs from serial %q", workers, err.Error(), first)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RCUSnap enforces the serve layer's snapshot-consistency invariant: an
+// RCU-published atomic.Pointer (the corpusState the handlers serve from)
+// may be Loaded at most once on any path through a function, and the
+// loaded value threaded by reference thereafter. Two Loads in one request
+// can straddle a concurrent publish or merge swap and produce a torn
+// verdict — version checked against one snapshot, posting lists read from
+// another — which breaks the byte-identical-audit contract.
+//
+// A load site is either a direct x.Load() on a sync/atomic.Pointer[T] or a
+// call to a load wrapper — a method whose whole body is `return x.Load()`
+// (the serve layer's s.current()). Both map to the same cell (the printed
+// pointer expression), so mixing s.current() and s.state.Load() in one
+// function is still caught.
+//
+// The analysis is a forward may dataflow with one bit per load site. A
+// report fires when a *different* site of the same cell is live at a Load:
+// re-executing the same site around a loop back edge is legal (each
+// iteration is its own read), a second site on one path is not.
+var RCUSnap = &Analyzer{
+	Name: "rcusnap",
+	Doc:  "an RCU snapshot pointer is Loaded at most once per path and threaded by value",
+	Run:  runRCUSnap,
+}
+
+func runRCUSnap(pass *Pass) {
+	wrappers := loadWrappers(pass.Pkg)
+	forEachFunc(pass.Pkg, func(fn *ast.FuncDecl) {
+		// A wrapper's own body is the one blessed Load site.
+		if obj, ok := pass.Pkg.Info.Defs[fn.Name].(*types.Func); ok {
+			if _, isWrapper := wrappers[obj]; isWrapper {
+				return
+			}
+		}
+		checkRCUSnapUnit(pass, wrappers, fn.Body)
+	})
+}
+
+// isAtomicPointer reports whether t is sync/atomic.Pointer[T] (possibly
+// behind a pointer).
+func isAtomicPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}
+
+// atomicLoadCell matches a direct x.Load() on an atomic.Pointer and
+// returns the cell (printed x).
+func atomicLoadCell(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" || len(call.Args) != 0 {
+		return "", false
+	}
+	if !isAtomicPointer(pkg.Info.TypeOf(sel.X)) {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// loadWrappers finds methods whose entire body is `return x.Load()` on an
+// atomic.Pointer field of the receiver, mapping each to the field path
+// ("state" for `func (s *Server) current() { return s.state.Load() }`).
+func loadWrappers(pkg *Package) map[*types.Func]string {
+	wrappers := map[*types.Func]string{}
+	forEachFunc(pkg, func(fn *ast.FuncDecl) {
+		if fn.Recv == nil || len(fn.Body.List) != 1 {
+			return
+		}
+		ret, ok := fn.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return
+		}
+		call, ok := ret.Results[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		cell, ok := atomicLoadCell(pkg, call)
+		if !ok {
+			return
+		}
+		// Strip the receiver name: the call-site cell is rebuilt from the
+		// call's own receiver expression.
+		if len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+			recv := fn.Recv.List[0].Names[0].Name
+			if rest, found := strings.CutPrefix(cell, recv+"."); found {
+				if obj, isFunc := pkg.Info.Defs[fn.Name].(*types.Func); isFunc {
+					wrappers[obj] = rest
+				}
+			}
+		}
+	})
+	return wrappers
+}
+
+// snapLoadSite is one Load (direct or via wrapper) in a function unit.
+type snapLoadSite struct {
+	call *ast.CallExpr
+	cell string
+}
+
+func checkRCUSnapUnit(pass *Pass, wrappers map[*types.Func]string, body *ast.BlockStmt) {
+	pkg := pass.Pkg
+
+	// siteCellOf classifies a call as a load site and returns its cell.
+	siteCellOf := func(call *ast.CallExpr) (string, bool) {
+		if cell, ok := atomicLoadCell(pkg, call); ok {
+			return cell, true
+		}
+		callee := calledFunc(pkg, call)
+		if callee == nil {
+			return "", false
+		}
+		path, isWrapper := wrappers[callee]
+		if !isWrapper {
+			return "", false
+		}
+		if base := receiverBase(call); base != "" {
+			return base + "." + path, true
+		}
+		return path, true
+	}
+
+	var sites []*snapLoadSite
+	siteOf := map[*ast.CallExpr]int{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if cell, ok := siteCellOf(call); ok {
+			siteOf[call] = len(sites)
+			sites = append(sites, &snapLoadSite{call: call, cell: cell})
+		}
+		return true
+	})
+
+	cfg := BuildCFG(pkg, body)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			for _, lit := range funcLits(n) {
+				checkRCUSnapUnit(pass, wrappers, lit.Body)
+			}
+		}
+	}
+	if len(sites) < 2 {
+		return // a single site cannot double-load
+	}
+
+	d := &dataflow{
+		cfg:   cfg,
+		nbits: len(sites),
+		union: true,
+		transfer: func(n ast.Node, fact bitset) {
+			shallowInspect(n, func(m ast.Node) bool {
+				if call, isCall := m.(*ast.CallExpr); isCall {
+					if idx, isSite := siteOf[call]; isSite {
+						fact.set(idx)
+					}
+				}
+				return true
+			})
+		},
+	}
+	res := d.solve()
+
+	for i := range cfg.Blocks {
+		res.visit(i, func(n ast.Node, fact bitset) {
+			shallowInspect(n, func(m ast.Node) bool {
+				call, isCall := m.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				idx, isSite := siteOf[call]
+				if !isSite {
+					return true
+				}
+				site := sites[idx]
+				for j, other := range sites {
+					if j == idx || other.cell != site.cell || !fact.has(j) {
+						continue
+					}
+					prev := pkg.Fset.Position(other.call.Pos())
+					pass.Reportf(call.Pos(),
+						"%s Loaded again on a path that already Loaded it (line %d); thread the first snapshot by value — a second Load can observe a concurrent publish",
+						site.cell, prev.Line)
+					return true
+				}
+				return true
+			})
+		})
+	}
+}

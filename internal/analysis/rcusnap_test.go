@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"freehw/internal/analysis"
+	"freehw/internal/analysis/analysistest"
+)
+
+func TestRCUSnap(t *testing.T) {
+	analysistest.Run(t, analysis.RCUSnap, "testdata/src/rcusnap_a")
+}
+
+func TestRCUSnapMultiFile(t *testing.T) {
+	analysistest.Run(t, analysis.RCUSnap, "testdata/src/rcusnap_multi")
+}

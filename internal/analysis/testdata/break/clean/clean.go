@@ -1,0 +1,63 @@
+// Package clean is the control fixture for the deliberate-break matrix:
+// the same idioms as the break packages — guarded *Locked call,
+// branching under a mutex, snapshot read, durable write — with every
+// invariant intact. freehw-vet must exit 0 here.
+package clean
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"freehw/internal/failpoint"
+)
+
+type snap struct {
+	version uint64
+	docs    []string
+}
+
+type store struct {
+	mu    sync.Mutex
+	state atomic.Pointer[snap]
+	items []int
+}
+
+// appendLocked grows the item list.
+//
+//freehw:guardedby mu
+func (s *store) appendLocked(v int) {
+	s.items = append(s.items, v)
+}
+
+func (s *store) Add(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v < 0 {
+		return false
+	}
+	s.appendLocked(v)
+	return true
+}
+
+func (s *store) Handle() (uint64, int) {
+	cur := s.state.Load()
+	return cur.version, len(cur.docs)
+}
+
+func (s *store) Flush(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := failpoint.Inject("break-clean/after-write"); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,26 @@
+// Package errflow_break drops a durable-write error on the floor for
+// the deliberate-break CI matrix: the fsync that makes the write durable
+// is called as a bare statement, so a failed sync is indistinguishable
+// from success. The matrix asserts freehw-vet names the marked line.
+package errflow_break
+
+import (
+	"os"
+
+	"freehw/internal/failpoint"
+)
+
+func flush(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := failpoint.Inject("errflow-break/after-write"); err != nil {
+		return err
+	}
+	f.Sync() // BREAK
+	return f.Close()
+}

@@ -1,0 +1,22 @@
+// Package lockbalance_break drops the unlock on the validation-failure
+// branch for the deliberate-break CI matrix: update returns with the
+// mutex still held whenever the delta would go negative. The matrix
+// asserts freehw-vet names the marked acquisition line.
+package lockbalance_break
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) update(delta int) bool {
+	c.mu.Lock() // BREAK
+	if c.n+delta < 0 {
+		return false
+	}
+	c.n += delta
+	c.mu.Unlock()
+	return true
+}

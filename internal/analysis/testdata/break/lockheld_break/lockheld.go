@@ -1,0 +1,27 @@
+// Package lockheld_break seeds one path-conditional guard violation for
+// the deliberate-break CI matrix: the lock is taken on only one branch,
+// so the *Locked call after the join is unguarded on the fast path. The
+// matrix asserts freehw-vet names the marked line.
+package lockheld_break
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	items []int
+}
+
+// appendLocked grows the item list.
+//
+//freehw:guardedby mu
+func (s *store) appendLocked(v int) {
+	s.items = append(s.items, v)
+}
+
+func (s *store) Add(v int, fast bool) {
+	if !fast {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	s.appendLocked(v) // BREAK
+}

@@ -1,0 +1,22 @@
+// Package rcusnap_break seeds a torn RCU read for the deliberate-break
+// CI matrix: the handler Loads the serving snapshot twice, so the
+// version and the document count can come from different publishes. The
+// matrix asserts freehw-vet names the marked second-Load line.
+package rcusnap_break
+
+import "sync/atomic"
+
+type snap struct {
+	version uint64
+	docs    []string
+}
+
+type server struct {
+	state atomic.Pointer[snap]
+}
+
+func (s *server) handle() (uint64, int) {
+	v := s.state.Load().version
+	n := len(s.state.Load().docs) // BREAK
+	return v, n
+}

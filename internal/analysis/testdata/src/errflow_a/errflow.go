@@ -1,0 +1,102 @@
+// Package errflow_a is the golden corpus for the errflow analyzer:
+// discarded durable errors (bare statement, defer, blank identifier),
+// errors bound but unchecked on one path, reassignment kills, the
+// read-only-Close exemption, panic-exit consumption, and suppressions.
+package errflow_a
+
+import (
+	"os"
+
+	_ "freehw/internal/failpoint" // opts this package into durable-error discipline
+)
+
+func writeGood(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //freehw:nolint errflow -- best-effort close on a path already returning the write error
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func discardAll(path string, data []byte) {
+	f, _ := os.Create(path)
+	f.Write(data) // want `error from \(\*os.File\)\.Write is discarded \(statement result unused\)`
+	f.Sync()      // want `error from \(\*os.File\)\.Sync is discarded \(statement result unused\)`
+	f.Close()     // want `error from \(\*os.File\)\.Close is discarded \(statement result unused\)`
+}
+
+func blankRename(from, to string) {
+	_ = os.Rename(from, to) // want `error from os\.Rename is discarded \(assigned to _\)`
+}
+
+func uncheckedOnOnePath(path string, data []byte) error {
+	f, ferr := os.Create(path)
+	if ferr != nil {
+		return ferr
+	}
+	_, werr := f.Write(data) // want `error from \(\*os.File\)\.Write assigned to werr is not checked on every path to return`
+	if len(data) > 4096 {
+		return f.Close()
+	}
+	if werr != nil {
+		return werr
+	}
+	return f.Close()
+}
+
+func reassignedThenChecked(path string, data []byte) error {
+	f, ferr := os.Create(path)
+	if ferr != nil {
+		return ferr
+	}
+	_, werr := f.Write(data) // ok: read by the nil check below
+	if werr != nil {
+		f.Close() //freehw:nolint errflow -- returning the primary write error; close is best-effort here
+		return werr
+	}
+	werr = f.Sync() // ok: reassigned, then read
+	if werr != nil {
+		return werr
+	}
+	return f.Close()
+}
+
+// syncDir is the directory-fsync idiom: the handle is read-only, so its
+// Close is legitimately best-effort and must not be flagged.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close() // ok: read-only handle
+	return d.Sync()
+}
+
+func deferCloseWritable(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `error from \(\*os.File\)\.Close is discarded \(deferred call\)`
+	if _, werr := f.Write(data); werr != nil {
+		return werr
+	}
+	return f.Sync()
+}
+
+func panicConsumes(from, to string, fatal bool) {
+	err := os.Rename(from, to) // ok: every non-reading path panics
+	if fatal {
+		panic("shutting down")
+	}
+	if err != nil {
+		panic(err)
+	}
+}

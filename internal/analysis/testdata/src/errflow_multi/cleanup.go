@@ -1,0 +1,7 @@
+package errflow_multi
+
+import "os"
+
+func rotate(old, cur string) {
+	os.Rename(cur, old) // want `error from os\.Rename is discarded \(statement result unused\)`
+}

@@ -1,0 +1,29 @@
+// Package errflow_multi is the multi-file golden corpus for the errflow
+// analyzer: a clean durable-write sequence in one file, a dropped rename
+// in another.
+package errflow_multi
+
+import (
+	"os"
+
+	_ "freehw/internal/failpoint" // opts this package into durable-error discipline
+)
+
+func saveBlob(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //freehw:nolint errflow -- path already returns the primary write error
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

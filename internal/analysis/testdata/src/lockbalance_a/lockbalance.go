@@ -1,0 +1,125 @@
+// Package lockbalance_a is the golden corpus for the lockbalance
+// analyzer: balanced explicit and deferred releases, a leak on one
+// branch, double-acquire, TryLock on both outcomes, read/write mode
+// interplay, deferred-closure releases, panic exits, and a suppression.
+package lockbalance_a
+
+import "sync"
+
+type reg struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (r *reg) balancedDefer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+}
+
+func (r *reg) balancedExplicit() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+func (r *reg) leakOnBranch(b bool) {
+	r.mu.Lock() // want `r.mu.Lock is not released on every path to return`
+	if b {
+		r.n++
+		return
+	}
+	r.mu.Unlock()
+}
+
+func (r *reg) doubleLock() {
+	r.mu.Lock()
+	r.mu.Lock() // want `r.mu.Lock on a path where r.mu is already held`
+	r.n++
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func (r *reg) tryBalanced() bool {
+	if !r.mu.TryLock() {
+		return false
+	}
+	r.n++
+	r.mu.Unlock()
+	return true
+}
+
+func (r *reg) tryLeak() bool {
+	if r.mu.TryLock() { // want `r.mu.TryLock is not released on every path to return`
+		r.n++
+		return true
+	}
+	return false
+}
+
+func (r *reg) readBalanced() int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.n
+}
+
+func (r *reg) upgradeDeadlock() {
+	r.rw.RLock()
+	r.rw.Lock() // want `r.rw.Lock on a path where r.rw is already held`
+	r.rw.Unlock()
+	r.rw.RUnlock()
+}
+
+func (r *reg) deferClosure() {
+	r.mu.Lock()
+	defer func() {
+		r.n++
+		r.mu.Unlock()
+	}()
+	r.n++
+}
+
+func (r *reg) panicExcused(b bool) {
+	r.mu.Lock()
+	if b {
+		panic("invariant broken")
+	}
+	r.n++
+	r.mu.Unlock()
+}
+
+func (r *reg) loopBalanced(n int) {
+	for i := 0; i < n; i++ {
+		r.mu.Lock()
+		r.n++
+		r.mu.Unlock()
+	}
+}
+
+func (r *reg) loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		r.mu.Lock() // want `r.mu.Lock on a path where r.mu is already held` `r.mu.Lock is not released on every path to return`
+		r.n++
+	}
+}
+
+func (r *reg) spawn() {
+	go func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.n++
+	}()
+}
+
+func (r *reg) goroutineLeak() {
+	go func() {
+		r.mu.Lock() // want `r.mu.Lock is not released on every path to return`
+		r.n++
+	}()
+}
+
+func (r *reg) handoff() {
+	r.mu.Lock() //freehw:nolint lockbalance -- lock intentionally handed to the caller, released by unlockAfterHandoff
+	r.n++
+}

@@ -1,0 +1,27 @@
+package lockbalance_multi
+
+func bump() {
+	mu.Lock()
+	count++
+	mu.Unlock()
+}
+
+func bumpLeak(b bool) {
+	mu.Lock() // want `mu.Lock is not released on every path to return`
+	count++
+	if b {
+		return
+	}
+	mu.Unlock()
+}
+
+func (g *gauge) set(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+}
+
+func (g *gauge) reset() {
+	g.mu.Lock() //freehw:nolint lockbalance -- released by the caller after the shutdown barrier
+	g.v = 0
+}

@@ -1,0 +1,14 @@
+// Package lockbalance_multi is the multi-file golden corpus for the
+// lockbalance analyzer: a package-level mutex and a struct-held one,
+// used from a separate file.
+package lockbalance_multi
+
+import "sync"
+
+var mu sync.Mutex
+var count int
+
+type gauge struct {
+	mu sync.Mutex
+	v  int
+}

@@ -73,3 +73,65 @@ func (s *server) drainLocked() {
 func (s *server) external() {
 	s.publishLocked() //freehw:nolint lockheld -- lock is held by the caller across this helper
 }
+
+// condLock acquires the guard on only one branch: after the join the lock
+// is not held on every path, which the lexical analysis (any acquisition
+// before the call) could not see.
+func (s *server) condLock(b bool) {
+	if b {
+		s.pubMu.Lock()
+		defer s.pubMu.Unlock()
+	}
+	s.publishLocked() // want `publishLocked called without holding s.pubMu`
+}
+
+// earlyRelease unlocks on the early-return branch only; on the path that
+// reaches the call the lock is still held. The lexical analysis flagged
+// this (a non-deferred release before the call); the path-sensitive one
+// must not.
+func (s *server) earlyRelease(done bool) {
+	s.pubMu.Lock()
+	if done {
+		s.pubMu.Unlock()
+		return
+	}
+	s.publishLocked() // ok: held on the only path reaching here
+	s.pubMu.Unlock()
+}
+
+// relockBetween releases and reacquires around a branch; every path to the
+// call re-holds the guard.
+func (s *server) relockBetween(b bool) {
+	s.pubMu.Lock()
+	if b {
+		s.pubMu.Unlock()
+		s.pubMu.Lock()
+	}
+	s.publishLocked() // ok: held on both paths
+	s.pubMu.Unlock()
+}
+
+// closureHeld: a function literal created while the guard is held inherits
+// the held set; one created outside does not.
+func (s *server) closureHeld() {
+	s.pubMu.Lock()
+	f := func() {
+		s.publishLocked() // ok: closure created with pubMu held
+	}
+	f()
+	s.pubMu.Unlock()
+	g := func() {
+		s.publishLocked() // want `publishLocked called without holding s.pubMu`
+	}
+	g()
+}
+
+// loopRelease unlocks inside the loop body: the back edge reaches the call
+// with the guard released, so not every path holds it.
+func (s *server) loopRelease(n int) {
+	s.pubMu.Lock()
+	for i := 0; i < n; i++ {
+		s.publishLocked() // want `publishLocked called without holding s.pubMu`
+		s.pubMu.Unlock()
+	}
+}

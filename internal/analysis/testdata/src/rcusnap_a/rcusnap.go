@@ -1,0 +1,73 @@
+// Package rcusnap_a is the golden corpus for the rcusnap analyzer:
+// single Loads, double Loads (direct, via wrapper, and mixed), loop
+// re-reads (legal), exclusive-branch Loads (legal), independent cells,
+// and a suppression.
+package rcusnap_a
+
+import "sync/atomic"
+
+type snap struct {
+	version int
+	docs    int
+}
+
+type server struct {
+	state atomic.Pointer[snap]
+	cfg   atomic.Pointer[snap]
+}
+
+// current is the load wrapper: its body is the one blessed Load site.
+func (s *server) current() *snap { return s.state.Load() }
+
+func (s *server) singleLoad() int {
+	cur := s.current()
+	return cur.version + cur.docs
+}
+
+func (s *server) doubleLoadDirect(min int) int {
+	if s.state.Load().version < min {
+		return 0
+	}
+	return s.state.Load().docs // want `s.state Loaded again on a path that already Loaded it`
+}
+
+func (s *server) doubleLoadWrapper(min int) int {
+	if s.current().version < min {
+		return 0
+	}
+	return s.current().docs // want `s.state Loaded again on a path that already Loaded it`
+}
+
+func (s *server) mixedWrapperAndDirect(min int) int {
+	cur := s.state.Load()
+	if cur.version < min {
+		return 0
+	}
+	return s.current().docs // want `s.state Loaded again on a path that already Loaded it`
+}
+
+func (s *server) loopReload(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += s.current().docs // ok: one site, one Load per iteration
+	}
+	return total
+}
+
+func (s *server) exclusiveBranches(b bool) int {
+	if b {
+		return s.current().version
+	}
+	return s.current().docs // ok: the two sites are on exclusive paths
+}
+
+func (s *server) independentCells() int {
+	a := s.state.Load()
+	b := s.cfg.Load()
+	return a.version + b.version // ok: different pointers
+}
+
+func (s *server) suppressed() int {
+	v := s.current().version
+	return v + s.current().docs //freehw:nolint rcusnap -- drift probe intentionally samples the pointer twice
+}

@@ -1,0 +1,21 @@
+package rcusnap_multi
+
+func (c *core) handle(min int) int {
+	if c.current().version < min {
+		return -1
+	}
+	return c.current().version // want `c.state Loaded again on a path that already Loaded it`
+}
+
+func (c *core) handleOK(min int) int {
+	cur := c.current()
+	if cur.version < min {
+		return -1
+	}
+	return cur.version
+}
+
+func (c *core) probe() int {
+	first := c.current().version
+	return first + c.current().version //freehw:nolint rcusnap -- intentional second sample in the drift probe
+}

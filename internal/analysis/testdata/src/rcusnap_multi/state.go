@@ -1,0 +1,14 @@
+// Package rcusnap_multi is the multi-file golden corpus for the rcusnap
+// analyzer: the wrapper lives in one file, the handlers that misuse it in
+// another.
+package rcusnap_multi
+
+import "sync/atomic"
+
+type snapshot struct{ version int }
+
+type core struct {
+	state atomic.Pointer[snapshot]
+}
+
+func (c *core) current() *snapshot { return c.state.Load() }

@@ -468,8 +468,12 @@ func (s *Server) publishDocuments(names, texts []string, ifVersion *uint64) (ver
 	}
 	s.pubMu.Lock()
 	defer s.pubMu.Unlock()
-	if ifVersion != nil && *ifVersion != s.current().version {
-		return 0, 0, &errVersionConflict{current: s.current().version}
+	if ifVersion != nil {
+		// One snapshot load serves both the check and the error: the
+		// reported conflict version is exactly the one compared against.
+		if cur := s.current().version; *ifVersion != cur {
+			return 0, 0, &errVersionConflict{current: cur}
+		}
 	}
 	version, indexed, err = s.publishLocked(ix.Snapshot())
 	if err != nil {

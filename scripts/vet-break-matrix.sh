@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Deliberate-break smoke matrix for freehw-vet.
+#
+# Each package under internal/analysis/testdata/break seeds exactly one
+# invariant violation, with the defective line carrying a trailing
+# "// BREAK" comment. For every break package, freehw-vet must exit 1 and
+# name the marked file:line under the expected analyzer; the clean
+# control package must exit 0. This proves the analyzers actually bite —
+# a gate that passes on a violated invariant is worse than no gate.
+#
+# Usage: scripts/vet-break-matrix.sh   (from anywhere inside the repo)
+set -u
+cd "$(dirname "$0")/.."
+
+VET="$(mktemp -d)/freehw-vet"
+if ! go build -o "$VET" ./cmd/freehw-vet; then
+	echo "FAIL: could not build freehw-vet" >&2
+	exit 2
+fi
+
+fail=0
+
+# expect_break <analyzer> <dir> <file>: the package must produce a
+# <analyzer> finding at the BREAK-marked line of <file> and exit 1.
+expect_break() {
+	local analyzer=$1 dir=$2 file=$3
+	local path="internal/analysis/testdata/break/$dir"
+	local line out status
+	line=$(grep -n '// BREAK' "$path/$file" | head -1 | cut -d: -f1)
+	if [ -z "$line" ]; then
+		echo "FAIL $dir: no // BREAK marker in $path/$file" >&2
+		fail=1
+		return
+	fi
+	out=$("$VET" "./$path" 2>&1)
+	status=$?
+	if [ "$status" -ne 1 ]; then
+		echo "FAIL $dir: exit $status, want 1 (seeded violation not caught)" >&2
+		echo "$out" >&2
+		fail=1
+		return
+	fi
+	if ! echo "$out" | grep -q "$file:$line:.*\[$analyzer\]"; then
+		echo "FAIL $dir: no [$analyzer] finding at $file:$line; got:" >&2
+		echo "$out" >&2
+		fail=1
+		return
+	fi
+	echo "ok   $dir: [$analyzer] fired at $file:$line"
+}
+
+expect_clean() {
+	local path="internal/analysis/testdata/break/clean"
+	local out status
+	out=$("$VET" "./$path" 2>&1)
+	status=$?
+	if [ "$status" -ne 0 ]; then
+		echo "FAIL clean: exit $status, want 0; got:" >&2
+		echo "$out" >&2
+		fail=1
+		return
+	fi
+	echo "ok   clean: no findings"
+}
+
+expect_break lockheld lockheld_break lockheld.go
+expect_break lockbalance lockbalance_break lockbalance.go
+expect_break rcusnap rcusnap_break rcusnap.go
+expect_break errflow errflow_break errflow.go
+expect_clean
+
+exit $fail
